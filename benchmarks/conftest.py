@@ -1,0 +1,34 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+By default the benchmarks run a scaled-down sweep so the whole suite
+completes in a couple of minutes.  Set ``KAROUSOS_BENCH_FULL=1`` for the
+paper's scale: 600 requests, concurrency swept over {1, 15, 30, 45, 60}
+(the paper sweeps 1-60), warmup 120/600 for server-overhead runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    n_requests: int
+    concurrency_sweep: List[int]
+    server_repeats: int
+    full: bool
+
+
+def _scale() -> BenchScale:
+    if os.environ.get("KAROUSOS_BENCH_FULL") == "1":
+        return BenchScale(600, [1, 15, 30, 45, 60], 5, True)
+    return BenchScale(240, [1, 15, 30], 3, False)
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return _scale()

@@ -1,0 +1,78 @@
+"""Shared three-panel driver for the appendix figures (Figures 9-12).
+
+Each appendix figure shows, for one application/workload pair, the same
+three panels as Figures 6-8: (a) server processing time, (b) verification
+time, (c) advice size.
+"""
+
+from __future__ import annotations
+
+from repro.harness import print_series
+from repro.harness.experiment import (
+    ExperimentConfig,
+    measure_advice_sizes,
+    measure_server_overhead,
+    measure_verification,
+)
+
+PANEL_A = ["concurrency", "unmodified_s", "karousos_s", "overhead_x"]
+PANEL_B = ["concurrency", "karousos_s", "orochi_s", "sequential_s", "karousos_groups", "orochi_groups"]
+PANEL_C = ["concurrency", "karousos_KiB", "orochi_KiB", "k_over_o"]
+
+
+def run_panels(scale, app: str, mix: str):
+    """Compute the three panels across the concurrency sweep."""
+    a_rows, b_rows, c_rows = [], [], []
+    for conc in scale.concurrency_sweep:
+        cfg = ExperimentConfig(
+            app, mix=mix, n_requests=scale.n_requests, concurrency=conc, seed=0
+        )
+        overhead = measure_server_overhead(cfg, repeats=scale.server_repeats)
+        a_rows.append(
+            {
+                "concurrency": conc,
+                "unmodified_s": overhead.unmodified_seconds,
+                "karousos_s": overhead.karousos_seconds,
+                "overhead_x": overhead.overhead,
+            }
+        )
+        v = measure_verification(cfg, repeats=2)
+        assert v.karousos_accepted and v.orochi_accepted
+        b_rows.append(
+            {
+                "concurrency": conc,
+                "karousos_s": v.karousos_seconds,
+                "orochi_s": v.orochi_seconds,
+                "sequential_s": v.sequential_seconds,
+                "karousos_groups": v.karousos_groups,
+                "orochi_groups": v.orochi_groups,
+            }
+        )
+        s = measure_advice_sizes(cfg)
+        c_rows.append(
+            {
+                "concurrency": conc,
+                "karousos_KiB": s.karousos_bytes / 1024,
+                "orochi_KiB": s.orochi_bytes / 1024,
+                "k_over_o": s.karousos_bytes / s.orochi_bytes,
+            }
+        )
+    return a_rows, b_rows, c_rows
+
+
+def print_panels(figure: str, label: str, panels) -> None:
+    a_rows, b_rows, c_rows = panels
+    print_series(f"{figure}a ({label}): server processing time", a_rows, PANEL_A)
+    print_series(f"{figure}b ({label}): verification time", b_rows, PANEL_B)
+    print_series(f"{figure}c ({label}): advice size", c_rows, PANEL_C)
+
+
+def assert_common_shape(panels) -> None:
+    """Shape invariants shared by every appendix figure: advice collection
+    costs something, honest runs verify, Karousos never groups more
+    batches than Orochi-JS, and never ships more advice."""
+    a_rows, b_rows, c_rows = panels
+    overheads = sorted(r["overhead_x"] for r in a_rows)
+    assert overheads[len(overheads) // 2] > 1.0, "median overhead factor"
+    assert all(r["karousos_groups"] <= r["orochi_groups"] for r in b_rows)
+    assert all(r["k_over_o"] <= 1.02 for r in c_rows)

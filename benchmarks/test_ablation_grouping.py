@@ -1,0 +1,67 @@
+"""Ablation: tree-based vs sequence-based re-execution grouping.
+
+Karousos batches requests that induce the same *tree* of handlers
+(section 4.1); Orochi-JS batches only identical handler *sequences*.
+The more concurrently activated sibling handlers get reordered, the more
+groups sequence-based batching splinters into -- this is the design
+decision section 6.2 credits for Karousos's stacks speedup.
+
+The stack-dump ``list`` request fans out one GET per known digest, so its
+siblings permute freely under concurrency: the group-count gap widens as
+concurrency rises.
+"""
+
+from __future__ import annotations
+
+from repro.harness import print_series
+from repro.harness.experiment import ExperimentConfig, measure_verification
+
+COLUMNS = ["concurrency", "karousos_groups", "orochi_groups", "split_factor"]
+
+
+def test_grouping_granularity(benchmark, scale):
+    def sweep():
+        rows = []
+        for conc in scale.concurrency_sweep:
+            cfg = ExperimentConfig(
+                "stacks",
+                mix="read-heavy",
+                n_requests=scale.n_requests,
+                concurrency=conc,
+                seed=0,
+            )
+            v = measure_verification(cfg, repeats=2)
+            rows.append(
+                {
+                    "concurrency": conc,
+                    "karousos_groups": v.karousos_groups,
+                    "orochi_groups": v.orochi_groups,
+                    "split_factor": v.orochi_groups / v.karousos_groups,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("Ablation: grouping granularity (stacks, 90% reads)", rows, COLUMNS)
+    assert all(r["karousos_groups"] <= r["orochi_groups"] for r in rows)
+    assert any(r["split_factor"] > 1.0 for r in rows), (
+        "sibling reordering must split sequence-based groups somewhere"
+    )
+
+
+def test_grouping_equal_without_reordering(benchmark, scale):
+    """Control: with a single handler per request (MOTD) there is nothing
+    to reorder and the two grouping schemes coincide exactly."""
+
+    def measure():
+        cfg = ExperimentConfig(
+            "motd",
+            mix="mixed",
+            n_requests=scale.n_requests,
+            concurrency=scale.concurrency_sweep[-1],
+        )
+        return measure_verification(cfg, repeats=2)
+
+    v = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nMOTD groups: karousos={v.karousos_groups} orochi={v.orochi_groups}")
+    assert v.karousos_groups == v.orochi_groups

@@ -1,0 +1,97 @@
+"""Figure 6: Karousos server vs unmodified server, processing time.
+
+The paper reports, for the post-warmup 480 of 600 requests, the total
+processing time while sweeping the number of concurrent requests:
+
+* MOTD, 90% writes -- the worst case for Karousos (paper: 5.4-6.3x);
+* stack dump, 90% reads -- overhead grows with concurrency because
+  activation-order tracking dominates (paper: 1.7-3.5x);
+* Wiki.js, mixed -- overhead 1.2-2.8x, milder concurrency growth.
+
+We re-measure the same sweep and assert the shape: Karousos always costs
+more than the unmodified server, and the MOTD write-heavy overhead exceeds
+the MOTD read-heavy overhead (writes log one-or-two values, reads zero-or-
+one; section 6.1).
+"""
+
+from __future__ import annotations
+
+from repro.harness import print_series
+from repro.harness.experiment import ExperimentConfig, measure_server_overhead
+
+COLUMNS = ["concurrency", "unmodified_s", "karousos_s", "overhead_x"]
+
+
+def _median_overhead(rows):
+    """Noise-robust shape check: the sweep's median overhead factor."""
+    xs = sorted(r["overhead_x"] for r in rows)
+    return xs[len(xs) // 2]
+
+
+def _sweep(scale, app, mix):
+    rows = []
+    for conc in scale.concurrency_sweep:
+        cfg = ExperimentConfig(
+            app, mix=mix, n_requests=scale.n_requests, concurrency=conc, seed=0
+        )
+        cmp = measure_server_overhead(cfg, repeats=scale.server_repeats)
+        rows.append(
+            {
+                "concurrency": conc,
+                "unmodified_s": cmp.unmodified_seconds,
+                "karousos_s": cmp.karousos_seconds,
+                "overhead_x": cmp.overhead,
+            }
+        )
+    return rows
+
+
+def test_fig6_motd_write_heavy(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: _sweep(scale, "motd", "write-heavy"), rounds=1, iterations=1
+    )
+    print_series("Figure 6 (MOTD, 90% writes): server processing time", rows, COLUMNS)
+    assert _median_overhead(rows) > 1.0, "advice collection costs"
+
+
+def test_fig6_stacks_read_heavy(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: _sweep(scale, "stacks", "read-heavy"), rounds=1, iterations=1
+    )
+    print_series("Figure 6 (stacks, 90% reads): server processing time", rows, COLUMNS)
+    assert _median_overhead(rows) > 1.0
+
+
+def test_fig6_wiki(benchmark, scale):
+    rows = benchmark.pedantic(lambda: _sweep(scale, "wiki", "mixed"), rounds=1, iterations=1)
+    print_series("Figure 6 (Wiki.js, mixed): server processing time", rows, COLUMNS)
+    assert _median_overhead(rows) > 1.0
+
+
+def test_fig6_claim_writes_cost_more_than_reads(benchmark, scale):
+    """Section 6.1: 'The more writes, the worse Karousos's overhead' --
+    an R-concurrent write logs one or two values, a read zero or one.
+
+    This contrast is a small constant factor, so it gets a larger fixed
+    workload and more repeats than the sweeps to stay out of the noise.
+    """
+    n = max(400, scale.n_requests)
+
+    def measure():
+        repeats = max(7, scale.server_repeats)
+        write_heavy = measure_server_overhead(
+            ExperimentConfig("motd", mix="write-heavy", n_requests=n, concurrency=30),
+            repeats=repeats,
+        )
+        read_heavy = measure_server_overhead(
+            ExperimentConfig("motd", mix="read-heavy", n_requests=n, concurrency=30),
+            repeats=repeats,
+        )
+        return write_heavy, read_heavy
+
+    write_heavy, read_heavy = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\nMOTD overhead: write-heavy {write_heavy.overhead:.2f}x vs "
+        f"read-heavy {read_heavy.overhead:.2f}x"
+    )
+    assert write_heavy.overhead > read_heavy.overhead

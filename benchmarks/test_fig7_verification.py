@@ -1,0 +1,108 @@
+"""Figure 7: verification time -- Karousos vs sequential re-execution vs
+Orochi-JS, on the full 600-request trace.
+
+Paper claims re-measured here:
+
+* MOTD write-heavy: Karousos is much *slower* than sequential re-execution
+  (paper ~22x): hashmap accesses are not deduplicated and write volume
+  drives the value-dictionary/heap cost.  Karousos has no benefit over
+  Orochi-JS on MOTD (single handler => identical logging and grouping).
+* MOTD read-heavy (Figure 10b, asserted here for contrast): Karousos is
+  *faster* than sequential (paper: 30%).
+* stacks: Karousos groups far fewer batches than Orochi-JS (tree- vs
+  sequence-grouping) and outperforms it.
+* wiki: Karousos outperforms both baselines.
+"""
+
+from __future__ import annotations
+
+from repro.harness import print_series
+from repro.harness.experiment import ExperimentConfig, measure_verification
+
+COLUMNS = [
+    "concurrency",
+    "karousos_s",
+    "orochi_s",
+    "sequential_s",
+    "karousos_groups",
+    "orochi_groups",
+]
+
+
+def _sweep(scale, app, mix):
+    rows = []
+    for conc in scale.concurrency_sweep:
+        cfg = ExperimentConfig(
+            app, mix=mix, n_requests=scale.n_requests, concurrency=conc, seed=0
+        )
+        v = measure_verification(cfg, repeats=2)
+        assert v.karousos_accepted and v.orochi_accepted, "honest runs must verify"
+        rows.append(
+            {
+                "concurrency": conc,
+                "karousos_s": v.karousos_seconds,
+                "orochi_s": v.orochi_seconds,
+                "sequential_s": v.sequential_seconds,
+                "karousos_groups": v.karousos_groups,
+                "orochi_groups": v.orochi_groups,
+            }
+        )
+    return rows
+
+
+def test_fig7_motd_write_heavy(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: _sweep(scale, "motd", "write-heavy"), rounds=1, iterations=1
+    )
+    print_series("Figure 7 (MOTD, 90% writes): verification time", rows, COLUMNS)
+    # Karousos pays for undeduplicated per-request hashmap work: clearly
+    # slower than sequential replay on this pathological workload.
+    assert all(r["karousos_s"] > 1.5 * r["sequential_s"] for r in rows)
+
+
+def test_fig7_stacks_read_heavy(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: _sweep(scale, "stacks", "read-heavy"), rounds=1, iterations=1
+    )
+    print_series("Figure 7 (stacks, 90% reads): verification time", rows, COLUMNS)
+    # Tree-based grouping batches more than sequence-based grouping.
+    assert all(r["karousos_groups"] <= r["orochi_groups"] for r in rows)
+    assert rows[0]["karousos_groups"] < rows[0]["orochi_groups"]
+
+
+def test_fig7_wiki(benchmark, scale):
+    rows = benchmark.pedantic(lambda: _sweep(scale, "wiki", "mixed"), rounds=1, iterations=1)
+    print_series("Figure 7 (Wiki.js): verification time", rows, COLUMNS)
+    # Karousos outperforms sequential re-execution on the wiki (paper:
+    # 1.8-16.6x).  Allow headroom for timing noise at small scale.
+    assert rows[0]["karousos_s"] < 1.2 * rows[0]["sequential_s"]
+    assert all(r["karousos_groups"] <= r["orochi_groups"] for r in rows)
+
+
+def test_fig7_claim_motd_read_heavy_beats_sequential(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: _sweep(scale, "motd", "read-heavy"), rounds=1, iterations=1
+    )
+    print_series("Figure 10b (MOTD, 90% reads): verification time", rows, COLUMNS)
+    # Paper: Karousos is ~30% faster than sequential on read-heavy MOTD.
+    assert min(r["karousos_s"] for r in rows) < min(
+        1.1 * r["sequential_s"] for r in rows
+    )
+
+
+def test_fig7_claim_motd_karousos_equals_orochi(benchmark, scale):
+    """Single handler => all accesses R-concurrent => Karousos logs and
+    groups exactly like Orochi-JS (section 6.2)."""
+
+    def measure():
+        cfg = ExperimentConfig(
+            "motd",
+            mix="write-heavy",
+            n_requests=scale.n_requests,
+            concurrency=scale.concurrency_sweep[-1],
+        )
+        return measure_verification(cfg, repeats=2)
+
+    v = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nMOTD groups: karousos={v.karousos_groups} orochi={v.orochi_groups}")
+    assert v.karousos_groups == v.orochi_groups

@@ -1,0 +1,64 @@
+"""Figure 8: size of the advice the server ships to the verifier.
+
+Paper claims re-measured here:
+
+* MOTD: advice size does not vary with concurrency and is identical under
+  Karousos and Orochi-JS -- all hashmap accesses are R-concurrent, so both
+  log everything; ~95% of the advice is the hashmap's variable log.
+* Wiki.js: advice grows with concurrency (more accesses logged, and the
+  logged connection-pool object itself grows); Karousos's advice is
+  smaller than Orochi-JS's because R-ordered accesses (notably the
+  read-mostly site config) go unlogged; the variable-log share of total
+  advice grows with concurrency (paper: 65% -> 95%).
+"""
+
+from __future__ import annotations
+
+from repro.harness import print_series
+from repro.harness.experiment import ExperimentConfig, measure_advice_sizes
+
+COLUMNS = ["concurrency", "karousos_KiB", "orochi_KiB", "k_over_o", "var_log_share"]
+
+
+def _sweep(scale, app, mix):
+    rows = []
+    for conc in scale.concurrency_sweep:
+        cfg = ExperimentConfig(
+            app, mix=mix, n_requests=scale.n_requests, concurrency=conc, seed=0
+        )
+        s = measure_advice_sizes(cfg)
+        rows.append(
+            {
+                "concurrency": conc,
+                "karousos_KiB": s.karousos_bytes / 1024,
+                "orochi_KiB": s.orochi_bytes / 1024,
+                "k_over_o": s.karousos_bytes / s.orochi_bytes,
+                "var_log_share": s.variable_log_share,
+            }
+        )
+    return rows
+
+
+def test_fig8_motd(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: _sweep(scale, "motd", "write-heavy"), rounds=1, iterations=1
+    )
+    print_series("Figure 8 (MOTD): advice size", rows, COLUMNS)
+    # Identical logging under both systems (all accesses R-concurrent).
+    assert all(0.98 <= r["k_over_o"] <= 1.02 for r in rows)
+    # Flat in concurrency (within 5%).
+    sizes = [r["karousos_KiB"] for r in rows]
+    assert max(sizes) <= 1.05 * min(sizes)
+    # The variable log dominates the advice.
+    assert all(r["var_log_share"] > 0.5 for r in rows)
+
+
+def test_fig8_wiki(benchmark, scale):
+    rows = benchmark.pedantic(lambda: _sweep(scale, "wiki", "mixed"), rounds=1, iterations=1)
+    print_series("Figure 8 (Wiki.js): advice size", rows, COLUMNS)
+    # Karousos logs strictly less than Orochi-JS.
+    assert all(r["k_over_o"] < 1.0 for r in rows)
+    # Advice grows with concurrency.
+    assert rows[-1]["karousos_KiB"] > rows[0]["karousos_KiB"]
+    # The variable-log share grows with concurrency.
+    assert rows[-1]["var_log_share"] > rows[0]["var_log_share"]

@@ -1,0 +1,36 @@
+"""Advice structures the server ships to the verifier (Appendix C.1.3)."""
+
+from repro.advice.records import (
+    Advice,
+    HandlerOpEntry,
+    OpKey,
+    TxLogEntry,
+    VariableLogEntry,
+    EMIT,
+    REGISTER,
+    UNREGISTER,
+    TX_START,
+    TX_COMMIT,
+    TX_ABORT,
+    TX_PUT,
+    TX_GET,
+)
+from repro.advice.sizing import advice_size_bytes, advice_breakdown
+
+__all__ = [
+    "Advice",
+    "HandlerOpEntry",
+    "OpKey",
+    "TxLogEntry",
+    "VariableLogEntry",
+    "EMIT",
+    "REGISTER",
+    "UNREGISTER",
+    "TX_START",
+    "TX_COMMIT",
+    "TX_ABORT",
+    "TX_PUT",
+    "TX_GET",
+    "advice_size_bytes",
+    "advice_breakdown",
+]

@@ -1,0 +1,373 @@
+"""Wire format for advice bundles.
+
+The server ships advice to the verifier over a network (paper section 2.1:
+"the advice sent from the server to the verifier needs to be kept small").
+This codec serialises an :class:`~repro.advice.records.Advice` bundle to a
+self-describing JSON document and back, with:
+
+* a format-version field (rejecting unknown versions);
+* stable encodings for handler ids (canonical path form), transaction ids,
+  and operation coordinates;
+* strict decoding -- any structural surprise raises
+  :class:`~repro.errors.AdviceFormatError`, which the audit treats as a
+  rejection (malformed advice is server misbehaviour, never a crash).
+
+Values written by PUTs and variable writes are encoded via a tagged value
+encoding that round-trips the Python types applications may store: None,
+bool, int, float, str, and (possibly nested) lists/tuples/dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.advice.records import (
+    Advice,
+    HandlerOpEntry,
+    TxLogEntry,
+    VariableLogEntry,
+)
+from repro.core.ids import HandlerId, TxId
+from repro.errors import AdviceFormatError
+from repro.store.kv import IsolationLevel
+
+FORMAT_VERSION = 1
+
+
+# -- handler ids ------------------------------------------------------------
+
+
+def encode_hid(hid: HandlerId) -> List[List]:
+    """Canonical path encoding: [[function_id, opnum], ...] root-first."""
+    return [[fid, opnum] for fid, opnum in hid.canonical()]
+
+
+def decode_hid(data: object) -> HandlerId:
+    if not isinstance(data, list) or not data:
+        raise AdviceFormatError(f"bad handler id encoding: {data!r}")
+    hid: Optional[HandlerId] = None
+    for part in data:
+        if (
+            not isinstance(part, list)
+            or len(part) != 2
+            or not isinstance(part[0], str)
+            or not isinstance(part[1], int)
+        ):
+            raise AdviceFormatError(f"bad handler id segment: {part!r}")
+        hid = HandlerId(part[0], hid, part[1])
+    return hid
+
+
+def encode_tid(tid: TxId) -> Dict:
+    return {"hid": encode_hid(tid.hid), "opnum": tid.opnum}
+
+
+def decode_tid(data: object) -> TxId:
+    if not isinstance(data, dict) or set(data) != {"hid", "opnum"}:
+        raise AdviceFormatError(f"bad transaction id encoding: {data!r}")
+    if not isinstance(data["opnum"], int):
+        raise AdviceFormatError("transaction opnum must be an int")
+    return TxId(decode_hid(data["hid"]), data["opnum"])
+
+
+# -- values --------------------------------------------------------------------
+
+
+def encode_value(value: object) -> object:
+    """Tagged encoding preserving tuple-ness and non-string dict keys."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return {"t": "p", "v": value}
+    if isinstance(value, tuple):
+        return {"t": "t", "v": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"t": "l", "v": [encode_value(v) for v in value]}
+    if isinstance(value, dict):
+        return {
+            "t": "d",
+            "v": [[encode_value(k), encode_value(v)] for k, v in value.items()],
+        }
+    if isinstance(value, TxId):
+        return {"t": "x", "v": encode_tid(value)}
+    raise AdviceFormatError(f"unencodable value of type {type(value).__name__}")
+
+
+def decode_value(data: object) -> object:
+    if not isinstance(data, dict) or "t" not in data or "v" not in data:
+        raise AdviceFormatError(f"bad value encoding: {data!r}")
+    tag, v = data["t"], data["v"]
+    if tag == "p":
+        if v is not None and not isinstance(v, (bool, int, float, str)):
+            raise AdviceFormatError(f"bad primitive: {v!r}")
+        return v
+    if tag == "t":
+        return tuple(decode_value(x) for x in _expect_list(v))
+    if tag == "l":
+        return [decode_value(x) for x in _expect_list(v)]
+    if tag == "d":
+        out = {}
+        for pair in _expect_list(v):
+            if not isinstance(pair, list) or len(pair) != 2:
+                raise AdviceFormatError(f"bad dict entry: {pair!r}")
+            out[decode_value(pair[0])] = decode_value(pair[1])
+        return out
+    if tag == "x":
+        return decode_tid(v)
+    raise AdviceFormatError(f"unknown value tag {tag!r}")
+
+
+# -- coordinates -----------------------------------------------------------------
+
+
+def _encode_opkey(key: Tuple[str, HandlerId, int]) -> List:
+    rid, hid, opnum = key
+    return [rid, encode_hid(hid), opnum]
+
+
+def _decode_opkey(data: object) -> Tuple[str, HandlerId, int]:
+    if not isinstance(data, list) or len(data) != 3 or not isinstance(data[0], str):
+        raise AdviceFormatError(f"bad op key: {data!r}")
+    if not isinstance(data[2], int):
+        raise AdviceFormatError(f"bad op key opnum: {data!r}")
+    return (data[0], decode_hid(data[1]), data[2])
+
+
+def _encode_txpos(pos: Tuple[str, TxId, int]) -> List:
+    rid, tid, i = pos
+    return [rid, encode_tid(tid), i]
+
+
+def _decode_txpos(data: object) -> Tuple[str, TxId, int]:
+    if not isinstance(data, list) or len(data) != 3 or not isinstance(data[0], str):
+        raise AdviceFormatError(f"bad tx position: {data!r}")
+    if not isinstance(data[2], int):
+        raise AdviceFormatError(f"bad tx position index: {data!r}")
+    return (data[0], decode_tid(data[1]), data[2])
+
+
+# -- the bundle ----------------------------------------------------------------------
+
+
+def encode_advice(advice: Advice) -> str:
+    """Serialise to a JSON string."""
+    doc = {
+        "version": FORMAT_VERSION,
+        "isolation": advice.isolation_level.value,
+        "tags": advice.tags,
+        "handler_logs": {
+            rid: [
+                {
+                    "hid": encode_hid(e.hid),
+                    "opnum": e.opnum,
+                    "optype": e.optype,
+                    "event": e.event,
+                    "fid": e.function_id,
+                }
+                for e in log
+            ]
+            for rid, log in advice.handler_logs.items()
+        },
+        "variable_logs": {
+            var_id: [
+                {
+                    "at": _encode_opkey(key),
+                    "access": e.access,
+                    "value": encode_value(e.value),
+                    "prec": None if e.prec is None else _encode_opkey(e.prec),
+                }
+                for key, e in log.items()
+            ]
+            for var_id, log in advice.variable_logs.items()
+        },
+        "tx_logs": [
+            {
+                "rid": rid,
+                "tid": encode_tid(tid),
+                "ops": [
+                    {
+                        "hid": encode_hid(e.hid),
+                        "opnum": e.opnum,
+                        "optype": e.optype,
+                        "key": e.key,
+                        "contents": (
+                            _encode_txpos(e.opcontents)
+                            if e.optype == "GET" and e.opcontents is not None
+                            else encode_value(e.opcontents)
+                        ),
+                    }
+                    for e in log
+                ],
+            }
+            for (rid, tid), log in advice.tx_logs.items()
+        ],
+        "write_order": [_encode_txpos(p) for p in advice.write_order],
+        "response_emitted_by": {
+            rid: [encode_hid(hid), opnum]
+            for rid, (hid, opnum) in advice.response_emitted_by.items()
+        },
+        "opcounts": [
+            [rid, encode_hid(hid), count]
+            for (rid, hid), count in advice.opcounts.items()
+        ],
+        "nondet": [
+            [_encode_opkey(key), encode_value(value)]
+            for key, value in advice.nondet.items()
+        ],
+        "tx_windows": [
+            [rid, encode_tid(tid), start, commit]
+            for (rid, tid), (start, commit) in advice.tx_windows.items()
+        ],
+    }
+    return json.dumps(doc, separators=(",", ":"))
+
+
+def decode_advice(payload: str) -> Advice:
+    """Parse and validate a JSON advice document.
+
+    Any structural surprise -- wrong types, missing fields, bad nesting --
+    raises :class:`AdviceFormatError`; no other exception escapes.
+    """
+    try:
+        return _decode_advice(payload)
+    except AdviceFormatError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError, AttributeError) as exc:
+        raise AdviceFormatError(
+            f"malformed advice: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def _decode_advice(payload: str) -> Advice:
+    try:
+        doc = json.loads(payload)
+    except (TypeError, ValueError) as exc:
+        raise AdviceFormatError(f"advice is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise AdviceFormatError("advice document must be an object")
+    if doc.get("version") != FORMAT_VERSION:
+        raise AdviceFormatError(f"unsupported advice version {doc.get('version')!r}")
+    try:
+        isolation = IsolationLevel(doc["isolation"])
+    except (KeyError, ValueError) as exc:
+        raise AdviceFormatError("bad isolation level") from exc
+
+    advice = Advice(isolation_level=isolation)
+
+    tags = doc.get("tags")
+    if not isinstance(tags, dict):
+        raise AdviceFormatError("tags must be an object")
+    for rid, tag in tags.items():
+        if not isinstance(tag, str):
+            raise AdviceFormatError("tags must map to strings")
+        advice.tags[rid] = tag
+
+    for rid, log in _expect(doc, "handler_logs", dict).items():
+        entries = []
+        for e in _expect_list(log):
+            entries.append(
+                HandlerOpEntry(
+                    decode_hid(e["hid"]),
+                    _expect_int(e["opnum"]),
+                    _expect_str(e["optype"]),
+                    _expect_str(e["event"]),
+                    e.get("fid"),
+                )
+            )
+        advice.handler_logs[rid] = entries
+
+    for var_id, entries in _expect(doc, "variable_logs", dict).items():
+        log = {}
+        for e in _expect_list(entries):
+            key = _decode_opkey(e["at"])
+            if key in log:
+                raise AdviceFormatError(f"duplicate variable log key {key}")
+            log[key] = VariableLogEntry(
+                _expect_str(e["access"]),
+                value=decode_value(e["value"]),
+                prec=None if e["prec"] is None else _decode_opkey(e["prec"]),
+            )
+        advice.variable_logs[var_id] = log
+
+    for tx in _expect(doc, "tx_logs", list):
+        rid = _expect_str(tx["rid"])
+        tid = decode_tid(tx["tid"])
+        ops = []
+        for e in _expect_list(tx["ops"]):
+            optype = _expect_str(e["optype"])
+            if optype == "GET" and e["contents"] is not None and isinstance(
+                e["contents"], list
+            ):
+                contents = _decode_txpos(e["contents"])
+            else:
+                contents = decode_value(e["contents"])
+            ops.append(
+                TxLogEntry(
+                    decode_hid(e["hid"]),
+                    _expect_int(e["opnum"]),
+                    optype,
+                    e.get("key"),
+                    contents,
+                )
+            )
+        if (rid, tid) in advice.tx_logs:
+            raise AdviceFormatError(f"duplicate transaction {(rid, tid)}")
+        advice.tx_logs[(rid, tid)] = ops
+
+    advice.write_order = [_decode_txpos(p) for p in _expect(doc, "write_order", list)]
+
+    for rid, pair in _expect(doc, "response_emitted_by", dict).items():
+        if not isinstance(pair, list) or len(pair) != 2:
+            raise AdviceFormatError("bad response_emitted_by entry")
+        advice.response_emitted_by[rid] = (decode_hid(pair[0]), _expect_int(pair[1]))
+
+    for item in _expect(doc, "opcounts", list):
+        if not isinstance(item, list) or len(item) != 3:
+            raise AdviceFormatError("bad opcounts entry")
+        rid, hid_doc, count = item
+        advice.opcounts[(_expect_str(rid), decode_hid(hid_doc))] = _expect_int(count)
+
+    for item in _expect(doc, "nondet", list):
+        if not isinstance(item, list) or len(item) != 2:
+            raise AdviceFormatError("bad nondet entry")
+        advice.nondet[_decode_opkey(item[0])] = decode_value(item[1])
+
+    for item in _expect(doc, "tx_windows", list):
+        if not isinstance(item, list) or len(item) != 4:
+            raise AdviceFormatError("bad tx window entry")
+        rid, tid_doc, start, commit = item
+        if commit is not None and not isinstance(commit, int):
+            raise AdviceFormatError("bad tx window commit")
+        advice.tx_windows[(_expect_str(rid), decode_tid(tid_doc))] = (
+            _expect_int(start),
+            commit,
+        )
+
+    return advice
+
+
+# -- small validators ------------------------------------------------------------------
+
+
+def _expect(doc: dict, field: str, kind: type):
+    value = doc.get(field)
+    if not isinstance(value, kind):
+        raise AdviceFormatError(f"{field} must be {kind.__name__}")
+    return value
+
+
+def _expect_list(value: object) -> list:
+    if not isinstance(value, list):
+        raise AdviceFormatError("expected a list")
+    return value
+
+
+def _expect_int(value: object) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise AdviceFormatError(f"expected an int, got {value!r}")
+    return value
+
+
+def _expect_str(value: object) -> str:
+    if not isinstance(value, str):
+        raise AdviceFormatError(f"expected a string, got {value!r}")
+    return value

@@ -1,0 +1,132 @@
+"""Advice record types (paper Appendix C.1.3).
+
+The honest server collects:
+
+* ``tags`` -- the control-flow groupings C (section 4.1): requests with
+  equal tags allegedly form one re-execution group;
+* ``handler_logs`` -- per request, the ordered log of handler operations
+  (register / unregister / emit);
+* ``variable_logs`` -- per loggable variable, a map from operation
+  coordinates to read/write entries (Figure 13 semantics);
+* ``tx_logs`` -- per transaction, the ordered operation log with the
+  dictating PUT of each GET (section 4.4);
+* ``write_order`` -- the alleged global order of installed writes, as
+  positions into the transaction logs;
+* ``response_emitted_by`` -- which handler issued each response, and after
+  how many of its operations;
+* ``opcounts`` -- the number of operations of every executed handler;
+* ``nondet`` -- recorded results of non-deterministic operations
+  (section 5, "Non-determinism");
+* ``isolation_level`` -- the isolation level the store allegedly provided.
+
+All of it is *untrusted*: the verifier validates every piece (Figures
+14-21), and the attack suite mutates each piece to confirm rejection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.ids import HandlerId, TxId
+from repro.store.kv import IsolationLevel
+
+# Handler-op types.
+EMIT = "emit"
+REGISTER = "register"
+UNREGISTER = "unregister"
+
+# Transactional op types (section 4.4).
+TX_START = "tx_start"
+TX_COMMIT = "tx_commit"
+TX_ABORT = "tx_abort"
+TX_PUT = "PUT"
+TX_GET = "GET"
+
+# Operation coordinates: (rid, hid, opnum).
+OpKey = Tuple[str, HandlerId, int]
+
+# Position of an op inside a transaction log: (rid, TxId, index).
+TxPos = Tuple[str, TxId, int]
+
+
+@dataclass(frozen=True)
+class HandlerOpEntry:
+    """One entry of a request's handler log.
+
+    ``optype`` is EMIT / REGISTER / UNREGISTER.  ``event`` is the event
+    name; ``function_id`` is set for register/unregister.
+    """
+
+    hid: HandlerId
+    opnum: int
+    optype: str
+    event: str
+    function_id: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class VariableLogEntry:
+    """One variable-log entry (Figure 13).
+
+    READ entries reference the dictating write (``prec``); WRITE entries
+    carry the value written and reference the overwritten write.  ``prec``
+    is an OpKey or ``None`` (for backfilled writes whose predecessor was
+    not itself logged, Figure 13 lines 15/22).
+    """
+
+    access: str  # "read" | "write"
+    value: object = None
+    prec: Optional[OpKey] = None
+
+
+@dataclass(frozen=True)
+class TxLogEntry:
+    """One entry of a transaction log.
+
+    ``opcontents`` is: the written value for PUT; the TxPos of the
+    dictating PUT for GET (``None`` when the GET observed the initial,
+    never-written state); ``None`` otherwise.
+    """
+
+    hid: HandlerId
+    opnum: int
+    optype: str
+    key: Optional[str] = None
+    opcontents: object = None
+
+
+@dataclass
+class Advice:
+    """The complete advice bundle for one served trace."""
+
+    tags: Dict[str, str] = field(default_factory=dict)
+    handler_logs: Dict[str, List[HandlerOpEntry]] = field(default_factory=dict)
+    variable_logs: Dict[str, Dict[OpKey, VariableLogEntry]] = field(default_factory=dict)
+    tx_logs: Dict[Tuple[str, TxId], List[TxLogEntry]] = field(default_factory=dict)
+    write_order: List[TxPos] = field(default_factory=list)
+    response_emitted_by: Dict[str, Tuple[HandlerId, int]] = field(default_factory=dict)
+    opcounts: Dict[Tuple[str, HandlerId], int] = field(default_factory=dict)
+    nondet: Dict[OpKey, object] = field(default_factory=dict)
+    isolation_level: IsolationLevel = IsolationLevel.SERIALIZABLE
+    # Snapshot-isolation extension: alleged (start_seq, commit_seq) windows
+    # per transaction; commit_seq is None for aborted transactions.
+    tx_windows: Dict[Tuple[str, TxId], Tuple[int, Optional[int]]] = field(
+        default_factory=dict
+    )
+
+    def groups(self) -> Dict[str, List[str]]:
+        """Tag -> ordered request ids (the alleged re-execution groups)."""
+        out: Dict[str, List[str]] = {}
+        for rid in sorted(self.tags):
+            out.setdefault(self.tags[rid], []).append(rid)
+        return out
+
+    def variable_log_entry_count(self) -> int:
+        return sum(len(log) for log in self.variable_logs.values())
+
+    def handler_log_entry_count(self) -> int:
+        return sum(len(log) for log in self.handler_logs.values())
+
+    def tx_log_entry_count(self) -> int:
+        return sum(len(log) for log in self.tx_logs.values())

@@ -1,0 +1,38 @@
+"""Advice size measurement (paper section 6.3, Figure 8).
+
+The paper reports the size of the advice the server transmits to the
+verifier.  We measure the pickled size of each advice component -- a
+uniform serializer applied to both Karousos and Orochi-JS advice, so the
+*relative* sizes (the claim under test) are meaningful.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict
+
+from repro.advice.records import Advice
+
+
+def _size(obj: object) -> int:
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def advice_breakdown(advice: Advice) -> Dict[str, int]:
+    """Bytes per advice component.  ``variable_logs`` dominating is the
+    expected profile for MOTD and high-concurrency wiki (section 6.3)."""
+    return {
+        "tags": _size(advice.tags),
+        "handler_logs": _size(advice.handler_logs),
+        "variable_logs": _size(advice.variable_logs),
+        "tx_logs": _size(advice.tx_logs),
+        "write_order": _size(advice.write_order),
+        "response_emitted_by": _size(advice.response_emitted_by),
+        "opcounts": _size(advice.opcounts),
+        "nondet": _size(advice.nondet),
+        "tx_windows": _size(advice.tx_windows),
+    }
+
+
+def advice_size_bytes(advice: Advice) -> int:
+    return sum(advice_breakdown(advice).values())

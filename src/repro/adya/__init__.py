@@ -1,0 +1,37 @@
+"""Adya's isolation testing algorithms [Adya '99] (paper section 4.4).
+
+Given an execution *history* -- per-transaction operation logs with the
+dictating write of each read, plus a per-key version order -- these
+algorithms build the Direct Serialization Graph (DSG) and test for the
+phenomena that define each isolation level:
+
+* G0 (write cycles)            -- forbidden by READ UNCOMMITTED
+* G1a (aborted reads)          -- forbidden by READ COMMITTED
+* G1b (intermediate reads)     -- forbidden by READ COMMITTED
+* G1c (circular information flow: ww/wr cycles) -- forbidden by READ COMMITTED
+* G2 (anti-dependency cycles)  -- forbidden by SERIALIZABILITY
+
+The Karousos verifier runs these checks against the *alleged* history in
+the advice (transaction logs + write order), then separately validates that
+the alleged history matches re-execution (sections 4.4, Appendix C.1.4).
+"""
+
+from repro.adya.history import History, HOp, HTransaction, OpKind
+from repro.adya.dsg import build_dsg, DSG
+from repro.adya.checker import (
+    IsolationViolation,
+    check_isolation,
+    phenomena,
+)
+
+__all__ = [
+    "History",
+    "HOp",
+    "HTransaction",
+    "OpKind",
+    "DSG",
+    "build_dsg",
+    "IsolationViolation",
+    "check_isolation",
+    "phenomena",
+]

@@ -1,0 +1,118 @@
+"""Isolation-level checks over histories (paper section 4.4).
+
+``check_isolation(history, level)`` returns the list of violations (empty
+means the history satisfies the level).  The phenomena follow Adya:
+
+* PL-1 (READ UNCOMMITTED):  no G0.
+* PL-2 (READ COMMITTED):    no G0, G1a, G1b, G1c.
+* PL-3 (SERIALIZABLE):      no G0, G1, G2.
+
+(Adya defines PL-2 as proscribing G1, which subsumes G0 because G1c cycles
+include write-depend edges; we check them all explicitly so violations are
+reported with the sharpest name.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.adya.dsg import build_dsg
+from repro.adya.history import History, OpKind
+from repro.store.kv import IsolationLevel
+
+
+@dataclass(frozen=True)
+class IsolationViolation:
+    phenomenon: str
+    detail: str
+
+    def __repr__(self) -> str:
+        return f"<{self.phenomenon}: {self.detail}>"
+
+
+def _g0(history: History) -> List[IsolationViolation]:
+    dsg = build_dsg(history)
+    cycle = dsg.subgraph(("ww",)).find_cycle()
+    if cycle:
+        return [IsolationViolation("G0", f"write-depend cycle {cycle}")]
+    return []
+
+
+def _g1a(history: History) -> List[IsolationViolation]:
+    """Aborted reads: a committed tx read a write of an aborted tx."""
+    out = []
+    for tx in history.committed():
+        for i, op in tx.reads():
+            if op.observed is None:
+                continue
+            writer = history.transactions.get(op.observed[0])
+            if writer is not None and writer.aborted:
+                out.append(
+                    IsolationViolation(
+                        "G1a", f"{tx.tid} read from aborted {writer.tid}"
+                    )
+                )
+    return out
+
+
+def _g1b(history: History) -> List[IsolationViolation]:
+    """Intermediate reads: a committed tx read a version that is not the
+    writer's final modification of that key."""
+    out = []
+    for tx in history.committed():
+        for i, op in tx.reads():
+            if op.observed is None:
+                continue
+            tid_w, idx_w = op.observed
+            if tid_w == tx.tid:
+                continue  # own-writes are checked elsewhere (well-formedness)
+            writer = history.transactions.get(tid_w)
+            if writer is None or not writer.committed:
+                continue
+            if writer.last_write_index(op.key) != idx_w:
+                out.append(
+                    IsolationViolation(
+                        "G1b",
+                        f"{tx.tid} read intermediate version of {op.key!r} from {tid_w}",
+                    )
+                )
+    return out
+
+
+def _g1c(history: History) -> List[IsolationViolation]:
+    dsg = build_dsg(history)
+    cycle = dsg.subgraph(("ww", "wr")).find_cycle()
+    if cycle:
+        return [IsolationViolation("G1c", f"ww/wr cycle {cycle}")]
+    return []
+
+
+def _g2(history: History) -> List[IsolationViolation]:
+    dsg = build_dsg(history)
+    cycle = dsg.subgraph(("ww", "wr", "rw")).find_cycle()
+    if cycle:
+        return [IsolationViolation("G2", f"dependency cycle {cycle}")]
+    return []
+
+
+def phenomena(history: History) -> List[IsolationViolation]:
+    """All phenomena exhibited by the history, sharpest first."""
+    return _g1a(history) + _g1b(history) + _g0(history) + _g1c(history) + _g2(history)
+
+
+def check_isolation(history: History, level: IsolationLevel) -> List[IsolationViolation]:
+    """Violations of ``level``; empty list means the history conforms."""
+    if level is IsolationLevel.READ_UNCOMMITTED:
+        return _g0(history)
+    if level is IsolationLevel.READ_COMMITTED:
+        return _g0(history) + _g1a(history) + _g1b(history) + _g1c(history)
+    if level is IsolationLevel.SERIALIZABLE:
+        return (
+            _g0(history)
+            + _g1a(history)
+            + _g1b(history)
+            + _g1c(history)
+            + _g2(history)
+        )
+    raise ValueError(f"unknown isolation level {level}")

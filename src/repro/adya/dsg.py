@@ -1,0 +1,104 @@
+"""The Direct Serialization Graph (paper section 4.4, Figure 17).
+
+Nodes are committed transactions.  Edge kinds:
+
+* *read-depend*  (wr): T2 reads a version T1 installed;
+* *write-depend* (ww): T2 installs the version that directly follows one of
+  T1's versions in the per-key version order;
+* *anti-depend*  (rw): T1 reads a version and T2 installs the next version
+  of the same key.
+
+The builder mirrors Figure 17's AddReadDependencyEdges /
+AddWriteDependencyEdges / AddAntiDependencyEdges so the verifier can reuse
+it directly with ``(rid, tid)`` node ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.adya.history import History, OpKind, WriteRef
+from repro.core.graph import Digraph
+
+
+@dataclass
+class DSG:
+    """A typed-edge wrapper: the union graph plus per-kind edge sets."""
+
+    graph: Digraph = field(default_factory=Digraph)
+    ww: Set[Tuple[object, object]] = field(default_factory=set)
+    wr: Set[Tuple[object, object]] = field(default_factory=set)
+    rw: Set[Tuple[object, object]] = field(default_factory=set)
+
+    def add(self, kind: str, src: object, dst: object) -> None:
+        getattr(self, kind).add((src, dst))
+        self.graph.add_edge(src, dst)
+
+    def subgraph(self, kinds: Tuple[str, ...]) -> Digraph:
+        g = Digraph()
+        for node in self.graph.nodes():
+            g.add_node(node)
+        for kind in kinds:
+            for src, dst in getattr(self, kind):
+                g.add_edge(src, dst)
+        return g
+
+
+def _readers_by_write(history: History) -> Dict[WriteRef, List[Tuple[object, int]]]:
+    """Map each dictating write to the (tid, op index) of reads observing it."""
+    readers: Dict[WriteRef, List[Tuple[object, int]]] = {}
+    for tx in history.transactions.values():
+        for i, op in tx.reads():
+            if op.observed is not None:
+                readers.setdefault(op.observed, []).append((tx.tid, i))
+    return readers
+
+
+def _initial_readers(history: History) -> Dict[str, List[object]]:
+    """Per key, the tids that read the initial (never-written) state."""
+    out: Dict[str, List[object]] = {}
+    for tx in history.transactions.values():
+        for _i, op in tx.reads():
+            if op.observed is None:
+                out.setdefault(op.key, []).append(tx.tid)
+    return out
+
+
+def build_dsg(history: History) -> DSG:
+    """Construct the DSG over committed transactions."""
+    dsg = DSG()
+    for tx in history.committed():
+        dsg.graph.add_node(tx.tid)
+    committed_ids = {tx.tid for tx in history.committed()}
+    readers = _readers_by_write(history)
+
+    # Write-depend edges: consecutive installers per key.
+    for key, order in history.version_order.items():
+        for (tid_a, _), (tid_b, _) in zip(order, order[1:]):
+            if tid_a != tid_b:
+                dsg.add("ww", tid_a, tid_b)
+
+    # Read-depend edges: writer -> committed reader (excluding self-reads).
+    for (tid_w, _idx), obs in readers.items():
+        if tid_w not in committed_ids:
+            continue
+        for tid_r, _i in obs:
+            if tid_r in committed_ids and tid_r != tid_w:
+                dsg.add("wr", tid_w, tid_r)
+
+    # Anti-depend edges: reader of version j -> installer of version j+1.
+    # A read of the *initial* state anti-depends on the installer of the
+    # key's first version (Adya models this as reading the unborn version).
+    initial = _initial_readers(history)
+    for key, order in history.version_order.items():
+        if order:
+            tid_first = order[0][0]
+            for tid_r in initial.get(key, ()):
+                if tid_r != tid_first and tid_r in committed_ids:
+                    dsg.add("rw", tid_r, tid_first)
+        for ref, (tid_next, _) in zip(order, order[1:]):
+            for tid_r, _i in readers.get(ref, ()):
+                if tid_r != tid_next and tid_r in committed_ids:
+                    dsg.add("rw", tid_r, tid_next)
+    return dsg

@@ -1,0 +1,21 @@
+"""Static analysis of applications (paper section 1, limitations).
+
+The paper's implementation requires developers to annotate loggable
+variables by hand and notes the burden "could be lifted by fully
+automating annotation using a static analyzer".  This package provides
+that analyzer for applications written against the handler-context API.
+"""
+
+from repro.analysis.annotate import (
+    AnnotationReport,
+    VariableUsage,
+    analyze_app,
+    suggest_annotations,
+)
+
+__all__ = [
+    "AnnotationReport",
+    "VariableUsage",
+    "analyze_app",
+    "suggest_annotations",
+]

@@ -1,0 +1,227 @@
+"""Automatic loggable-variable annotation (paper sections 1 and 5).
+
+Marking a variable loggable when it has no R-concurrent accesses only
+costs performance; *failing* to mark a genuinely shared variable costs
+Completeness (section 5).  The safe automation is therefore a
+conservative escape-style analysis: walk each handler function's AST,
+collect which variables it reads and writes, and classify:
+
+* ``read-only``   -- never written by any handler: every read observes the
+  initialisation write and is R-ordered with it; safe to leave unlogged.
+* ``single-writer-tree`` -- written and read, but only ever accessed from
+  one handler function that is a request handler with no descendants
+  registered... (not computable in general; we do not attempt it).
+* ``shared``      -- written by at least one handler: conservatively
+  loggable.
+* ``dynamic``     -- accessed through a non-literal variable id: the
+  analysis cannot bound the footprint, so every declared variable becomes
+  conservatively loggable and the site is reported.
+
+The analyzer also surfaces plain bugs: variables accessed but never
+declared, and declarations never accessed.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.kem.program import AppSpec
+
+READ_METHODS = ("read",)
+WRITE_METHODS = ("write",)
+UPDATE_METHODS = ("update",)  # atomic read-modify-write: counts as both
+
+
+@dataclass
+class VariableUsage:
+    var_id: str
+    readers: Set[str] = field(default_factory=set)
+    writers: Set[str] = field(default_factory=set)
+
+    @property
+    def accessors(self) -> Set[str]:
+        return self.readers | self.writers
+
+    @property
+    def written(self) -> bool:
+        return bool(self.writers)
+
+
+@dataclass
+class AnnotationReport:
+    """Result of analysing one application."""
+
+    usage: Dict[str, VariableUsage]
+    declared: Dict[str, bool]  # var id -> declared-loggable flag
+    dynamic_sites: List[str]  # "function:lineno" of non-literal accesses
+    undeclared: Set[str]  # accessed but never declared
+    unused: Set[str]  # declared but never accessed
+    unparsed: List[str]  # handler functions whose source was unavailable
+
+    def classification(self, var_id: str) -> str:
+        if self.dynamic_sites:
+            return "dynamic-conservative"
+        usage = self.usage.get(var_id)
+        if usage is None or not usage.accessors:
+            return "unused"
+        if not usage.written:
+            return "read-only"
+        return "shared"
+
+    def recommended_loggable(self, var_id: str) -> bool:
+        """True iff the variable must be annotated loggable."""
+        return self.classification(var_id) in ("shared", "dynamic-conservative")
+
+
+class _AccessCollector(ast.NodeVisitor):
+    """Find ``<ctx>.read("v")`` / ``<ctx>.write("v", ...)`` call sites.
+
+    The context parameter is identified positionally (first parameter of
+    the handler function), matching how handlers are written.
+    """
+
+    def __init__(self, ctx_name: str, fn_name: str):
+        self.ctx_name = ctx_name
+        self.fn_name = fn_name
+        self.reads: Set[str] = set()
+        self.writes: Set[str] = set()
+        self.dynamic: List[str] = []
+        # Helper functions invoked with the context as first argument:
+        # the analysis follows them interprocedurally.
+        self.helper_calls: Set[str] = set()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+        fn = node.func
+        if (
+            isinstance(fn, ast.Name)
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id == self.ctx_name
+        ):
+            self.helper_calls.add(fn.id)
+            return
+        if not (
+            isinstance(fn, ast.Attribute)
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id == self.ctx_name
+        ):
+            return
+        if fn.attr not in READ_METHODS + WRITE_METHODS + UPDATE_METHODS:
+            return
+        if not node.args:
+            self.dynamic.append(f"{self.fn_name}:{node.lineno}")
+            return
+        target = node.args[0]
+        if isinstance(target, ast.Constant) and isinstance(target.value, str):
+            if fn.attr in READ_METHODS + UPDATE_METHODS:
+                self.reads.add(target.value)
+            if fn.attr in WRITE_METHODS + UPDATE_METHODS:
+                self.writes.add(target.value)
+        else:
+            self.dynamic.append(f"{self.fn_name}:{node.lineno}")
+
+
+def _function_accesses(
+    fid: str, fn, _seen: Optional[Set[object]] = None
+) -> Optional[Tuple[Set[str], Set[str], List[str]]]:
+    """Accesses of ``fn`` plus, recursively, of every helper it calls with
+    the context as first argument (resolved through ``fn.__globals__``)."""
+    if _seen is None:
+        _seen = set()
+    if fn in _seen:
+        return (set(), set(), [])
+    _seen.add(fn)
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return None
+    # The handler is the first function definition in the parsed source.
+    func_def = next(
+        (n for n in ast.walk(tree) if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))),
+        None,
+    )
+    if func_def is None or not func_def.args.args:
+        return (set(), set(), [])
+    ctx_name = func_def.args.args[0].arg
+    collector = _AccessCollector(ctx_name, fid)
+    collector.visit(func_def)
+    reads, writes = set(collector.reads), set(collector.writes)
+    dynamic = list(collector.dynamic)
+    for helper_name in sorted(collector.helper_calls):
+        helper = getattr(fn, "__globals__", {}).get(helper_name)
+        if helper is None or not callable(helper):
+            continue
+        nested = _function_accesses(f"{fid}>{helper_name}", helper, _seen)
+        if nested is None:
+            dynamic.append(f"{fid}:{helper_name}:<unparsed helper>")
+            continue
+        reads |= nested[0]
+        writes |= nested[1]
+        dynamic.extend(nested[2])
+    return (reads, writes, dynamic)
+
+
+def analyze_app(app: AppSpec) -> AnnotationReport:
+    """Statically analyse variable usage across all handler functions."""
+    init_ctx = app.run_init()
+    usage: Dict[str, VariableUsage] = {
+        var_id: VariableUsage(var_id) for var_id in init_ctx.initial_vars
+    }
+    dynamic_sites: List[str] = []
+    unparsed: List[str] = []
+    undeclared: Set[str] = set()
+    for fid, fn in sorted(app.functions.items()):
+        result = _function_accesses(fid, fn)
+        if result is None:
+            unparsed.append(fid)
+            continue
+        reads, writes, dynamic = result
+        dynamic_sites.extend(dynamic)
+        for var_id in reads | writes:
+            if var_id not in usage:
+                undeclared.add(var_id)
+                usage[var_id] = VariableUsage(var_id)
+            if var_id in reads:
+                usage[var_id].readers.add(fid)
+            if var_id in writes:
+                usage[var_id].writers.add(fid)
+    unused = {
+        var_id
+        for var_id in init_ctx.initial_vars
+        if not usage[var_id].accessors
+    }
+    return AnnotationReport(
+        usage=usage,
+        declared=dict(init_ctx.loggable),
+        dynamic_sites=dynamic_sites,
+        undeclared=undeclared,
+        unused=unused,
+        unparsed=unparsed,
+    )
+
+
+def suggest_annotations(app: AppSpec) -> Dict[str, str]:
+    """Per declared variable: 'keep-loggable', 'can-skip-logging', or
+    'MUST-be-loggable' when the declaration under-annotates.
+
+    "can-skip-logging" is advisory: treating a read-only variable as
+    non-loggable saves log entries with no Completeness risk (all its
+    reads are R-ordered with the initialisation write).
+    """
+    report = analyze_app(app)
+    out: Dict[str, str] = {}
+    for var_id, declared_loggable in report.declared.items():
+        needed = report.recommended_loggable(var_id)
+        if needed and not declared_loggable:
+            out[var_id] = "MUST-be-loggable"
+        elif not needed and declared_loggable:
+            out[var_id] = "can-skip-logging"
+        else:
+            out[var_id] = "keep" if declared_loggable else "keep-unlogged"
+    return out

@@ -1,0 +1,15 @@
+"""The paper's evaluation applications (section 6).
+
+* :mod:`repro.apps.motd` -- message of the day: single handler, shared
+  hashmap, no transactional state.
+* :mod:`repro.apps.stackdump` -- stack-dump logging: handler chains over
+  the transactional store, concurrent-duplicate retry errors.
+* :mod:`repro.apps.wiki` -- a wiki (pages, comments, render) standing in
+  for Wiki.js: transactional storage plus shared caches.
+"""
+
+from repro.apps.motd import motd_app
+from repro.apps.stackdump import stackdump_app
+from repro.apps.wiki import wiki_app
+
+__all__ = ["motd_app", "stackdump_app", "wiki_app"]

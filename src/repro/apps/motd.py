@@ -1,0 +1,79 @@
+"""Message-of-the-day application (paper section 6, "Message of the day").
+
+Users get or set a message of the day; when setting, they specify whether
+the message applies every day ("all") or to one particular day.  Messages
+and bookkeeping live in shared program variables (a "local hashmap"), not
+in transactional storage.
+
+Structurally this is the paper's pathological case: every request runs a
+single handler (no tree), so all handler activations are request
+activations, every variable access is R-concurrent with every other, and
+Karousos logs exactly what Orochi-JS logs (sections 6.2-6.3).
+"""
+
+from __future__ import annotations
+
+from repro.core.work import cpu_work
+from repro.kem.program import AppSpec, InitContext
+
+VALID_DAYS = ("mon", "tue", "wed", "thu", "fri", "sat", "sun", "all")
+MAX_MESSAGE_LEN = 280
+
+# Application compute (stands in for the paper's ~1.6k LOC, see
+# repro.core.work): the read path renders against a theme that is constant
+# across requests (deduplicable); the write path stamps a per-message
+# receipt (value-dependent, rarely deduplicable).
+THEME_UNITS = 300
+RECEIPT_UNITS = 80
+
+
+def _compile_theme() -> str:
+    return cpu_work(THEME_UNITS, "motd-theme")
+
+
+def _init(ctx: InitContext) -> None:
+    # The message board: day -> message.  One shared loggable hashmap.
+    ctx.create_var("motd", {"all": "welcome"})
+    # Write counter: a second shared variable so write-heavy workloads
+    # exercise write-write chains.
+    ctx.create_var("set_count", 0)
+    ctx.register_route("get", "handle_get")
+    ctx.register_route("set", "handle_set")
+
+
+def handle_set(ctx, req):
+    day = req["day"]
+    msg = req["msg"]
+    valid = ctx.apply(
+        lambda d, m: d in VALID_DAYS and isinstance(m, str) and 0 < len(m) <= MAX_MESSAGE_LEN,
+        day,
+        msg,
+    )
+    if not ctx.branch(valid):
+        ctx.respond({"status": "error", "reason": "invalid set request"})
+        return
+    receipt = ctx.apply(lambda m: cpu_work(RECEIPT_UNITS, "receipt", m), msg)
+    ctx.update("motd", lambda b, d, m: {**b, d: m}, day, msg)
+    ctx.update("set_count", lambda c: c + 1)
+    ctx.respond({"status": "ok", "receipt": receipt})
+
+
+def handle_get(ctx, req):
+    day = req["day"]
+    theme = ctx.apply(_compile_theme)
+    board = ctx.read("motd")
+    msg = ctx.apply(lambda b, d: b.get(d, b.get("all", "")), board, day)
+    found = ctx.apply(lambda m: m != "", msg)
+    if ctx.branch(found):
+        page = ctx.apply(lambda t, m: f"[{t}] {m}", theme, msg)
+        ctx.respond({"status": "ok", "motd": page})
+    else:
+        ctx.respond({"status": "empty"})
+
+
+def motd_app() -> AppSpec:
+    return AppSpec(
+        name="motd",
+        functions={"handle_get": handle_get, "handle_set": handle_set},
+        init=_init,
+    )

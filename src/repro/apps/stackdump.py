@@ -1,0 +1,214 @@
+"""Stack-dump logging application (paper section 6, "Stack dump logging").
+
+Users submit stack dumps, count how often a dump was reported, and list
+the unique dumps.  Dumps live in the transactional store, keyed by the
+dump's digest; the set of known digests lives in a shared program variable
+(exactly as the paper describes).  On submit, a conflicting concurrent
+report of the same dump surfaces as a retry error rather than a lock wait.
+
+Request shapes:
+
+* ``submit``: request handler -> GET row -> ``submit_check`` (PUT + commit);
+* ``count``: request handler -> GET row -> ``count_got`` (commit + respond);
+* ``list``: request handler fans out one GET per known digest; the
+  ``list_got`` siblings aggregate through a shared accumulator variable and
+  the last one commits and responds.  The sibling fan-out is what gives
+  Karousos's tree-based grouping its edge over Orochi-JS's sequence-based
+  grouping (section 6.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.digest import value_digest
+from repro.core.work import cpu_work
+from repro.kem.program import AppSpec, InitContext
+
+# Application compute (stands in for the paper's ~9k LOC): frame parsing
+# is per-dump (value-dependent); the count/list index preparation depends
+# only on constants and deduplicates across a re-execution group.
+PARSE_UNITS = 250
+COUNT_INDEX_UNITS = 500
+LIST_INDEX_UNITS = 800
+FORMAT_UNITS = 40
+
+
+def _init(ctx: InitContext) -> None:
+    # All digests ever stored in the table (shared, loggable).
+    ctx.create_var("digests", [])
+    # Per-request aggregation state for list requests: rid -> state.
+    ctx.create_var("list_acc", {})
+    # How many submit requests have been seen (maintained by an
+    # event-driven notification handler).
+    ctx.create_var("submit_count", 0)
+    ctx.register_route("submit", "handle_submit")
+    ctx.register_route("count", "handle_count")
+    ctx.register_route("list", "handle_list")
+
+
+def _row_key(digest: str) -> str:
+    return "dump:" + digest
+
+
+# -- submit ---------------------------------------------------------------
+
+
+def handle_submit(ctx, req):
+    dump = req["dump"]
+    ctx.apply(lambda d: cpu_work(PARSE_UNITS, "parse-frames", d), dump)
+    digest = ctx.apply(value_digest, dump)
+    # Event-driven bookkeeping: a registered listener bumps the shared
+    # submission counter (runs as a sibling of the store callback).
+    ctx.register("dump-reported", "notify_submitted")
+    ctx.emit("dump-reported", {"digest": digest})
+    tid = ctx.tx_start()
+    key = ctx.apply(_row_key, digest)
+    ctx.tx_get(tid, key, "submit_check", extra={"dump": dump, "digest": digest, "key": key})
+
+
+def notify_submitted(ctx, payload):
+    ctx.update("submit_count", lambda c: c + 1)
+
+
+def submit_check(ctx, payload):
+    if ctx.branch(ctx.apply(lambda e: e is not None, payload["error"])):
+        # A concurrent request holds this row: surface a retry error to
+        # avoid deadlock (the transaction was already aborted).
+        ctx.respond({"status": "retry"})
+        return
+    tid = payload["tid"]
+    extra = payload["extra"]
+    row = payload["value"]
+    key = extra["key"]
+    is_new = ctx.branch(ctx.apply(lambda r: r is None, row))
+    if is_new:
+        ctx.update("digests", lambda l, d: l + [d], extra["digest"])
+        status = ctx.tx_put(
+            tid, key, ctx.apply(lambda d: {"dump": d, "count": 1}, extra["dump"])
+        )
+    else:
+        status = ctx.tx_put(
+            tid,
+            key,
+            ctx.apply(lambda r: {"dump": r["dump"], "count": r["count"] + 1}, row),
+        )
+    if not ctx.branch(ctx.apply(lambda s: s == "ok", status)):
+        ctx.respond({"status": "retry"})
+        return
+    committed = ctx.tx_commit(tid)
+    if not ctx.branch(ctx.apply(lambda s: s == "ok", committed)):
+        # First-committer-wins (snapshot isolation): lost the commit race.
+        ctx.respond({"status": "retry"})
+        return
+    ctx.respond({"status": "ok", "new": is_new})
+
+
+# -- count ------------------------------------------------------------------
+
+
+def handle_count(ctx, req):
+    digest = req["digest"]
+    ctx.apply(lambda: cpu_work(COUNT_INDEX_UNITS, "count-index"))
+    tid = ctx.tx_start()
+    key = ctx.apply(_row_key, digest)
+    ctx.tx_get(tid, key, "count_got", extra=None)
+
+
+def count_got(ctx, payload):
+    if ctx.branch(ctx.apply(lambda e: e is not None, payload["error"])):
+        ctx.respond({"status": "retry"})
+        return
+    ctx.tx_commit(payload["tid"])
+    count = ctx.apply(lambda r: 0 if r is None else r["count"], payload["value"])
+    ctx.respond({"status": "ok", "count": count})
+
+
+# -- list ----------------------------------------------------------------------
+
+
+def handle_list(ctx, req):
+    ctx.apply(lambda: cpu_work(LIST_INDEX_UNITS, "list-index"))
+    known = ctx.read("digests")
+    n = ctx.control(ctx.apply(len, known))
+    if not ctx.branch(n > 0):
+        ctx.respond({"status": "ok", "dumps": []})
+        return
+    ctx.update(
+        "list_acc",
+        lambda a, r, k: {**a, r: {"done": False, "finisher": None,
+                                  "pending": k, "items": ()}},
+        ctx.rid,
+        n,
+    )
+    tid = ctx.tx_start()
+    for i in range(n):
+        key = ctx.apply(lambda ds, i=i: _row_key(ds[i]), known)
+        ctx.tx_get(tid, key, "list_got", extra=None)
+
+
+def _fold_list_part(acc, rid, key, row, err):
+    """Atomically fold one GET result into the request's fan-in slot.
+
+    The sibling whose fold completes (or first fails) the slot becomes the
+    *finisher*, identified by its row key; only the finisher responds.
+    """
+    slot = acc.get(rid)
+    if slot is None or slot["done"]:
+        return acc  # already answered (error path); late siblings no-op
+    if err is not None:
+        new_slot = {**slot, "done": True, "finisher": key}
+    else:
+        item = (
+            None
+            if row is None
+            else (row["dump"], row["count"], cpu_work(FORMAT_UNITS, "fmt", row["count"]))
+        )
+        new_slot = {
+            "done": slot["pending"] == 1,
+            "finisher": key if slot["pending"] == 1 else None,
+            "pending": slot["pending"] - 1,
+            "items": slot["items"] + ((item,) if item is not None else ()),
+        }
+    return {**acc, rid: new_slot}
+
+
+def list_got(ctx, payload):
+    acc = ctx.update(
+        "list_acc",
+        _fold_list_part,
+        ctx.rid,
+        payload["key"],
+        payload["value"],
+        payload["error"],
+    )
+    slot = ctx.apply(lambda a, r: a.get(r), acc, ctx.rid)
+    mine = ctx.apply(
+        lambda s, k: s is not None and s["done"] and s["finisher"] == k,
+        slot,
+        payload["key"],
+    )
+    if not ctx.branch(mine):
+        return
+    # This sibling finished the fan-in: clean up and respond.
+    ctx.update("list_acc", lambda a, r: {k: v for k, v in a.items() if k != r}, ctx.rid)
+    if ctx.branch(ctx.apply(lambda e: e is not None, payload["error"])):
+        ctx.respond({"status": "retry"})
+        return
+    ctx.tx_commit(payload["tid"])
+    dumps = ctx.apply(lambda s: sorted(s["items"]), slot)
+    ctx.respond({"status": "ok", "dumps": dumps})
+
+
+def stackdump_app() -> AppSpec:
+    return AppSpec(
+        name="stacks",
+        functions={
+            "handle_submit": handle_submit,
+            "notify_submitted": notify_submitted,
+            "submit_check": submit_check,
+            "handle_count": handle_count,
+            "count_got": count_got,
+            "handle_list": handle_list,
+            "list_got": list_got,
+        },
+        init=_init,
+    )

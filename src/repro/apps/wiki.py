@@ -1,0 +1,315 @@
+"""Wiki application (stands in for Wiki.js, paper section 6).
+
+Pages, their comments, and per-page metadata live in the transactional
+store; shared loggable variables exercise the behaviours the paper
+attributes to Wiki.js:
+
+* ``config`` -- read-mostly site configuration: written only at init and
+  read on every render.  All its reads are R-ordered with the init write,
+  so Karousos logs none of them while Orochi-JS logs every one -- the
+  source of Karousos's smaller advice (section 6.3);
+* ``nav_cache`` -- the navigation index of page titles, updated on page
+  creation and read on render;
+* ``conn_pool`` -- a connection-pool-like object acquired on request entry
+  and released at the end: its ``slots`` list grows with the high-water
+  number of concurrent requests, which is why logged values (and hence
+  advice size) grow with concurrency (section 6.3);
+* ``render_acc`` -- per-request fan-in state for render's parallel fetches.
+
+Request shapes:
+
+* ``create_page``: handler -> GET page row -> ``cp_check`` (PUT page + PUT
+  metadata, commit);
+* ``create_comment``: handler -> GET comments row -> ``cc_got`` (PUT,
+  commit);
+* ``render``: handler issues three *parallel* GETs (page, comments,
+  metadata) whose ``r_part`` siblings can complete in any order -- the
+  fan-in is what lets Karousos's tree-based grouping batch interleavings
+  that Orochi-JS's sequence-based grouping cannot (section 6.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.work import cpu_work
+from repro.kem.program import AppSpec, InitContext
+
+# Application compute (stands in for Wiki.js's ~19k LOC): template
+# compilation depends only on the site configuration (constant across
+# requests -- prime dedup target); body rendering depends on page content
+# and comments; validation/sanitisation are per-value.
+TEMPLATE_UNITS = 1500
+BODY_UNITS = 400
+NAV_UNITS = 100
+VALIDATE_UNITS = 300
+SANITIZE_UNITS = 200
+
+RENDER_PARTS = ("page", "comments", "meta")
+
+
+def _init(ctx: InitContext) -> None:
+    ctx.create_var("config", {"site": "karousos-wiki", "theme": "default"})
+    ctx.create_var("nav_cache", ())
+    ctx.create_var("conn_pool", {"active": 0, "slots": ()})
+    ctx.create_var("render_acc", {})
+    ctx.register_route("create_page", "handle_create_page")
+    ctx.register_route("create_comment", "handle_create_comment")
+    ctx.register_route("render", "handle_render")
+
+
+def _page_key(title: str) -> str:
+    return "page:" + title
+
+
+def _comments_key(title: str) -> str:
+    return "comments:" + title
+
+
+def _meta_key(title: str) -> str:
+    return "meta:" + title
+
+
+def _acquire(ctx):
+    """Take a connection from the shared pool, growing it if needed.
+
+    Reads the site config for connection parameters first: a read-mostly
+    access on every request that Karousos never logs (R-ordered with the
+    init write) but Orochi-JS always logs.
+    """
+    ctx.read("config")
+    ctx.update(
+        "conn_pool",
+        lambda p: {
+            "active": p["active"] + 1,
+            "slots": p["slots"]
+            + (("conn-%d" % len(p["slots"]),) if p["active"] >= len(p["slots"]) else ()),
+        },
+    )
+
+
+def _release(ctx):
+    ctx.update(
+        "conn_pool", lambda p: {"active": p["active"] - 1, "slots": p["slots"]}
+    )
+
+
+def _retry(ctx):
+    _release(ctx)
+    ctx.respond({"status": "retry"})
+
+
+# -- create page -----------------------------------------------------------
+
+
+def handle_create_page(ctx, req):
+    _acquire(ctx)
+    title = req["title"]
+    content = req["content"]
+    ctx.apply(
+        lambda t, c: cpu_work(VALIDATE_UNITS, "validate-page", t, c), title, content
+    )
+    tid = ctx.tx_start()
+    key = ctx.apply(_page_key, title)
+    ctx.tx_get(tid, key, "cp_check", extra={"title": title, "content": content})
+
+
+def cp_check(ctx, payload):
+    ctx.read("config")  # page defaults (read-mostly)
+    if ctx.branch(ctx.apply(lambda e: e is not None, payload["error"])):
+        _retry(ctx)
+        return
+    tid = payload["tid"]
+    extra = payload["extra"]
+    exists = ctx.branch(ctx.apply(lambda r: r is not None, payload["value"]))
+    if exists:
+        ctx.tx_abort(tid)
+        _release(ctx)
+        ctx.respond({"status": "conflict"})
+        return
+    title = extra["title"]
+    row = ctx.apply(
+        lambda t, c: {"title": t, "content": c, "rev": 1}, title, extra["content"]
+    )
+    status = ctx.tx_put(tid, payload["key"], row)
+    if not ctx.branch(ctx.apply(lambda s: s == "ok", status)):
+        _retry(ctx)
+        return
+    meta_status = ctx.tx_put(
+        tid,
+        ctx.apply(_meta_key, title),
+        ctx.apply(lambda t: {"title": t, "views": 0}, title),
+    )
+    if not ctx.branch(ctx.apply(lambda s: s == "ok", meta_status)):
+        _retry(ctx)
+        return
+    committed = ctx.tx_commit(tid)
+    if not ctx.branch(ctx.apply(lambda s: s == "ok", committed)):
+        _retry(ctx)
+        return
+    ctx.update("nav_cache", lambda n, t: n + (t,), title)
+    _release(ctx)
+    ctx.respond({"status": "ok"})
+
+
+# -- create comment ------------------------------------------------------------
+
+
+def handle_create_comment(ctx, req):
+    _acquire(ctx)
+    title = req["title"]
+    ctx.apply(lambda t: cpu_work(SANITIZE_UNITS, "sanitize", t), req["text"])
+    tid = ctx.tx_start()
+    ctx.tx_get(
+        tid,
+        ctx.apply(_comments_key, title),
+        "cc_got",
+        extra={"title": title, "text": req["text"]},
+    )
+
+
+def cc_got(ctx, payload):
+    ctx.read("config")  # comment policy (read-mostly)
+    if ctx.branch(ctx.apply(lambda e: e is not None, payload["error"])):
+        _retry(ctx)
+        return
+    tid = payload["tid"]
+    extra = payload["extra"]
+    comments = ctx.apply(
+        lambda r: () if r is None else r["items"], payload["value"]
+    )
+    row = ctx.apply(lambda cs, t: {"items": cs + (t,)}, comments, extra["text"])
+    status = ctx.tx_put(tid, payload["key"], row)
+    if not ctx.branch(ctx.apply(lambda s: s == "ok", status)):
+        _retry(ctx)
+        return
+    committed = ctx.tx_commit(tid)
+    if not ctx.branch(ctx.apply(lambda s: s == "ok", committed)):
+        _retry(ctx)
+        return
+    _release(ctx)
+    ctx.respond({"status": "ok"})
+
+
+# -- render ----------------------------------------------------------------------
+
+
+def handle_render(ctx, req):
+    _acquire(ctx)
+    config = ctx.read("config")
+    template = ctx.apply(
+        lambda c: cpu_work(TEMPLATE_UNITS, "compile-template", c["theme"]), config
+    )
+    title = req["title"]
+    ctx.update(
+        "render_acc",
+        lambda a, r: {**a, r: {"done": False, "finisher": None, "parts": {}}},
+        ctx.rid,
+    )
+    tid = ctx.tx_start()
+    keys = {
+        "page": ctx.apply(_page_key, title),
+        "comments": ctx.apply(_comments_key, title),
+        "meta": ctx.apply(_meta_key, title),
+    }
+    for part in RENDER_PARTS:
+        ctx.tx_get(tid, keys[part], "r_part", extra={"part": part, "template": template})
+
+
+def _fold_render_part(acc, rid, part, value, err):
+    """Atomically fold one fetched part into the request's fan-in slot;
+    the sibling completing (or first failing) the slot is the finisher."""
+    slot = acc.get(rid)
+    if slot is None or slot["done"]:
+        return acc
+    if err is not None:
+        return {**acc, rid: {**slot, "done": True, "finisher": part}}
+    parts = {**slot["parts"], part: value}
+    done = len(parts) == len(RENDER_PARTS)
+    return {
+        **acc,
+        rid: {"done": done, "finisher": part if done else None, "parts": parts},
+    }
+
+
+def r_part(ctx, payload):
+    ctx.read("config")  # per-part locale/format settings (read-mostly)
+    part = payload["extra"]["part"]
+    acc = ctx.update(
+        "render_acc",
+        _fold_render_part,
+        ctx.rid,
+        part,
+        payload["value"],
+        payload["error"],
+    )
+    slot = ctx.apply(lambda a, r: a.get(r), acc, ctx.rid)
+    mine = ctx.apply(
+        lambda s, p: s is not None and s["done"] and s["finisher"] == p, slot, part
+    )
+    if not ctx.branch(mine):
+        return  # not the finisher (or a sibling already answered)
+    # Finisher: drop the accumulator slot, finish the transaction, render.
+    ctx.update(
+        "render_acc", lambda a, r: {k: v for k, v in a.items() if k != r}, ctx.rid
+    )
+    if ctx.branch(ctx.apply(lambda e: e is not None, payload["error"])):
+        _retry(ctx)
+        return
+    tid = payload["tid"]
+    page = ctx.apply(lambda s: s["parts"]["page"], slot)
+    if not ctx.branch(ctx.apply(lambda p: p is not None, page)):
+        ctx.tx_abort(tid)
+        _release(ctx)
+        ctx.respond({"status": "not-found"})
+        return
+    comments = ctx.apply(
+        lambda s: ()
+        if s["parts"]["comments"] is None
+        else s["parts"]["comments"]["items"],
+        slot,
+    )
+    body = ctx.apply(_render_body, page, comments)
+    nav = ctx.read("nav_cache")
+    nav_html = ctx.apply(_render_nav, nav)
+    html = ctx.apply(
+        lambda t, n, b: f"<html><!-- tmpl {t} -->{n}{b}</html>",
+        payload["extra"]["template"],
+        nav_html,
+        body,
+    )
+    ctx.tx_commit(tid)
+    _release(ctx)
+    ctx.respond({"status": "ok", "html": html})
+
+
+def _render_body(page, comments):
+    """Pure page-body rendering: the per-request compute SIMD-on-demand
+    deduplicates when grouped requests render the same page version."""
+    cpu_work(BODY_UNITS, "render-body", page["title"], page["rev"], len(comments))
+    lines = ["<h1>%s</h1>" % page["title"]]
+    for paragraph in str(page["content"]).split("\n"):
+        lines.append("<p>%s</p>" % paragraph)
+    lines.append("<ul>")
+    for comment in comments:
+        lines.append("<li>%s</li>" % comment)
+    lines.append("</ul>")
+    return "\n".join(lines)
+
+
+def _render_nav(nav):
+    cpu_work(NAV_UNITS, "render-nav", len(nav))
+    return "<nav>%s</nav>" % " | ".join(sorted(nav))
+
+
+def wiki_app() -> AppSpec:
+    return AppSpec(
+        name="wiki",
+        functions={
+            "handle_create_page": handle_create_page,
+            "cp_check": cp_check,
+            "handle_create_comment": handle_create_comment,
+            "cc_got": cc_got,
+            "handle_render": handle_render,
+            "r_part": r_part,
+        },
+        init=_init,
+    )

@@ -1,0 +1,15 @@
+"""Adversarial servers for soundness testing (paper sections 4.3-4.4).
+
+Each attack takes an honestly produced (trace, advice) pair and returns a
+tampered pair, modelling a misbehaving server that sent different
+responses and/or fabricated advice.  Soundness (Definition 6) requires the
+audit to reject every one of them.
+"""
+
+from repro.attacks.tamper import (
+    ALL_ATTACKS,
+    Attack,
+    applicable_attacks,
+)
+
+__all__ = ["ALL_ATTACKS", "Attack", "applicable_attacks"]

@@ -1,0 +1,397 @@
+"""A library of advice/response tampering attacks.
+
+Every attack mutates a deep copy; the honest inputs are never modified.
+Attacks are deterministic (they pick the first eligible target) so
+soundness tests are reproducible.  ``requires`` filters attacks by what
+the honest advice actually contains (e.g. transaction-log attacks need a
+transactional workload).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.advice.records import (
+    Advice,
+    HandlerOpEntry,
+    TxLogEntry,
+    VariableLogEntry,
+    TX_GET,
+    TX_PUT,
+)
+from repro.trace.trace import Trace
+
+TamperFn = Callable[[Trace, Advice], Tuple[Trace, Advice]]
+
+
+@dataclass(frozen=True)
+class Attack:
+    name: str
+    description: str
+    fn: TamperFn
+    # What the honest advice must contain for the attack to have a target.
+    requires: str = "any"  # any | variable_logs | tx_logs | handler_logs
+    # Guaranteed attacks always yield an inexplicable execution; the rest
+    # can coincidentally remain explainable on some workloads (the audit
+    # accepting them is then *correct*) and get crafted dedicated tests.
+    guaranteed: bool = True
+
+    def apply(self, trace: Trace, advice: Advice) -> Tuple[Trace, Advice]:
+        return self.fn(trace, copy.deepcopy(advice))
+
+
+def _first_write_key(advice: Advice):
+    from repro.server.variables import INIT_RID
+
+    for var_id in sorted(advice.variable_logs):
+        for key in sorted(advice.variable_logs[var_id], key=repr):
+            entry = advice.variable_logs[var_id][key]
+            if entry.access == "write" and key[0] != INIT_RID:
+                return var_id, key
+    raise LookupError("no logged write")
+
+
+def _first_read_key(advice: Advice):
+    for var_id in sorted(advice.variable_logs):
+        for key in sorted(advice.variable_logs[var_id], key=repr):
+            if advice.variable_logs[var_id][key].access == "read":
+                return var_id, key
+    raise LookupError("no logged read")
+
+
+# -- responses -----------------------------------------------------------
+
+
+def tamper_response(trace: Trace, advice: Advice):
+    rid = trace.request_ids()[0]
+    return trace.with_response(rid, {"status": "pwned"}), advice
+
+
+# -- variable logs ----------------------------------------------------------
+
+
+def forge_write_value(trace: Trace, advice: Advice):
+    var_id, key = _first_write_key(advice)
+    old = advice.variable_logs[var_id][key]
+    advice.variable_logs[var_id][key] = VariableLogEntry(
+        "write", value={"forged": True}, prec=old.prec
+    )
+    return trace, advice
+
+
+def drop_variable_log_entry(trace: Trace, advice: Advice):
+    var_id, key = _first_read_key(advice)
+    del advice.variable_logs[var_id][key]
+    return trace, advice
+
+
+def dangling_read_prec(trace: Trace, advice: Advice):
+    """Point a logged read at a write that was never executed, with a
+    fabricated value-carrying entry for it."""
+    var_id, key = _first_read_key(advice)
+    rid, hid, opnum = key
+    ghost = (rid, hid, opnum + 1000)
+    advice.variable_logs[var_id][ghost] = VariableLogEntry(
+        "write", value={"ghost": True}, prec=None
+    )
+    advice.variable_logs[var_id][key] = VariableLogEntry("read", prec=ghost)
+    return trace, advice
+
+
+def flip_entry_kind(trace: Trace, advice: Advice):
+    var_id, key = _first_write_key(advice)
+    old = advice.variable_logs[var_id][key]
+    advice.variable_logs[var_id][key] = VariableLogEntry(
+        "read", value=None, prec=old.prec
+    )
+    return trace, advice
+
+
+# -- handler logs ----------------------------------------------------------------
+
+
+def _rid_with_handler_ops(advice: Advice) -> str:
+    rid = next((r for r in sorted(advice.handler_logs) if advice.handler_logs[r]), None)
+    if rid is None:
+        raise LookupError("no handler log entries")
+    return rid
+
+
+def drop_handler_log_entry(trace: Trace, advice: Advice):
+    rid = _rid_with_handler_ops(advice)
+    advice.handler_logs[rid] = advice.handler_logs[rid][1:]
+    return trace, advice
+
+
+def duplicate_handler_log_entry(trace: Trace, advice: Advice):
+    rid = _rid_with_handler_ops(advice)
+    log = advice.handler_logs[rid]
+    advice.handler_logs[rid] = log + [log[-1]]
+    return trace, advice
+
+
+# -- opcounts --------------------------------------------------------------------------
+
+
+def inflate_opcounts(trace: Trace, advice: Advice):
+    key = sorted(advice.opcounts, key=repr)[0]
+    advice.opcounts[key] += 2
+    return trace, advice
+
+
+def deflate_opcounts(trace: Trace, advice: Advice):
+    key = next(k for k in sorted(advice.opcounts, key=repr) if advice.opcounts[k] > 0)
+    advice.opcounts[key] -= 1
+    return trace, advice
+
+
+def drop_handler(trace: Trace, advice: Advice):
+    key = sorted(advice.opcounts, key=repr)[0]
+    del advice.opcounts[key]
+    return trace, advice
+
+
+def phantom_handler(trace: Trace, advice: Advice):
+    (rid, hid) = sorted(advice.opcounts, key=repr)[0]
+    from repro.core.ids import HandlerId
+
+    advice.opcounts[(rid, HandlerId("ghost_function", hid, 99))] = 3
+    return trace, advice
+
+
+# -- responseEmittedBy -------------------------------------------------------------------
+
+
+def lie_response_emitter(trace: Trace, advice: Advice):
+    rid = next(
+        (r for r in sorted(advice.response_emitted_by)
+         if advice.response_emitted_by[r][1] > 0),
+        None,
+    )
+    if rid is None:
+        raise LookupError("all responses emitted before any operation")
+    hid, opnum = advice.response_emitted_by[rid]
+    advice.response_emitted_by[rid] = (hid, opnum - 1)
+    return trace, advice
+
+
+def drop_response_emitter(trace: Trace, advice: Advice):
+    rid = sorted(advice.response_emitted_by)[0]
+    del advice.response_emitted_by[rid]
+    return trace, advice
+
+
+# -- tags ------------------------------------------------------------------------------------
+
+
+def merge_tags(trace: Trace, advice: Advice):
+    """Force two differently-shaped requests into one group."""
+    tags = sorted(set(advice.tags.values()))
+    if len(tags) < 2:
+        raise LookupError("only one group")
+    victims = [r for r, t in sorted(advice.tags.items()) if t == tags[1]]
+    for rid in victims:
+        advice.tags[rid] = tags[0]
+    return trace, advice
+
+
+def drop_tag(trace: Trace, advice: Advice):
+    rid = sorted(advice.tags)[0]
+    del advice.tags[rid]
+    return trace, advice
+
+
+# -- transaction logs -----------------------------------------------------------------------------
+
+
+def _first_tx_with(advice: Advice, optype: str):
+    for key in sorted(advice.tx_logs, key=repr):
+        for i, entry in enumerate(advice.tx_logs[key]):
+            if entry.optype == optype:
+                return key, i
+    raise LookupError(f"no {optype} entry")
+
+
+def tamper_put_value(trace: Trace, advice: Advice):
+    key, i = _first_tx_with(advice, TX_PUT)
+    log = advice.tx_logs[key]
+    old = log[i]
+    log[i] = TxLogEntry(old.hid, old.opnum, old.optype, old.key, {"forged": True})
+    return trace, advice
+
+
+def swap_tx_entries(trace: Trace, advice: Advice):
+    for key in sorted(advice.tx_logs, key=repr):
+        log = advice.tx_logs[key]
+        if len(log) >= 3:
+            log[1], log[2] = log[2], log[1]
+            return trace, advice
+    raise LookupError("no tx log with 3 entries")
+
+
+def redirect_dictating_put(trace: Trace, advice: Advice):
+    """Point a GET at a different PUT of the same key, if one exists."""
+    target_key, target_i = None, None
+    for key in sorted(advice.tx_logs, key=repr):
+        for i, entry in enumerate(advice.tx_logs[key]):
+            if entry.optype != TX_GET or entry.opcontents is None:
+                continue
+            # Find another PUT on the same key elsewhere.
+            for other in sorted(advice.tx_logs, key=repr):
+                for j, cand in enumerate(advice.tx_logs[other]):
+                    if (
+                        cand.optype == TX_PUT
+                        and cand.key == entry.key
+                        and (other[0], other[1], j) != entry.opcontents
+                    ):
+                        log = advice.tx_logs[key]
+                        log[i] = TxLogEntry(
+                            entry.hid,
+                            entry.opnum,
+                            entry.optype,
+                            entry.key,
+                            (other[0], other[1], j),
+                        )
+                        return trace, advice
+    raise LookupError("no alternative dictating PUT")
+
+
+def truncate_write_order(trace: Trace, advice: Advice):
+    if not advice.write_order:
+        raise LookupError("empty write order")
+    advice.write_order = advice.write_order[:-1]
+    return trace, advice
+
+
+def reverse_write_order(trace: Trace, advice: Advice):
+    if len({(r, repr(t)) for r, t, _ in advice.write_order}) < 2:
+        raise LookupError("write order too small to reorder meaningfully")
+    advice.write_order = list(reversed(advice.write_order))
+    return trace, advice
+
+
+def duplicate_write_order_entry(trace: Trace, advice: Advice):
+    if not advice.write_order:
+        raise LookupError("empty write order")
+    advice.write_order = advice.write_order + [advice.write_order[0]]
+    return trace, advice
+
+
+# -- registry -----------------------------------------------------------------------------------------
+
+ALL_ATTACKS: List[Attack] = [
+    Attack("tamper-response", "server sent a different response", tamper_response),
+    Attack(
+        "forge-write-value",
+        "variable log claims a write of a different value",
+        forge_write_value,
+        requires="variable_logs",
+    ),
+    Attack(
+        "drop-variable-log-entry",
+        "an R-concurrent read is missing from the variable log",
+        drop_variable_log_entry,
+        requires="variable_logs",
+        # The unlogged read falls back to its R-preceding write; if that
+        # write coincidentally holds the same value the execution stays
+        # explainable (and accepting is correct).
+        guaranteed=False,
+    ),
+    Attack(
+        "dangling-read-prec",
+        "a logged read points at a fabricated, never-executed write",
+        dangling_read_prec,
+        requires="variable_logs",
+    ),
+    Attack(
+        "flip-entry-kind",
+        "a logged write is re-labelled as a read",
+        flip_entry_kind,
+        requires="variable_logs",
+    ),
+    Attack(
+        "drop-handler-log-entry",
+        "a handler operation is missing from the handler log",
+        drop_handler_log_entry,
+        requires="handler_logs",
+    ),
+    Attack(
+        "duplicate-handler-log-entry",
+        "a handler operation appears twice",
+        duplicate_handler_log_entry,
+        requires="handler_logs",
+    ),
+    Attack("inflate-opcounts", "a handler claims extra operations", inflate_opcounts),
+    Attack("deflate-opcounts", "a handler claims fewer operations", deflate_opcounts),
+    Attack("drop-handler", "an executed handler is missing from opcounts", drop_handler),
+    Attack("phantom-handler", "opcounts invents a never-run handler", phantom_handler),
+    Attack(
+        "lie-response-emitter",
+        "responseEmittedBy points at the wrong operation",
+        lie_response_emitter,
+    ),
+    Attack(
+        "drop-response-emitter",
+        "responseEmittedBy is missing a request",
+        drop_response_emitter,
+    ),
+    Attack("merge-tags", "differently-shaped requests share a group", merge_tags),
+    Attack("drop-tag", "a request has no grouping tag", drop_tag),
+    Attack(
+        "tamper-put-value",
+        "a transaction log claims a different PUT value",
+        tamper_put_value,
+        requires="tx_logs",
+    ),
+    Attack(
+        "swap-tx-entries",
+        "operations within a transaction log are reordered",
+        swap_tx_entries,
+        requires="tx_logs",
+    ),
+    Attack(
+        "redirect-dictating-put",
+        "a GET claims to read from a different PUT",
+        redirect_dictating_put,
+        requires="tx_logs",
+    ),
+    Attack(
+        "truncate-write-order",
+        "the write order omits an installed write",
+        truncate_write_order,
+        requires="tx_logs",
+    ),
+    Attack(
+        "reverse-write-order",
+        "the write order reverses the installation order",
+        reverse_write_order,
+        requires="tx_logs",
+        # Only provably wrong when some key has multiple committed writers
+        # with a reader in between; see the crafted soundness tests.
+        guaranteed=False,
+    ),
+    Attack(
+        "duplicate-write-order-entry",
+        "the write order lists one write twice",
+        duplicate_write_order_entry,
+        requires="tx_logs",
+    ),
+]
+
+
+def applicable_attacks(advice: Advice) -> List[Attack]:
+    """Attacks with at least one target in this advice bundle."""
+    out = []
+    for attack in ALL_ATTACKS:
+        if attack.requires == "variable_logs" and not advice.variable_logs:
+            continue
+        if attack.requires == "tx_logs" and not advice.tx_logs:
+            continue
+        if attack.requires == "handler_logs" and not any(
+            advice.handler_logs.values()
+        ):
+            continue
+        out.append(attack)
+    return out

@@ -1,0 +1,14 @@
+"""Verification baselines (paper section 6, "Baselines").
+
+* The *sequential re-executor*: replays the trace's requests one by one on
+  an uninstrumented server, without advice.  This is the pessimistic lower
+  bound the paper compares against: any re-execution-based verifier that
+  does not batch would be at least this slow.
+* *Orochi-JS* is not here -- it is the Karousos verifier consuming
+  :class:`repro.server.OrochiPolicy` advice (finer groups, log-everything),
+  exactly as the paper implements it over the Karousos codebase.
+"""
+
+from repro.baselines.sequential import SequentialResult, sequential_reexecute
+
+__all__ = ["SequentialResult", "sequential_reexecute"]

@@ -1,0 +1,65 @@
+"""The sequential re-execution baseline (paper section 6, baseline 2).
+
+Replays the requests of a trusted trace, one at a time and in trace
+order, on an unmodified server, and compares the produced responses with
+the trace.  It consults no advice, so on workloads whose responses depend
+on concurrent interleavings or store conflicts (e.g. retry errors) the
+replayed responses can legitimately differ -- the paper notes this
+baseline is *pessimistic* for Karousos: a real unbatched verifier would
+additionally need advice to resolve exactly these cases.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.kem.program import AppSpec
+from repro.kem.runtime import Runtime
+from repro.kem.scheduler import FifoScheduler
+from repro.server.unmodified import UnmodifiedPolicy
+from repro.store.kv import KVStore
+from repro.trace.trace import Trace
+
+
+@dataclass
+class SequentialResult:
+    elapsed_seconds: float
+    outputs: Dict[str, object]
+    matched: int
+    mismatched: int
+
+    @property
+    def match_fraction(self) -> float:
+        total = self.matched + self.mismatched
+        return self.matched / total if total else 1.0
+
+
+def sequential_reexecute(
+    app: AppSpec,
+    trace: Trace,
+    store_factory: Optional[Callable[[], KVStore]] = None,
+) -> SequentialResult:
+    """Replay ``trace`` sequentially and report timing and agreement."""
+    store = store_factory() if store_factory else None
+    runtime = Runtime(
+        app,
+        UnmodifiedPolicy(),
+        store=store,
+        scheduler=FifoScheduler(),
+        concurrency=1,
+    )
+    requests = trace.requests()
+    started = time.perf_counter()
+    replayed = runtime.serve(requests)
+    elapsed = time.perf_counter() - started
+    outputs = replayed.responses()
+    expected = trace.responses()
+    matched = sum(1 for rid, out in outputs.items() if expected.get(rid) == out)
+    return SequentialResult(
+        elapsed_seconds=elapsed,
+        outputs=outputs,
+        matched=matched,
+        mismatched=len(outputs) - matched,
+    )

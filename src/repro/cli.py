@@ -1,0 +1,209 @@
+"""Command-line interface: serve, audit, attack, and analyze from a shell.
+
+::
+
+    python -m repro serve  --app wiki --requests 100 --out-trace t.json \\
+                           --out-advice a.json
+    python -m repro audit  --app wiki --trace t.json --advice a.json
+    python -m repro attack --app wiki --trace t.json --advice a.json \\
+                           --name tamper-response
+    python -m repro analyze --app wiki
+
+``audit`` exits 0 on ACCEPT and 3 on REJECT so it can gate deployments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.advice.codec import decode_advice, encode_advice
+from repro.advice.sizing import advice_size_bytes
+from repro.analysis import analyze_app, suggest_annotations
+from repro.attacks import ALL_ATTACKS
+from repro.harness.experiment import app_needs_store, make_app
+from repro.kem.scheduler import RandomScheduler
+from repro.kem.threaded import ThreadedRuntime
+from repro.server import KarousosPolicy, OrochiPolicy, UnmodifiedPolicy, run_server
+from repro.store import IsolationLevel, KVStore
+from repro.trace.codec import decode_trace, encode_trace
+from repro.verifier import Auditor
+from repro.workload import workload_for
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_REJECTED = 3
+
+_POLICIES = {
+    "karousos": KarousosPolicy,
+    "orochi": OrochiPolicy,
+    "unmodified": UnmodifiedPolicy,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Karousos (EuroSys 2024) -- serve, audit, and analyze "
+        "event-driven web applications.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="serve a synthetic workload")
+    serve.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
+    serve.add_argument("--requests", type=int, default=100)
+    serve.add_argument("--mix", default="mixed",
+                       choices=["mixed", "read-heavy", "write-heavy"])
+    serve.add_argument("--concurrency", type=int, default=8)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--server", default="karousos", choices=sorted(_POLICIES))
+    serve.add_argument(
+        "--isolation",
+        default="serializable",
+        choices=[level.value for level in IsolationLevel],
+    )
+    serve.add_argument("--threads", type=int, default=0,
+                       help="run on the threaded KEM runtime with N workers")
+    serve.add_argument("--out-trace", help="write the trace JSON here")
+    serve.add_argument("--out-advice", help="write the advice JSON here")
+
+    aud = sub.add_parser("audit", help="audit a trace against advice")
+    aud.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
+    aud.add_argument("--trace", required=True)
+    aud.add_argument("--advice", required=True)
+    aud.add_argument("--singleton-groups", action="store_true",
+                     help="use the sequential OOOAudit (one group per request)")
+
+    attack = sub.add_parser("attack", help="tamper with advice, then audit")
+    attack.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
+    attack.add_argument("--trace", required=True)
+    attack.add_argument("--advice", required=True)
+    attack.add_argument("--name", required=True,
+                        choices=[a.name for a in ALL_ATTACKS])
+
+    analyze = sub.add_parser("analyze", help="loggable-variable analysis")
+    analyze.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
+
+    sub.add_parser("list-attacks", help="list the attack library")
+    return parser
+
+
+def _cmd_serve(args) -> int:
+    app = make_app(args.app)
+    requests = workload_for(args.app, args.requests, mix=args.mix, seed=args.seed)
+    store = (
+        KVStore(IsolationLevel(args.isolation)) if app_needs_store(args.app) else None
+    )
+    policy = _POLICIES[args.server]()
+    if args.threads > 0:
+        runtime = ThreadedRuntime(
+            app, policy, store=store, scheduler=RandomScheduler(args.seed),
+            concurrency=args.concurrency, parallelism=args.threads,
+        )
+        policy.runtime = runtime
+        trace = runtime.serve(requests)
+        advice = policy.advice()
+    else:
+        run = run_server(
+            app, requests, policy, store=store,
+            scheduler=RandomScheduler(args.seed), concurrency=args.concurrency,
+        )
+        trace, advice = run.trace, run.advice
+    print(f"served {len(requests)} requests on the {args.server} server")
+    if args.out_trace:
+        with open(args.out_trace, "w") as fh:
+            fh.write(encode_trace(trace))
+        print(f"trace  -> {args.out_trace}")
+    if advice is not None:
+        print(f"advice: {advice_size_bytes(advice)} bytes, "
+              f"{len(set(advice.tags.values()))} re-execution groups")
+        if args.out_advice:
+            with open(args.out_advice, "w") as fh:
+                fh.write(encode_advice(advice))
+            print(f"advice -> {args.out_advice}")
+    elif args.out_advice:
+        print("error: the unmodified server produces no advice", file=sys.stderr)
+        return EXIT_USAGE
+    return EXIT_OK
+
+
+def _load(args):
+    with open(args.trace) as fh:
+        trace = decode_trace(fh.read())
+    with open(args.advice) as fh:
+        advice = decode_advice(fh.read())
+    return trace, advice
+
+
+def _cmd_audit(args) -> int:
+    trace, advice = _load(args)
+    result = Auditor(
+        make_app(args.app), trace, advice, singleton_groups=args.singleton_groups
+    ).run()
+    if result.accepted:
+        print(f"ACCEPT  ({result.stats['elapsed_seconds']:.3f}s, "
+              f"{result.stats.get('groups', 0):.0f} groups, "
+              f"graph {result.stats.get('graph_nodes', 0):.0f} nodes)")
+        return EXIT_OK
+    print(f"REJECT  reason={result.reason}")
+    if result.detail:
+        print(f"        {result.detail}")
+    return EXIT_REJECTED
+
+
+def _cmd_attack(args) -> int:
+    trace, advice = _load(args)
+    attack = next(a for a in ALL_ATTACKS if a.name == args.name)
+    try:
+        tampered_trace, tampered_advice = attack.apply(trace, advice)
+    except LookupError as exc:
+        print(f"attack has no target in this run: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    result = Auditor(make_app(args.app), tampered_trace, tampered_advice).run()
+    verdict = "ACCEPT" if result.accepted else f"REJECT({result.reason})"
+    print(f"{attack.name}: {verdict}")
+    return EXIT_OK if not result.accepted else EXIT_REJECTED
+
+
+def _cmd_analyze(args) -> int:
+    app = make_app(args.app)
+    report = analyze_app(app)
+    suggestions = suggest_annotations(app)
+    print(f"{'variable':<14s} {'class':<22s} {'readers':<9s} {'writers':<9s} suggestion")
+    print("-" * 70)
+    for var_id in sorted(report.declared):
+        usage = report.usage[var_id]
+        print(
+            f"{var_id:<14s} {report.classification(var_id):<22s} "
+            f"{len(usage.readers):<9d} {len(usage.writers):<9d} "
+            f"{suggestions[var_id]}"
+        )
+    if report.undeclared:
+        print(f"undeclared accesses: {sorted(report.undeclared)}")
+    if report.dynamic_sites:
+        print(f"dynamic access sites: {report.dynamic_sites}")
+    return EXIT_OK
+
+
+def _cmd_list_attacks(_args) -> int:
+    for attack in ALL_ATTACKS:
+        marker = "guaranteed" if attack.guaranteed else "workload-dependent"
+        print(f"{attack.name:<30s} [{marker}] {attack.description}")
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "serve": _cmd_serve,
+        "audit": _cmd_audit,
+        "attack": _cmd_attack,
+        "analyze": _cmd_analyze,
+        "list-attacks": _cmd_list_attacks,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

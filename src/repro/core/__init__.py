@@ -1,0 +1,21 @@
+"""Core primitives: identifiers, the R partial order, multivalues, digests,
+and the directed graph used by the verifier's ordering checks."""
+
+from repro.core.ids import HandlerId, Label, OpRef, TxId
+from repro.core.rorder import r_precedes, r_concurrent
+from repro.core.multivalue import Multivalue, collapse, expand, mv_apply
+from repro.core.graph import Digraph
+
+__all__ = [
+    "HandlerId",
+    "Label",
+    "OpRef",
+    "TxId",
+    "r_precedes",
+    "r_concurrent",
+    "Multivalue",
+    "collapse",
+    "expand",
+    "mv_apply",
+    "Digraph",
+]

@@ -1,0 +1,78 @@
+"""Control-flow digests and request tags (paper section 5).
+
+The server encodes, for each handler activation, which branches the handler
+took (*control-flow digest*), and then summarises a whole request as a
+*tag*: requests with equal tags allegedly belong to the same re-execution
+group.
+
+Karousos tags are order-*invariant* over the handler tree -- a digest of the
+set of ``(handler id, control-flow digest)`` pairs -- so two requests whose
+handlers ran in different interleavings still group together as long as
+they induce the same tree (section 4.1).  The Orochi-JS baseline tags the
+temporal *sequence* of handler activations instead (section 6, Baselines),
+so any reordering splits its groups.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Tuple
+
+from repro.core.ids import HandlerId
+
+
+def _h(data: str) -> str:
+    return hashlib.sha256(data.encode("utf-8")).hexdigest()[:16]
+
+
+class ControlFlowDigest:
+    """Incremental digest of the branch directions a handler takes.
+
+    The transpiled server calls :meth:`branch` at every conditional; the
+    digest is order-sensitive within the handler (program order is total
+    inside one activation).
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self) -> None:
+        self._state = hashlib.sha256()
+
+    def branch(self, taken: bool) -> None:
+        self._state.update(b"1" if taken else b"0")
+
+    def control(self, value: object) -> None:
+        """Fold a control-relevant value (e.g. a loop bound) into the
+        digest: requests whose execution depends on the value can only be
+        grouped when they agree on it."""
+        self._state.update(repr(value).encode("utf-8"))
+
+    def value(self) -> str:
+        return self._state.hexdigest()[:16]
+
+
+def handler_fingerprint(hid: HandlerId, cf_digest: str) -> Tuple[Tuple, str]:
+    """The canonical per-handler component that feeds a request tag."""
+    return (hid.canonical(), cf_digest)
+
+
+def karousos_tag(handlers: Iterable[Tuple[HandlerId, str]]) -> str:
+    """Order-invariant tag: digest of the sorted handler fingerprints.
+
+    Handler ids are structural, so sorting their canonical encodings makes
+    the tag independent of activation interleaving -- requests with the
+    same *tree* of handlers and branches collide, as section 4.1 requires.
+    """
+    prints = sorted(handler_fingerprint(h, d) for h, d in handlers)
+    return _h(repr(prints))
+
+
+def orochi_tag(handler_sequence: List[Tuple[HandlerId, str]]) -> str:
+    """Order-sensitive tag: digest of the temporal activation sequence."""
+    prints = [handler_fingerprint(h, d) for h, d in handler_sequence]
+    return _h(repr(prints))
+
+
+def value_digest(value: object) -> str:
+    """Content digest used by applications (e.g. stack-dump keys)."""
+    return _h(repr(value))

@@ -1,0 +1,98 @@
+"""The R partial order over operations (paper section 4.2, Definitions 7-8).
+
+Two operations are *R-ordered* when any grouping the verifier may choose is
+guaranteed to re-execute them in their original order; they are
+*R-concurrent* otherwise.  R is the union of
+
+* program order within one handler activation, and
+* the activation partial order A: ops of an ancestor handler precede ops of
+  a descendant handler, within the same request.
+
+Operations of *different requests* are never R-ordered (request handlers are
+all children of the initialisation pseudo-handler I and may be re-executed
+in any relative order).  Operations of the initialisation function itself
+R-precede everything; callers model that by treating init-time writes as the
+variable's base value rather than as operations (see
+:class:`repro.server.variables.LoggableCell`).
+
+The server needs this test on its hot path (every access to a loggable
+variable, Figure 13), so it uses runtime :class:`~repro.core.ids.Label`
+prefix checks.  The verifier re-derives ancestry from the structural
+:class:`~repro.core.ids.HandlerId` parent chain.  Both entry points are
+provided here and are checked for agreement by property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.ids import HandlerId, Label, OpRef
+
+
+def r_precedes(op: OpRef, other: OpRef) -> bool:
+    """Definition 7: ``op <_R other`` via structural handler ids."""
+    if op.rid != other.rid:
+        return False
+    if op.hid == other.hid:
+        return op.opnum < other.opnum
+    return op.hid.is_ancestor_of(other.hid)
+
+
+def r_concurrent(op: OpRef, other: OpRef) -> bool:
+    """Definition 8: neither operation R-precedes the other."""
+    if op == other:
+        return False
+    return not r_precedes(op, other) and not r_precedes(other, op)
+
+
+def labels_r_precede(
+    rid_a: str,
+    label_a: Optional[Label],
+    opnum_a: int,
+    rid_b: str,
+    label_b: Optional[Label],
+    opnum_b: int,
+) -> bool:
+    """Label-based ``<_R`` used on the server's hot path (section 5).
+
+    A ``None`` label denotes the initialisation pseudo-handler I, which
+    R-precedes every handler of every request.
+    """
+    if label_a is None:
+        return True
+    if label_b is None:
+        return False
+    if rid_a != rid_b:
+        return False
+    if label_a == label_b:
+        return opnum_a < opnum_b
+    return label_a.is_prefix_of(label_b)
+
+
+def labels_r_concurrent(
+    rid_a: str,
+    label_a: Optional[Label],
+    opnum_a: int,
+    rid_b: str,
+    label_b: Optional[Label],
+    opnum_b: int,
+) -> bool:
+    """Label-based R-concurrency test (negation of both orderings)."""
+    same = rid_a == rid_b and label_a == label_b and opnum_a == opnum_b
+    if same:
+        return False
+    return not labels_r_precede(
+        rid_a, label_a, opnum_a, rid_b, label_b, opnum_b
+    ) and not labels_r_precede(rid_b, label_b, opnum_b, rid_a, label_a, opnum_a)
+
+
+def hid_r_precedes(hid_a: HandlerId, opnum_a: int, hid_b: HandlerId, opnum_b: int) -> bool:
+    """``<_R`` between two ops of the *same request*, via handler ids.
+
+    Used by the verifier when interrogating variable dictionaries
+    (FindNearestRPrecedingWrite, Figure 20): handler ids are what appear in
+    logs, and within one request their parent chains encode the A tree.
+    """
+    if hid_a == hid_b:
+        return opnum_a < opnum_b
+    return hid_a.is_ancestor_of(hid_b)

@@ -1,0 +1,24 @@
+"""Deterministic CPU work for application compute.
+
+The paper's evaluation applications execute real application code (MOTD
+~1.6k LOC, stack dump ~9k LOC, Wiki.js ~19k LOC, "including libraries");
+the verifier's batching wins come from deduplicating exactly this compute
+when operands collapse across a re-execution group (SIMD-on-demand,
+sections 2.3 and 6.2).
+
+:func:`cpu_work` is the stand-in: a seeded SHA-256 chain whose cost scales
+linearly in ``units`` and whose output is a pure function of its inputs --
+so it is safe to call through ``ctx.apply`` and to deduplicate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def cpu_work(units: int, *seed: object) -> str:
+    """Burn ~``units`` hash iterations; returns a deterministic digest."""
+    state = repr(seed).encode("utf-8")
+    for _ in range(units):
+        state = hashlib.sha256(state).digest()
+    return state.hex()[:16]

@@ -1,0 +1,70 @@
+"""Exception hierarchy shared across the Karousos reproduction.
+
+The audit algorithms in the paper are specified with explicit ``REJECT``
+statements (Appendix C).  We model REJECT as an exception,
+:class:`AuditRejected`, raised from deep inside the verifier and caught at
+the :func:`repro.verifier.audit.audit` boundary, which converts it into an
+:class:`repro.verifier.audit.AuditResult`.
+"""
+
+from __future__ import annotations
+
+
+class KarousosError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AuditRejected(KarousosError):
+    """The verifier rejected the trace/advice pair.
+
+    ``reason`` is a short machine-readable tag (used by the soundness test
+    suite to assert *why* an execution was rejected), ``detail`` is a
+    human-readable elaboration.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+
+
+class AdviceFormatError(AuditRejected):
+    """Advice is structurally malformed (missing maps, bad types).
+
+    Malformed advice is indistinguishable from a misbehaving server, so this
+    is a flavour of rejection rather than a programming error.
+    """
+
+    def __init__(self, detail: str = ""):
+        super().__init__("malformed-advice", detail)
+
+
+class TransactionRetry(KarousosError):
+    """A transactional operation conflicted with a concurrent transaction.
+
+    The store raises this instead of blocking (lock wait) so that
+    applications -- like the paper's stack-dump app (section 6) -- can
+    surface a retry error to the client and avoid deadlocks.
+    """
+
+    def __init__(self, key: object = None):
+        self.key = key
+        super().__init__(f"conflict on key {key!r}")
+
+
+class TransactionAborted(KarousosError):
+    """Operation attempted on a transaction that already ended."""
+
+
+class ProgramError(KarousosError):
+    """An application violated the execution-model contract.
+
+    Examples: accessing a variable outside a handler, issuing operations on
+    a foreign transaction, emitting after responding.  These are bugs in the
+    *application*, not server misbehaviour, and are raised in every
+    execution mode (unmodified server, Karousos server, verifier).
+    """
+
+
+class SchedulerError(KarousosError):
+    """The KEM dispatch loop reached an impossible state (internal bug)."""

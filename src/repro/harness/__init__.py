@@ -1,0 +1,29 @@
+"""Experiment harness: drives the servers, verifiers, and measurements
+behind every figure of the paper's evaluation (section 6)."""
+
+from repro.harness.experiment import (
+    AdviceSizes,
+    ExperimentConfig,
+    ServerComparison,
+    VerifierComparison,
+    make_app,
+    make_store,
+    measure_advice_sizes,
+    measure_server_overhead,
+    measure_verification,
+)
+from repro.harness.reporting import format_series, print_series
+
+__all__ = [
+    "AdviceSizes",
+    "ExperimentConfig",
+    "ServerComparison",
+    "VerifierComparison",
+    "make_app",
+    "make_store",
+    "measure_advice_sizes",
+    "measure_server_overhead",
+    "measure_verification",
+    "format_series",
+    "print_series",
+]

@@ -1,0 +1,207 @@
+"""Experiment drivers for the paper's evaluation (section 6).
+
+Three measurements, one per figure family:
+
+* :func:`measure_server_overhead` (Figure 6): wall-clock to serve a
+  workload on the unmodified server vs the Karousos server, after a
+  warm-up prefix (the paper warms with 120 of 600 requests and reports
+  the remaining 480).
+* :func:`measure_verification` (Figure 7): wall-clock for the Karousos
+  verifier, the Orochi-JS verifier (same audit algorithm consuming
+  Orochi-JS advice), and the sequential re-executor.
+* :func:`measure_advice_sizes` (Figure 8): serialized advice bytes under
+  both policies, with the variable-log share.
+
+All runs are seeded and deterministic; Karousos and Orochi-JS servers see
+identical schedules (the dispatch schedule depends only on the seed and
+the activation structure, which policies do not affect).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.advice.records import Advice
+from repro.advice.sizing import advice_breakdown, advice_size_bytes
+from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.baselines import sequential_reexecute
+from repro.kem.program import AppSpec
+from repro.kem.runtime import Runtime, ServerPolicy
+from repro.kem.scheduler import RandomScheduler
+from repro.server import KarousosPolicy, OrochiPolicy, UnmodifiedPolicy
+from repro.store.kv import IsolationLevel, KVStore
+from repro.trace.trace import Request, Trace
+from repro.verifier import audit
+from repro.workload import workload_for
+
+_APPS: Dict[str, Tuple[Callable[[], AppSpec], bool]] = {
+    "motd": (motd_app, False),
+    "stacks": (stackdump_app, True),
+    "wiki": (wiki_app, True),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    app_name: str
+    mix: str = "mixed"
+    n_requests: int = 150
+    concurrency: int = 10
+    seed: int = 0
+    isolation: IsolationLevel = IsolationLevel.SERIALIZABLE
+    warmup_fraction: float = 0.2
+
+
+def make_app(name: str) -> AppSpec:
+    return _APPS[name][0]()
+
+
+def app_needs_store(name: str) -> bool:
+    return _APPS[name][1]
+
+
+def make_store(cfg: ExperimentConfig) -> Optional[KVStore]:
+    if not app_needs_store(cfg.app_name):
+        return None
+    return KVStore(cfg.isolation)
+
+
+def _workload(cfg: ExperimentConfig) -> List[Request]:
+    return workload_for(cfg.app_name, cfg.n_requests, mix=cfg.mix, seed=cfg.seed)
+
+
+def _serve_with_warmup(
+    cfg: ExperimentConfig, policy: ServerPolicy
+) -> Tuple[float, Trace, Optional[Advice], Runtime]:
+    """Serve the workload; time only the post-warmup suffix."""
+    requests = _workload(cfg)
+    split = int(len(requests) * cfg.warmup_fraction)
+    runtime = Runtime(
+        make_app(cfg.app_name),
+        policy,
+        store=make_store(cfg),
+        scheduler=RandomScheduler(cfg.seed),
+        concurrency=cfg.concurrency,
+    )
+    policy.runtime = runtime
+    runtime.serve(requests[:split])
+    started = time.perf_counter()
+    runtime.serve(requests[split:])
+    elapsed = time.perf_counter() - started
+    return elapsed, runtime.collector.trace(), policy.advice(), runtime
+
+
+# -- Figure 6 ----------------------------------------------------------------
+
+
+@dataclass
+class ServerComparison:
+    unmodified_seconds: float
+    karousos_seconds: float
+
+    @property
+    def overhead(self) -> float:
+        return self.karousos_seconds / self.unmodified_seconds
+
+
+def measure_server_overhead(cfg: ExperimentConfig, repeats: int = 1) -> ServerComparison:
+    """Median server-side processing time, Karousos vs unmodified."""
+    unmodified = []
+    karousos = []
+    for r in range(repeats):
+        unmodified.append(_serve_with_warmup(cfg, UnmodifiedPolicy())[0])
+        karousos.append(_serve_with_warmup(cfg, KarousosPolicy())[0])
+    unmodified.sort()
+    karousos.sort()
+    return ServerComparison(
+        unmodified_seconds=unmodified[len(unmodified) // 2],
+        karousos_seconds=karousos[len(karousos) // 2],
+    )
+
+
+# -- Figure 7 ------------------------------------------------------------------
+
+
+@dataclass
+class VerifierComparison:
+    karousos_seconds: float
+    orochi_seconds: float
+    sequential_seconds: float
+    karousos_groups: int
+    orochi_groups: int
+    karousos_accepted: bool
+    orochi_accepted: bool
+    sequential_match_fraction: float
+
+
+def measure_verification(cfg: ExperimentConfig, repeats: int = 1) -> VerifierComparison:
+    """Total verification time for the Karousos verifier, the Orochi-JS
+    verifier, and the sequential re-executor (no warmup split: the paper
+    verifies the full 600-request trace).
+
+    With ``repeats > 1`` each verifier re-runs on the same trace/advice and
+    the minimum time is reported (the standard noise-robust estimator).
+    """
+    full = ExperimentConfig(**{**cfg.__dict__, "warmup_fraction": 0.0})
+    app = make_app(cfg.app_name)
+
+    _, k_trace, k_advice, _ = _serve_with_warmup(full, KarousosPolicy())
+    _, o_trace, o_advice, _ = _serve_with_warmup(full, OrochiPolicy())
+    store_factory = (
+        (lambda: KVStore(cfg.isolation)) if app_needs_store(cfg.app_name) else None
+    )
+
+    k_seconds, o_seconds, seq_seconds = [], [], []
+    k_result = o_result = seq = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        k_result = audit(make_app(cfg.app_name), k_trace, k_advice)
+        k_seconds.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        o_result = audit(make_app(cfg.app_name), o_trace, o_advice)
+        o_seconds.append(time.perf_counter() - started)
+
+        seq = sequential_reexecute(make_app(cfg.app_name), k_trace, store_factory)
+        seq_seconds.append(seq.elapsed_seconds)
+
+    return VerifierComparison(
+        karousos_seconds=min(k_seconds),
+        orochi_seconds=min(o_seconds),
+        sequential_seconds=min(seq_seconds),
+        karousos_groups=int(k_result.stats.get("groups", 0)),
+        orochi_groups=int(o_result.stats.get("groups", 0)),
+        karousos_accepted=k_result.accepted,
+        orochi_accepted=o_result.accepted,
+        sequential_match_fraction=seq.match_fraction,
+    )
+
+
+# -- Figure 8 ---------------------------------------------------------------------
+
+
+@dataclass
+class AdviceSizes:
+    karousos_bytes: int
+    orochi_bytes: int
+    karousos_breakdown: Dict[str, int] = field(default_factory=dict)
+    orochi_breakdown: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def variable_log_share(self) -> float:
+        total = self.karousos_bytes or 1
+        return self.karousos_breakdown.get("variable_logs", 0) / total
+
+
+def measure_advice_sizes(cfg: ExperimentConfig) -> AdviceSizes:
+    full = ExperimentConfig(**{**cfg.__dict__, "warmup_fraction": 0.0})
+    _, _, k_advice, _ = _serve_with_warmup(full, KarousosPolicy())
+    _, _, o_advice, _ = _serve_with_warmup(full, OrochiPolicy())
+    return AdviceSizes(
+        karousos_bytes=advice_size_bytes(k_advice),
+        orochi_bytes=advice_size_bytes(o_advice),
+        karousos_breakdown=advice_breakdown(k_advice),
+        orochi_breakdown=advice_breakdown(o_advice),
+    )

@@ -1,0 +1,38 @@
+"""Plain-text series/table reporting for the benchmark harness.
+
+Benchmarks print the same rows/series the paper's figures plot; these
+helpers keep that output uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_series(
+    title: str,
+    rows: List[Dict[str, object]],
+    columns: Sequence[str],
+) -> str:
+    """A fixed-width table: one row per sweep point."""
+    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) for c in columns}
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(c.ljust(widths[c]) for c in columns))
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def print_series(title: str, rows: List[Dict[str, object]], columns: Sequence[str]) -> None:
+    print()
+    print(format_series(title, rows, columns))
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

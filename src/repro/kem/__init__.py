@@ -1,0 +1,37 @@
+"""The KEM event-driven runtime (paper section 3).
+
+KEM models a Node.js-style web application as: a set of variables, a set
+of pending events, and a set of event handlers (closures).  A dispatch
+loop non-deterministically selects a pending event and runs the matching
+handlers to completion; handlers may read/write variables, emit events,
+register/unregister handlers, issue transactional operations (whose
+completions activate callback handlers), and respond to requests.
+
+This runtime is shared by the unmodified server, the Karousos server, and
+the Orochi-JS server -- they differ only in the :class:`ServerPolicy`
+plugged in (``repro.server``).  The verifier re-executes the same handler
+functions through its own grouped context (``repro.verifier.reexec``).
+"""
+
+from repro.kem.program import AppSpec, InitContext, request_event
+from repro.kem.activation import Activation
+from repro.kem.scheduler import (
+    FifoScheduler,
+    LifoScheduler,
+    RandomScheduler,
+    Scheduler,
+)
+from repro.kem.runtime import Runtime, ServerPolicy
+
+__all__ = [
+    "AppSpec",
+    "InitContext",
+    "request_event",
+    "Activation",
+    "Scheduler",
+    "FifoScheduler",
+    "LifoScheduler",
+    "RandomScheduler",
+    "Runtime",
+    "ServerPolicy",
+]

@@ -1,0 +1,49 @@
+"""Handler activations (paper sections 3 and 5).
+
+Each dispatch of a handler function creates a unique :class:`Activation`
+carrying:
+
+* the structural :class:`~repro.core.ids.HandlerId` (corresponds across
+  requests; the unit of grouping and of the advice logs), and
+* the runtime :class:`~repro.core.ids.Label` (unique within the request;
+  prefix-testable for the activation partial order A).
+
+The activation also owns the handler's operation counter (``opnum``) and
+its control-flow digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.digest import ControlFlowDigest
+from repro.core.ids import HandlerId, Label
+
+
+@dataclass
+class Activation:
+    rid: str
+    hid: HandlerId
+    label: Label
+    function_id: str
+    payload: object = None
+    opnum: int = 0
+    children: int = 0
+    cf_digest: ControlFlowDigest = field(default_factory=ControlFlowDigest)
+
+    def next_opnum(self) -> int:
+        """Consume and return the next operation number (1-based)."""
+        self.opnum += 1
+        return self.opnum
+
+    def child_label(self) -> Label:
+        """Label for the next child activation (section 5: parent/num)."""
+        label = self.label.child(self.children)
+        self.children += 1
+        return label
+
+    def child_hid(self, function_id: str, at_opnum: int) -> HandlerId:
+        """Structural id of a handler activated by this handler's
+        operation number ``at_opnum``."""
+        return HandlerId(function_id, self.hid, at_opnum)

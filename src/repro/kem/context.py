@@ -1,0 +1,158 @@
+"""The handler-facing operation API (the "transpiled" instrumentation).
+
+Application handler functions receive a context object exposing exactly
+the operations KEM defines (paper section 3) plus the transactional
+interface (section 4.4):
+
+=================  ======================================================
+``ctx.read(v)``    read loggable variable ``v``        (annotated op)
+``ctx.write(v,x)`` write loggable variable ``v``       (annotated op)
+``ctx.update``     atomic read-modify-write ``v = fn(v, *args)`` (two
+                   annotated ops, uninterruptible on threaded runtimes)
+``ctx.branch(c)``  record a branch direction; returns ``bool(c)``
+``ctx.emit(e,p)``  emit event ``e`` with payload ``p`` (handler op)
+``ctx.register``   register a function for an event    (handler op)
+``ctx.unregister`` remove a registration               (handler op)
+``ctx.tx_start()`` open a transaction; returns its TxId (state op)
+``ctx.tx_get``     async read: activates a callback handler with the
+                   result (state op; the completion is an I/O event)
+``ctx.tx_put``     sync write; returns "ok" or "retry" (state op)
+``ctx.tx_commit``  commit; returns "ok"                (state op)
+``ctx.tx_abort``   abort                               (state op)
+``ctx.nondet(f)``  run a non-deterministic function; recorded/replayed
+``ctx.respond(y)`` send the response for this request
+=================  ======================================================
+
+The same API is implemented by the verifier's grouped re-execution context
+(``repro.verifier.reexec``), where values may be
+:class:`~repro.core.multivalue.Multivalue` and ``branch`` enforces
+group-wide agreement.  Application code is therefore written once and runs
+in every mode.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.ids import TxId
+from repro.core.multivalue import require_scalar
+from repro.errors import ProgramError
+from repro.kem.activation import Activation
+
+
+class HandlerContext:
+    """Server-side context: drives the runtime and the active policy."""
+
+    __slots__ = ("_runtime", "_act")
+
+    def __init__(self, runtime: "Runtime", activation: Activation):  # noqa: F821
+        self._runtime = runtime
+        self._act = activation
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def rid(self) -> str:
+        return self._act.rid
+
+    # -- program variables ---------------------------------------------------
+
+    def read(self, var_id: str) -> object:
+        opnum = self._act.next_opnum()
+        return self._runtime.policy.read_var(self._act, opnum, var_id)
+
+    def write(self, var_id: str, value: object) -> None:
+        opnum = self._act.next_opnum()
+        self._runtime.policy.write_var(self._act, opnum, var_id, value)
+
+    def update(self, var_id: str, fn: Callable, *args: object) -> object:
+        """Atomic read-modify-write: ``var = fn(var, *args)``.
+
+        Issues one read and one write operation (two opnums, exactly what
+        separate ``read``/``write`` calls would log), but the pair is
+        *atomic* with respect to other handlers -- on the threaded runtime
+        no concurrent operation lands between them.  ``fn`` must be pure;
+        all varying inputs go through ``args`` (they are materialised
+        per-request in grouped re-execution).  Returns the new value.
+        """
+        return self._runtime.atomic_update(self._act, var_id, fn, args)
+
+    # -- control flow ----------------------------------------------------------
+
+    def branch(self, cond: object) -> bool:
+        taken = bool(require_scalar(cond))
+        self._act.cf_digest.branch(taken)
+        return taken
+
+    def control(self, value: object) -> object:
+        """Like :meth:`branch` for non-boolean control inputs (loop bounds,
+        dispatch keys): folds the value into the control-flow digest and
+        returns it as a plain scalar."""
+        scalar = require_scalar(value)
+        self._act.cf_digest.control(scalar)
+        return scalar
+
+    # -- pure computation -------------------------------------------------------
+
+    def apply(self, fn: Callable, *args: object) -> object:
+        """Apply a *pure* function to values.
+
+        On the server this is a plain call.  In grouped re-execution the
+        verifier's context lifts it over multivalues, executing ``fn`` once
+        when all operands are collapsed (SIMD-on-demand, section 2.3).
+        ``fn`` must not touch the context or shared state.
+        """
+        return fn(*args)
+
+    # -- handler operations -------------------------------------------------------
+
+    def emit(self, event: str, payload: object = None) -> None:
+        opnum = self._act.next_opnum()
+        self._runtime.handler_emit(self._act, opnum, event, payload)
+
+    def register(self, event: str, function_id: str) -> None:
+        opnum = self._act.next_opnum()
+        self._runtime.handler_register(self._act, opnum, event, function_id)
+
+    def unregister(self, event: str, function_id: str) -> None:
+        opnum = self._act.next_opnum()
+        self._runtime.handler_unregister(self._act, opnum, event, function_id)
+
+    # -- transactional state ----------------------------------------------------
+
+    def tx_start(self) -> TxId:
+        opnum = self._act.next_opnum()
+        return self._runtime.tx_start(self._act, opnum)
+
+    def tx_get(
+        self,
+        tid: TxId,
+        key: str,
+        callback_fid: str,
+        extra: object = None,
+    ) -> None:
+        opnum = self._act.next_opnum()
+        self._runtime.tx_get(self._act, opnum, tid, key, callback_fid, extra)
+
+    def tx_put(self, tid: TxId, key: str, value: object) -> str:
+        opnum = self._act.next_opnum()
+        return self._runtime.tx_put(self._act, opnum, tid, key, value)
+
+    def tx_commit(self, tid: TxId) -> str:
+        opnum = self._act.next_opnum()
+        return self._runtime.tx_commit(self._act, opnum, tid)
+
+    def tx_abort(self, tid: TxId) -> None:
+        opnum = self._act.next_opnum()
+        self._runtime.tx_abort(self._act, opnum, tid)
+
+    # -- non-determinism -----------------------------------------------------------
+
+    def nondet(self, fn: Callable[[], object]) -> object:
+        opnum = self._act.next_opnum()
+        return self._runtime.policy.nondet(self._act, opnum, fn)
+
+    # -- responses --------------------------------------------------------------------
+
+    def respond(self, payload: object) -> None:
+        self._runtime.respond(self._act, payload)

@@ -1,0 +1,78 @@
+"""Application programs for the KEM runtime.
+
+An :class:`AppSpec` is the annotated program P_a of Appendix C.1.1: a
+function table (functionID -> handler function), a deterministic
+initialisation function, and metadata about loggable variables.  Handler
+functions take ``(ctx, payload)`` where ``ctx`` exposes the instrumented
+operation API (see ``repro.kem.context``) -- the explicit form of what the
+original system's transpiler inserts.
+
+Request routing: a request with route ``R`` is modelled as the
+initialisation pseudo-handler I emitting the event ``request/R``; the
+handlers registered for that event during init are the request handlers
+(paper section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+
+def request_event(route: str) -> str:
+    return f"request/{route}"
+
+
+class InitContext:
+    """Context for the deterministic initialisation function.
+
+    Collects the global handler registrations and initial variable values.
+    Both the server runtime and the verifier run init through this class,
+    so the resulting global state is identical by construction (the paper
+    assumes a deterministic init, section 3).
+    """
+
+    def __init__(self) -> None:
+        self.global_handlers: List[Tuple[str, str]] = []  # (event, fid)
+        self.initial_vars: Dict[str, object] = {}
+        self.loggable: Dict[str, bool] = {}
+
+    def register(self, event: str, function_id: str) -> None:
+        pair = (event, function_id)
+        if pair not in self.global_handlers:
+            self.global_handlers.append(pair)
+
+    def register_route(self, route: str, function_id: str) -> None:
+        self.register(request_event(route), function_id)
+
+    def create_var(self, var_id: str, initial: object, loggable: bool = True) -> None:
+        """Declare a variable.  ``loggable=True`` is the developer
+        annotation of section 5: the variable may be accessed by
+        R-concurrent operations and must be tracked."""
+        if var_id in self.initial_vars:
+            raise ValueError(f"variable {var_id!r} already declared")
+        self.initial_vars[var_id] = initial
+        self.loggable[var_id] = loggable
+
+
+@dataclass
+class AppSpec:
+    """A KEM application: function table + init + request routes."""
+
+    name: str
+    functions: Dict[str, Callable]
+    init: Callable[[InitContext], None]
+
+    def run_init(self) -> InitContext:
+        ctx = InitContext()
+        self.init(ctx)
+        for _event, fid in ctx.global_handlers:
+            if fid not in self.functions:
+                raise ValueError(f"init registered unknown function {fid!r}")
+        return ctx
+
+    def function(self, function_id: str) -> Callable:
+        try:
+            return self.functions[function_id]
+        except KeyError:
+            raise KeyError(f"{self.name}: unknown function id {function_id!r}") from None

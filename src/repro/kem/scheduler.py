@@ -1,0 +1,44 @@
+"""Dispatch-loop schedulers.
+
+KEM's dispatch loop selects pending events *non-deterministically*
+(section 3).  The paper's algorithms must be correct for every selection
+order, so the test suite drives the runtime with many seeded random
+schedulers; benchmarks use a fixed seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+class Scheduler:
+    """Strategy interface: pick the index of the next pending activation."""
+
+    def pick(self, pending: Sequence[object]) -> int:
+        raise NotImplementedError
+
+
+class FifoScheduler(Scheduler):
+    """Always run the oldest pending activation (Node.js-like FIFO loop)."""
+
+    def pick(self, pending: Sequence[object]) -> int:
+        return 0
+
+
+class RandomScheduler(Scheduler):
+    """Seeded uniform selection -- KEM's non-deterministic dispatch."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def pick(self, pending: Sequence[object]) -> int:
+        return self._rng.randrange(len(pending))
+
+
+class LifoScheduler(Scheduler):
+    """Depth-first dispatch: run the newest activation first.  Maximises
+    reordering relative to FIFO, useful for adversarial interleavings."""
+
+    def pick(self, pending: Sequence[object]) -> int:
+        return len(pending) - 1

@@ -1,0 +1,26 @@
+"""Server-side execution policies.
+
+Three servers run the same application on the same KEM runtime:
+
+* :class:`UnmodifiedPolicy` -- no instrumentation (the baseline of Fig 6);
+* :class:`KarousosPolicy` -- advice collection with R-concurrency-gated
+  variable logging (sections 4.1-4.4, Figure 13);
+* :class:`OrochiPolicy` -- the Orochi-JS baseline: logs every access to a
+  loggable variable and groups by handler *sequence* (section 6).
+"""
+
+from repro.server.unmodified import UnmodifiedPolicy
+from repro.server.karousos import KarousosPolicy, INIT_RID, INIT_HID, INIT_REF
+from repro.server.orochi import OrochiPolicy
+from repro.server.run import ServerRun, run_server
+
+__all__ = [
+    "UnmodifiedPolicy",
+    "KarousosPolicy",
+    "OrochiPolicy",
+    "INIT_RID",
+    "INIT_HID",
+    "INIT_REF",
+    "ServerRun",
+    "run_server",
+]

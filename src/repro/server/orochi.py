@@ -1,0 +1,42 @@
+"""The Orochi-JS baseline policy (paper section 6, baseline 3).
+
+Orochi's algorithms implemented over the Karousos codebase, differing in
+exactly the two ways the paper describes:
+
+* requests group only when they induce the *identical sequence* of
+  handlers (temporal activation order), not merely a topologically
+  equivalent tree; and
+* *every* access to a loggable variable is logged, not only the
+  R-concurrent ones.
+
+The verifier side needs no separate implementation: Orochi advice is a
+special case that the Karousos verifier consumes directly (every read is
+fed from the log, so variable dictionaries are never interrogated).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.digest import orochi_tag
+from repro.core.ids import HandlerId
+from repro.kem.activation import Activation
+from repro.server.karousos import KarousosPolicy
+
+
+class OrochiPolicy(KarousosPolicy):
+    def read_var(self, act: Activation, opnum: int, var_id: str) -> object:
+        cell = self._cells.get(var_id)
+        if cell is None:
+            return self._plain[var_id]
+        return cell.on_read_log_all(act.rid, act.label, act.hid, opnum)
+
+    def write_var(self, act: Activation, opnum: int, var_id: str, value: object) -> None:
+        cell = self._cells.get(var_id)
+        if cell is None:
+            self._plain[var_id] = value
+            return
+        cell.on_write_log_all(act.rid, act.label, act.hid, opnum, value)
+
+    def _tag(self, fingerprints: List[Tuple[HandlerId, str]]) -> str:
+        return orochi_tag(fingerprints)

@@ -1,0 +1,58 @@
+"""Convenience driver: serve a workload and collect (trace, advice, time).
+
+The benchmark harness and integration tests all funnel through
+:func:`run_server`, which wires an application, a policy, a store, and a
+scheduler into a KEM runtime and times the serve.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.advice.records import Advice
+from repro.kem.program import AppSpec
+from repro.kem.runtime import Runtime, ServerPolicy
+from repro.kem.scheduler import RandomScheduler, Scheduler
+from repro.store.kv import KVStore
+from repro.trace.trace import Request, Trace
+
+
+@dataclass
+class ServerRun:
+    trace: Trace
+    advice: Optional[Advice]
+    elapsed_seconds: float
+    store: Optional[KVStore]
+    runtime: Runtime
+
+
+def run_server(
+    app: AppSpec,
+    requests: List[Request],
+    policy: ServerPolicy,
+    store: Optional[KVStore] = None,
+    scheduler: Optional[Scheduler] = None,
+    concurrency: int = 1,
+) -> ServerRun:
+    """Serve ``requests`` and return the trace, advice, and wall-clock time."""
+    runtime = Runtime(
+        app,
+        policy,
+        store=store,
+        scheduler=scheduler or RandomScheduler(seed=0),
+        concurrency=concurrency,
+    )
+    # Give advice-collecting policies access to the store's binlog.
+    policy.runtime = runtime
+    start = time.perf_counter()
+    trace = runtime.serve(requests)
+    elapsed = time.perf_counter() - start
+    return ServerRun(
+        trace=trace,
+        advice=policy.advice(),
+        elapsed_seconds=elapsed,
+        store=store,
+        runtime=runtime,
+    )

@@ -1,0 +1,34 @@
+"""The unmodified server: no advice collection (paper section 6, baseline 1).
+
+Variable accesses hit a plain dict; handler, transactional, and response
+operations are not recorded.  This is the reference point for the
+advice-collection overhead measured in Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.kem.activation import Activation
+from repro.kem.program import InitContext
+from repro.kem.runtime import ServerPolicy
+
+
+class UnmodifiedPolicy(ServerPolicy):
+    def __init__(self) -> None:
+        self._vars: Dict[str, object] = {}
+
+    def setup(self, init_ctx: InitContext) -> None:
+        self._vars = dict(init_ctx.initial_vars)
+
+    def read_var(self, act: Activation, opnum: int, var_id: str) -> object:
+        return self._vars[var_id]
+
+    def write_var(self, act: Activation, opnum: int, var_id: str, value: object) -> None:
+        self._vars[var_id] = value
+
+    def nondet(self, act: Activation, opnum: int, fn: Callable[[], object]) -> object:
+        return fn()
+
+    def advice(self):
+        return None

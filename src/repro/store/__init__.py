@@ -1,0 +1,28 @@
+"""Transactional key-value store substrate (paper section 4.4, section 5).
+
+Stands in for MySQL restricted to single-row primary-key SELECT/UPDATE,
+which is exactly the abstract PUT/GET interface the paper's algorithms
+consume.  Provides three isolation levels, retry errors instead of lock
+waits, per-row last-writer metadata (the dictating PUT of each GET), and a
+binlog from which the server derives the global write order.
+"""
+
+from repro.store.kv import (
+    IsolationLevel,
+    KVStore,
+    Transaction,
+    TxStatus,
+)
+from repro.store.binlog import Binlog, BinlogEntry
+from repro.errors import TransactionAborted, TransactionRetry
+
+__all__ = [
+    "IsolationLevel",
+    "KVStore",
+    "Transaction",
+    "TxStatus",
+    "Binlog",
+    "BinlogEntry",
+    "TransactionAborted",
+    "TransactionRetry",
+]

@@ -1,0 +1,47 @@
+"""The store's binary log (paper section 5, "Transactional state").
+
+The original system repurposes MySQL's binlog to recover the global order
+in which committed writes were applied.  Our store appends one entry per
+installed version at commit time, in commit order; the Karousos server
+post-processes this into the ``writeOrder`` advice (a list of positions in
+the transaction logs, Appendix C.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class BinlogEntry:
+    """One installed version: which key, and the writer token the client
+    attached to the PUT (the Karousos server uses ``(rid, tid, txlog_idx)``
+    tokens; the unmodified server attaches ``None``)."""
+
+    key: str
+    writer_token: object
+
+
+class Binlog:
+    """Append-only log of installed versions, in global commit order."""
+
+    def __init__(self) -> None:
+        self._entries: List[BinlogEntry] = []
+
+    def append(self, key: str, writer_token: object) -> None:
+        self._entries.append(BinlogEntry(key, writer_token))
+
+    def entries(self) -> List[BinlogEntry]:
+        return list(self._entries)
+
+    def __iter__(self) -> Iterator[BinlogEntry]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def version_order(self, key: str) -> List[object]:
+        """Writer tokens of the committed versions of ``key``, in install
+        order -- Adya's per-key version order."""
+        return [e.writer_token for e in self._entries if e.key == key]

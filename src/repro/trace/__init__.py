@@ -1,0 +1,6 @@
+"""The trusted collector and request/response traces (paper section 2.1)."""
+
+from repro.trace.trace import Request, Trace, TraceEvent, REQ, RESP
+from repro.trace.collector import Collector
+
+__all__ = ["Request", "Trace", "TraceEvent", "REQ", "RESP", "Collector"]

@@ -1,0 +1,87 @@
+"""Wire format for traces.
+
+The collector's trace travels from the collection point to the verifier;
+like the advice codec, this is a strict, versioned JSON encoding.  Note
+the trust model difference: the *transport* is untrusted only for advice
+-- the trace must reach the verifier over a channel the principal trusts
+(paper section 2.1) -- but a strict parser is good hygiene either way.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.advice.codec import decode_value, encode_value
+from repro.errors import AdviceFormatError
+from repro.trace.trace import REQ, RESP, Request, Trace, TraceEvent
+
+TRACE_FORMAT_VERSION = 1
+
+
+def encode_trace(trace: Trace) -> str:
+    events = []
+    for event in trace:
+        if event.kind == REQ:
+            request: Request = event.data
+            events.append(
+                {
+                    "kind": REQ,
+                    "rid": event.rid,
+                    "route": request.route,
+                    "payload": encode_value(dict(request.payload)),
+                }
+            )
+        else:
+            events.append(
+                {"kind": RESP, "rid": event.rid, "data": encode_value(event.data)}
+            )
+    return json.dumps(
+        {"version": TRACE_FORMAT_VERSION, "events": events}, separators=(",", ":")
+    )
+
+
+def decode_trace(payload: str) -> Trace:
+    """Parse a trace document; structural surprises raise
+    :class:`AdviceFormatError`, nothing else escapes."""
+    try:
+        return _decode_trace(payload)
+    except AdviceFormatError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError, AttributeError) as exc:
+        raise AdviceFormatError(
+            f"malformed trace: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def _decode_trace(payload: str) -> Trace:
+    try:
+        doc = json.loads(payload)
+    except (TypeError, ValueError) as exc:
+        raise AdviceFormatError(f"trace is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("version") != TRACE_FORMAT_VERSION:
+        raise AdviceFormatError("unsupported trace document")
+    events = doc.get("events")
+    if not isinstance(events, list):
+        raise AdviceFormatError("trace events must be a list")
+    trace = Trace()
+    for event in events:
+        if not isinstance(event, dict) or not isinstance(event.get("rid"), str):
+            raise AdviceFormatError(f"bad trace event: {event!r}")
+        if event.get("kind") == REQ:
+            payload_value = decode_value(event["payload"])
+            if not isinstance(payload_value, dict):
+                raise AdviceFormatError("request payload must be a mapping")
+            if not isinstance(event.get("route"), str):
+                raise AdviceFormatError("request route must be a string")
+            trace.append(
+                TraceEvent(
+                    REQ,
+                    event["rid"],
+                    Request.make(event["rid"], event["route"], **payload_value),
+                )
+            )
+        elif event.get("kind") == RESP:
+            trace.append(TraceEvent(RESP, event["rid"], decode_value(event["data"])))
+        else:
+            raise AdviceFormatError(f"unknown trace event kind {event.get('kind')!r}")
+    return trace

@@ -1,0 +1,44 @@
+"""The trusted collector (paper sections 1, 2.1, 2.2).
+
+The collector sits logically in front of the server and records the ground
+truth of what enters and leaves it.  In the original deployment this is a
+TLS-terminating enclave or a bump-in-the-wire; here it is an in-process
+observer that the KEM runtime notifies on request admission and response
+emission.  The *trust* assumption is modelled by construction: the runtime
+cannot rewrite history, only append, and adversarial servers in
+``repro.attacks`` are modelled as producing bogus *responses and advice*,
+never as corrupting the collector's record of what was actually sent.
+"""
+
+from __future__ import annotations
+
+from repro.trace.trace import REQ, RESP, Request, Trace, TraceEvent
+
+
+class Collector:
+    """Appends REQ/RESP events in observation order."""
+
+    def __init__(self) -> None:
+        self._trace = Trace()
+        self._open = set()
+
+    def on_request(self, request: Request) -> None:
+        if request.rid in self._open:
+            raise ValueError(f"duplicate request id {request.rid}")
+        self._open.add(request.rid)
+        self._trace.append(TraceEvent(REQ, request.rid, request))
+
+    def on_response(self, rid: str, data: object) -> None:
+        if rid not in self._open:
+            raise ValueError(f"response for unknown/finished request {rid}")
+        self._open.remove(rid)
+        self._trace.append(TraceEvent(RESP, rid, data))
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._open)
+
+    def trace(self) -> Trace:
+        """The trace collected so far.  Callers should only audit balanced
+        traces (all requests answered); :meth:`Trace.is_balanced` checks."""
+        return self._trace

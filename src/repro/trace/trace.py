@@ -1,0 +1,110 @@
+"""Request/response traces (paper Definition 1).
+
+A trace is the ground-truth, chronologically ordered list of request and
+response events observed by the trusted collector.  A request event is
+``(REQ, rid, x)``; a response event is ``(RESP, rid, y)``.  The verifier
+treats the trace as trusted; everything else (the advice) is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+REQ = "REQ"
+RESP = "RESP"
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client request: globally unique id, route, and input payload."""
+
+    rid: str
+    route: str
+    payload: Tuple[Tuple[str, object], ...]
+
+    @classmethod
+    def make(cls, rid: str, route: str, **payload: object) -> "Request":
+        return cls(rid, route, tuple(sorted(payload.items())))
+
+    def payload_dict(self) -> Dict[str, object]:
+        return dict(self.payload)
+
+    @property
+    def inputs(self) -> Dict[str, object]:
+        return dict(self.payload)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One collector observation: kind is REQ or RESP."""
+
+    kind: str
+    rid: str
+    data: object
+
+
+@dataclass
+class Trace:
+    """Chronological list of trace events plus request lookup helpers."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def request_ids(self) -> List[str]:
+        return [e.rid for e in self.events if e.kind == REQ]
+
+    def requests(self) -> List[Request]:
+        return [e.data for e in self.events if e.kind == REQ]
+
+    def request(self, rid: str) -> Request:
+        for e in self.events:
+            if e.kind == REQ and e.rid == rid:
+                return e.data
+        raise KeyError(rid)
+
+    def response(self, rid: str) -> object:
+        for e in self.events:
+            if e.kind == RESP and e.rid == rid:
+                return e.data
+        raise KeyError(rid)
+
+    def responses(self) -> Dict[str, object]:
+        return {e.rid: e.data for e in self.events if e.kind == RESP}
+
+    def is_balanced(self) -> bool:
+        """Every request has exactly one response that follows its arrival,
+        and no response lacks a request (Figure 14 line 19)."""
+        pending: Dict[str, bool] = {}
+        seen_resp: Dict[str, bool] = {}
+        for e in self.events:
+            if e.kind == REQ:
+                if e.rid in pending or e.rid in seen_resp:
+                    return False
+                pending[e.rid] = True
+            elif e.kind == RESP:
+                if e.rid not in pending or e.rid in seen_resp:
+                    return False
+                seen_resp[e.rid] = True
+            else:
+                return False
+        return len(pending) == len(seen_resp)
+
+    def with_response(self, rid: str, data: object) -> "Trace":
+        """A copy with ``rid``'s response replaced -- models a server that
+        sent a different (bogus) response, for soundness tests."""
+        out = Trace()
+        for e in self.events:
+            if e.kind == RESP and e.rid == rid:
+                out.append(TraceEvent(RESP, rid, data))
+            else:
+                out.append(e)
+        return out

@@ -1,0 +1,11 @@
+"""The Karousos verifier: Audit = Preprocess + ReExec + Postprocess.
+
+Implements Figures 14-21 of the paper (and the OOOAudit reference
+procedure of Figure 22 in :mod:`repro.verifier.oooaudit`).  The audit
+consumes a trusted trace and untrusted advice and either ACCEPTs or
+REJECTs with a machine-readable reason.
+"""
+
+from repro.verifier.audit import AuditResult, Auditor, audit
+
+__all__ = ["AuditResult", "Auditor", "audit"]

@@ -1,0 +1,103 @@
+"""The audit entry point (paper Figure 14: Audit = Preprocess, ReExec,
+Postprocess).
+
+``audit(app, trace, advice)`` returns an :class:`AuditResult`: ACCEPT with
+statistics, or REJECT with the machine-readable reason raised by whichever
+check failed.  Any structural error in the untrusted advice is likewise a
+rejection, never a crash.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.advice.records import Advice
+from repro.errors import AuditRejected
+from repro.kem.program import AppSpec
+from repro.trace.trace import Trace
+from repro.verifier.isolation import verify_isolation_level
+from repro.verifier.postprocess import postprocess
+from repro.verifier.preprocess import AuditState, preprocess
+from repro.verifier.reexec import ReExecutor
+
+
+@dataclass
+class AuditResult:
+    accepted: bool
+    reason: str = "accepted"
+    detail: str = ""
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+    def __repr__(self) -> str:
+        verdict = "ACCEPT" if self.accepted else f"REJECT({self.reason})"
+        return f"<AuditResult {verdict}>"
+
+
+class Auditor:
+    """Runs one audit; exposes intermediate state for tests and tooling."""
+
+    def __init__(
+        self,
+        app: AppSpec,
+        trace: Trace,
+        advice: Advice,
+        singleton_groups: bool = False,
+        reverse_groups: bool = False,
+    ):
+        self.app = app
+        self.trace = trace
+        self.advice = advice
+        self.singleton_groups = singleton_groups
+        self.reverse_groups = reverse_groups
+        self.state: Optional[AuditState] = None
+        self.re_exec: Optional[ReExecutor] = None
+
+    def run(self) -> AuditResult:
+        started = time.perf_counter()
+        try:
+            self.state = preprocess(self.app, self.trace, self.advice)
+            verify_isolation_level(self.state)
+            self.re_exec = ReExecutor(
+                self.state,
+                singleton_groups=self.singleton_groups,
+                reverse_groups=self.reverse_groups,
+            )
+            self.re_exec.run()
+            postprocess(self.state, self.re_exec)
+        except AuditRejected as rejection:
+            return AuditResult(
+                accepted=False,
+                reason=rejection.reason,
+                detail=rejection.detail,
+                stats=self._stats(started),
+            )
+        except Exception as exc:  # malformed advice can crash any phase
+            return AuditResult(
+                accepted=False,
+                reason="audit-crash",
+                detail=f"{type(exc).__name__}: {exc}",
+                stats=self._stats(started),
+            )
+        return AuditResult(accepted=True, stats=self._stats(started))
+
+    def _stats(self, started: float) -> Dict[str, float]:
+        stats: Dict[str, float] = {
+            "elapsed_seconds": time.perf_counter() - started,
+        }
+        if self.state is not None:
+            stats["graph_nodes"] = self.state.graph.node_count
+            stats["graph_edges"] = self.state.graph.edge_count
+        if self.re_exec is not None:
+            stats["groups"] = self.re_exec.groups_executed
+            stats["handlers_executed"] = self.re_exec.handlers_executed
+        return stats
+
+
+def audit(app: AppSpec, trace: Trace, advice: Advice) -> AuditResult:
+    """Audit a served trace against the server's advice."""
+    return Auditor(app, trace, advice).run()

@@ -1,0 +1,256 @@
+"""Isolation-level verification (paper section 4.4, Figure 17).
+
+The verifier runs Adya-style isolation tests against the *alleged* history
+(transaction logs + write order), thereby provisionally justifying it; the
+rest of the audit then ties the alleged history to re-execution.
+
+Checks, per Figure 17:
+
+* the write order must contain exactly the last modifications of committed
+  transactions, each exactly once (ExtractWriteOrderPerKey);
+* under READ COMMITTED and SERIALIZABILITY, committed transactions may
+  only read from writes present in the write order (this subsumes Adya's
+  G1a aborted reads and G1b intermediate reads);
+* the direct serialization graph restricted to the level's edge kinds must
+  be acyclic: ww for READ UNCOMMITTED (G0), +wr for READ COMMITTED (G1c),
+  +rw for SERIALIZABILITY (G2).
+
+Extension beyond the paper's pseudocode (documented in DESIGN.md): under
+SERIALIZABILITY, reads of the initial (never-written) state contribute
+anti-dependency edges to the installer of the key's first version, exactly
+as Adya treats reads of the unborn version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.advice.records import TX_GET, TX_PUT
+from repro.core.graph import Digraph
+from repro.core.ids import TxId
+from repro.errors import AdviceFormatError, AuditRejected
+from repro.store.kv import IsolationLevel
+from repro.verifier.preprocess import AuditState, _tx_entry
+
+TxRef = Tuple[str, TxId]
+WritePos = Tuple[str, TxId, int]
+
+
+def verify_isolation_level(state: AuditState) -> Digraph:
+    """Figure 17's IsolationLvlVer; returns the dependency graph DG.
+
+    Extension beyond the paper (its stated future work): SNAPSHOT claims
+    are verified against alleged transaction windows (start/commit
+    sequence numbers) -- snapshot reads, first-committer-wins, and
+    window/write-order consistency.  Like the TxOp order, the windows are
+    untrusted and provisionally justified; re-execution and the global
+    graph G tie them to the rest of the execution.
+    """
+    level = state.advice.isolation_level
+    if not isinstance(level, IsolationLevel):
+        raise AdviceFormatError(f"unknown isolation level {level!r}")
+    dg = Digraph()
+    for ref in state.committed:
+        dg.add_node(ref)
+    per_key = _extract_write_order_per_key(state)
+    _add_write_dependency_edges(state, dg, per_key)
+    if level is IsolationLevel.SNAPSHOT:
+        _verify_snapshot_isolation(state, per_key)
+    if level in (IsolationLevel.READ_COMMITTED, IsolationLevel.SERIALIZABLE):
+        _add_read_dependency_edges(state, dg)
+    if level is IsolationLevel.SERIALIZABLE:
+        _add_anti_dependency_edges(state, dg, per_key)
+    cycle = dg.find_cycle()
+    if cycle is not None:
+        raise AuditRejected(
+            "isolation-violated",
+            f"dependency cycle under {level.value}: {cycle}",
+        )
+    return dg
+
+
+def _extract_write_order_per_key(state: AuditState) -> Dict[str, List[WritePos]]:
+    advice = state.advice
+    if len(advice.write_order) != len(state.last_modification):
+        raise AuditRejected(
+            "bad-write-order",
+            f"write order has {len(advice.write_order)} entries, expected "
+            f"{len(state.last_modification)} last modifications",
+        )
+    seen = set()
+    per_key: Dict[str, List[WritePos]] = {}
+    for pos in advice.write_order:
+        if not (isinstance(pos, tuple) and len(pos) == 3):
+            raise AdviceFormatError(f"write order entry malformed: {pos!r}")
+        rid, tid, i = pos
+        if pos in seen:
+            raise AuditRejected("bad-write-order", f"duplicate entry {pos!r}")
+        seen.add(pos)
+        op = _tx_entry(state, rid, tid, i)
+        if op.optype != TX_PUT:
+            raise AuditRejected("bad-write-order", f"entry {pos!r} is not a PUT")
+        if state.last_modification.get((rid, tid, op.key)) != i:
+            raise AuditRejected(
+                "bad-write-order",
+                f"entry {pos!r} is not the last modification of {op.key!r}",
+            )
+        per_key.setdefault(op.key, []).append(pos)
+    return per_key
+
+
+def _add_write_dependency_edges(
+    state: AuditState, dg: Digraph, per_key: Dict[str, List[WritePos]]
+) -> None:
+    for order in per_key.values():
+        for (rid_a, tid_a, _), (rid_b, tid_b, _) in zip(order, order[1:]):
+            if (rid_a, tid_a) != (rid_b, tid_b):
+                dg.add_edge((rid_a, tid_a), (rid_b, tid_b))
+
+
+def _add_read_dependency_edges(state: AuditState, dg: Digraph) -> None:
+    write_order = set(state.advice.write_order)
+    for write_pos, readers in state.read_map.items():
+        rid_w, tid_w, _ = write_pos
+        if write_pos not in write_order:
+            # Not a final committed write: no committed *other* transaction
+            # may have read it (aborted or intermediate read).
+            for rid_r, tid_r, _i in readers:
+                if (rid_r, tid_r) in state.committed and (rid_r, tid_r) != (
+                    rid_w,
+                    tid_w,
+                ):
+                    raise AuditRejected(
+                        "dirty-read",
+                        f"committed tx {(rid_r, tid_r)} read non-final write "
+                        f"{write_pos!r}",
+                    )
+            continue
+        for rid_r, tid_r, _i in readers:
+            if (rid_w, tid_w) in state.committed and (rid_r, tid_r) in state.committed:
+                if (rid_w, tid_w) != (rid_r, tid_r):
+                    dg.add_edge((rid_w, tid_w), (rid_r, tid_r))
+
+
+def _verify_snapshot_isolation(
+    state: AuditState, per_key: Dict[str, List[WritePos]]
+) -> None:
+    """Timestamp-based snapshot-isolation checks over alleged windows."""
+    advice = state.advice
+    windows = advice.tx_windows
+
+    # 1. Window well-formedness and agreement with commit status.
+    commit_seqs: Dict[TxRef, int] = {}
+    seen_commits = set()
+    for (rid, tid) in advice.tx_logs:
+        window = windows.get((rid, tid))
+        if (
+            window is None
+            or not isinstance(window, tuple)
+            or len(window) != 2
+            or not isinstance(window[0], int)
+        ):
+            raise AuditRejected(
+                "si-violated", f"transaction {(rid, tid)} has no valid window"
+            )
+        start, commit = window
+        committed = (rid, tid) in state.committed
+        if committed != (commit is not None):
+            raise AuditRejected(
+                "si-violated",
+                f"window commit status disagrees with tx log for {(rid, tid)}",
+            )
+        if commit is not None:
+            if not isinstance(commit, int) or commit <= start:
+                raise AuditRejected(
+                    "si-violated", f"window of {(rid, tid)} is not an interval"
+                )
+            if commit in seen_commits:
+                raise AuditRejected(
+                    "si-violated", f"duplicate commit sequence {commit}"
+                )
+            seen_commits.add(commit)
+            commit_seqs[(rid, tid)] = commit
+
+    # 2. The write order must follow commit order (the binlog appends whole
+    # transactions at their commit points).
+    last_commit = 0
+    last_tx: object = None
+    for rid, tid, _i in advice.write_order:
+        commit = commit_seqs[(rid, tid)]
+        if commit < last_commit or (commit == last_commit and (rid, tid) != last_tx):
+            raise AuditRejected(
+                "si-violated", "write order contradicts window commit order"
+            )
+        last_commit, last_tx = commit, (rid, tid)
+
+    # 3. Snapshot reads: every committed transaction's GET observes the
+    # newest version committed before its snapshot (or its own write).
+    for (rid, tid) in state.committed:
+        start = windows[(rid, tid)][0]
+        for entry in advice.tx_logs[(rid, tid)]:
+            if entry.optype != TX_GET:
+                continue
+            versions = per_key.get(entry.key, [])
+            if entry.opcontents is None:
+                # Initial-state read: no version may precede the snapshot.
+                for rid_w, tid_w, _i in versions:
+                    if commit_seqs[(rid_w, tid_w)] <= start:
+                        raise AuditRejected(
+                            "si-violated",
+                            f"{(rid, tid)} read initial state of {entry.key!r} "
+                            "despite an earlier committed version",
+                        )
+                continue
+            rid_w, tid_w, i_w = entry.opcontents
+            if (rid_w, tid_w) == (rid, tid):
+                continue  # own write (well-formedness checked in preprocess)
+            if (rid_w, tid_w) not in state.committed:
+                raise AuditRejected(
+                    "dirty-read",
+                    f"{(rid, tid)} read from uncommitted {(rid_w, tid_w)}",
+                )
+            commit_w = commit_seqs[(rid_w, tid_w)]
+            if commit_w > start:
+                raise AuditRejected(
+                    "si-violated",
+                    f"{(rid, tid)} read a version committed after its snapshot",
+                )
+            for rid_v, tid_v, _i in versions:
+                commit_v = commit_seqs[(rid_v, tid_v)]
+                if commit_w < commit_v <= start:
+                    raise AuditRejected(
+                        "si-violated",
+                        f"{(rid, tid)} skipped a newer snapshot-visible "
+                        f"version of {entry.key!r}",
+                    )
+
+    # 4. First-committer-wins: committed writers of one key have disjoint,
+    # version-order-aligned windows.
+    for key, order in per_key.items():
+        for (rid_a, tid_a, _ia), (rid_b, tid_b, _ib) in zip(order, order[1:]):
+            if (rid_a, tid_a) == (rid_b, tid_b):
+                continue
+            commit_a = commit_seqs[(rid_a, tid_a)]
+            start_b = windows[(rid_b, tid_b)][0]
+            if start_b < commit_a:
+                raise AuditRejected(
+                    "si-violated",
+                    f"overlapping writers of {key!r}: first-committer-wins "
+                    "violated",
+                )
+
+
+def _add_anti_dependency_edges(
+    state: AuditState, dg: Digraph, per_key: Dict[str, List[WritePos]]
+) -> None:
+    for key, order in per_key.items():
+        first_rid, first_tid, _ = order[0]
+        for rid_r, tid_r, _i in state.initial_readers.get(key, ()):
+            t1, t2 = (rid_r, tid_r), (first_rid, first_tid)
+            if t1 != t2 and t1 in state.committed:
+                dg.add_edge(t1, t2)
+        for pos, (rid_n, tid_n, _) in zip(order, order[1:]):
+            for rid_r, tid_r, _i in state.read_map.get(pos, ()):
+                t1, t2 = (rid_r, tid_r), (rid_n, tid_n)
+                if t1 != t2 and t1 in state.committed:
+                    dg.add_edge(t1, t2)

@@ -1,0 +1,37 @@
+"""Node naming for the verifier's execution graph G.
+
+G contains, per request: an arrival node, a response-delivery node, and
+per executed handler a start node, one node per operation, and an end
+node (Figure 14, AddProgramEdges; Figure 15, SplitNodes).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.ids import HandlerId
+
+REQ_NODE = "req"
+RESP_NODE = "resp"
+OP_NODE = "op"
+END_NODE = "end"
+
+
+def node_req(rid: str) -> Tuple:
+    """Arrival of request ``rid`` -- the paper's (rid, 0)."""
+    return (REQ_NODE, rid)
+
+
+def node_resp(rid: str) -> Tuple:
+    """Delivery of ``rid``'s response -- the paper's (rid, infinity)."""
+    return (RESP_NODE, rid)
+
+
+def node_op(rid: str, hid: HandlerId, opnum: int) -> Tuple:
+    """Operation ``opnum`` of handler (rid, hid); opnum 0 is handler start."""
+    return (OP_NODE, rid, hid, opnum)
+
+
+def node_end(rid: str, hid: HandlerId) -> Tuple:
+    """Handler exit -- the paper's (rid, hid, infinity)."""
+    return (END_NODE, rid, hid)

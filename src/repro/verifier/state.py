@@ -1,0 +1,204 @@
+"""Verifier-side variable state (paper section 4.2-4.3, Figures 20-21).
+
+For each loggable variable the verifier keeps:
+
+* ``var_dict`` -- the *variable's dictionary*: every value written during
+  re-execution, indexed by (rid, hid) and opnum, so unlogged reads can be
+  fed by climbing the handler tree (FindNearestRPrecedingWrite);
+* ``read_observers`` -- per write, the reads that observed it (from the
+  variable log for logged reads, from re-execution for unlogged ones);
+* ``write_observer`` -- per write, the single write that overwrote it;
+* ``initializer`` -- the first write in the reconstructed history chain.
+
+The variable's *initial value* is modelled as a write by the
+initialisation pseudo-handler I at :data:`~repro.server.variables.INIT_REF`
+(the verifier runs init itself, so this value is trusted).  If the server's
+variable log contains a backfilled entry for the init write, its value is
+checked against the verifier's own -- rejecting forged initial values.
+
+Beyond the paper's pseudocode, every log entry consumed during
+re-execution is tracked; :meth:`VarState.unconsumed_entries` lets the audit
+reject logs containing entries that no re-executed operation produced
+(closing the forged-dangling-write-entry channel; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.advice.records import OpKey, VariableLogEntry
+from repro.core.ids import HandlerId
+from repro.errors import AuditRejected
+from repro.server.variables import INIT_HID, INIT_REF, INIT_RID
+
+
+class VarState:
+    """Re-execution state of one loggable variable."""
+
+    __slots__ = (
+        "var_id",
+        "log",
+        "var_dict",
+        "read_observers",
+        "write_observer",
+        "initializer",
+        "consumed",
+    )
+
+    def __init__(
+        self,
+        var_id: str,
+        initial_value: object,
+        log: Dict[OpKey, VariableLogEntry],
+    ):
+        self.var_id = var_id
+        self.log = log
+        # (rid, hid) -> ordered list of (opnum, value) writes re-executed.
+        self.var_dict: Dict[Tuple[str, HandlerId], List[Tuple[int, object]]] = {}
+        self.read_observers: Dict[OpKey, Set[OpKey]] = {}
+        self.write_observer: Dict[OpKey, OpKey] = {}
+        self.initializer: Optional[OpKey] = INIT_REF
+        self.consumed: Set[OpKey] = set()
+        # Seed the dictionary with the trusted initial value (a write by I).
+        self.var_dict[(INIT_RID, INIT_HID)] = [(0, initial_value)]
+        # Simulate-and-check for the init write: a backfilled log entry for
+        # it must carry the true initial value.
+        entry = log.get(INIT_REF)
+        if entry is not None:
+            if entry.access != "write" or entry.value != initial_value:
+                raise AuditRejected(
+                    "forged-initial-value",
+                    f"variable {var_id!r} init entry does not match program",
+                )
+            self.consumed.add(INIT_REF)
+
+    # -- dictionary interrogation ------------------------------------------
+
+    def find_nearest_r_preceding_write(
+        self, rid: str, hid: HandlerId, opnum: int
+    ) -> Optional[Tuple[OpKey, object]]:
+        """The latest write that R-precedes (rid, hid, opnum), per the
+        variable dictionary: this handler's last earlier write, else the
+        nearest ancestor's last write, else the init write (section 4.2)."""
+        own = self.var_dict.get((rid, hid))
+        if own:
+            best = None
+            for w_opnum, value in own:
+                if w_opnum < opnum:
+                    best = (w_opnum, value)
+            if best is not None:
+                return ((rid, hid, best[0]), best[1])
+        node = hid.parent
+        while node is not None:
+            writes = self.var_dict.get((rid, node))
+            if writes:
+                w_opnum, value = writes[-1]
+                return ((rid, node, w_opnum), value)
+            node = node.parent
+        init_writes = self.var_dict.get((INIT_RID, INIT_HID))
+        if init_writes:
+            w_opnum, value = init_writes[-1]
+            return ((INIT_RID, INIT_HID, w_opnum), value)
+        return None
+
+    # -- Figure 20: OnRead ----------------------------------------------------
+
+    def on_read(self, rid: str, hid: HandlerId, opnum: int) -> object:
+        key: OpKey = (rid, hid, opnum)
+        entry = self.log.get(key)
+        if entry is not None:
+            # Logged read: the server must have logged the dictating write
+            # too; feed its value.
+            if entry.access != "read" or entry.prec is None:
+                raise AuditRejected(
+                    "variable-log-invalid",
+                    f"{self.var_id!r}: read entry at {key} malformed",
+                )
+            dictating = self.log.get(entry.prec)
+            if dictating is None or dictating.access != "write":
+                raise AuditRejected(
+                    "variable-log-invalid",
+                    f"{self.var_id!r}: dictating write missing for read {key}",
+                )
+            self.consumed.add(key)
+            self.read_observers.setdefault(entry.prec, set()).add(key)
+            return dictating.value
+        found = self.find_nearest_r_preceding_write(rid, hid, opnum)
+        if found is None:
+            raise AuditRejected(
+                "unfed-read",
+                f"{self.var_id!r}: no R-preceding write for unlogged read {key}",
+            )
+        write_key, value = found
+        self.read_observers.setdefault(write_key, set()).add(key)
+        return value
+
+    # -- Figure 21: OnWrite ------------------------------------------------------
+
+    def on_write(self, rid: str, hid: HandlerId, opnum: int, value: object) -> None:
+        key: OpKey = (rid, hid, opnum)
+        self.var_dict.setdefault((rid, hid), []).append((opnum, value))
+        entry = self.log.get(key)
+        if entry is not None:
+            # Simulate-and-check: the logged value must match re-execution.
+            if entry.access != "write":
+                raise AuditRejected(
+                    "variable-log-invalid",
+                    f"{self.var_id!r}: write at {key} logged as read",
+                )
+            if entry.value != value:
+                raise AuditRejected(
+                    "write-mismatch",
+                    f"{self.var_id!r}: logged value differs from re-execution at {key}",
+                )
+            self.consumed.add(key)
+            if entry.prec is not None:
+                if entry.prec in self.write_observer:
+                    raise AuditRejected(
+                        "double-overwrite",
+                        f"{self.var_id!r}: two writes overwrite {entry.prec}",
+                    )
+                self.write_observer[entry.prec] = key
+                return
+            # Backfilled entry (prec unknown to the server at logging time):
+            # recover the predecessor from re-execution, as for unlogged
+            # writes, so the history chain stays connected.
+        found = self.find_nearest_r_preceding_write(rid, hid, opnum)
+        if found is not None:
+            self.write_observer.setdefault(found[0], key)
+        else:
+            self.initializer = key
+
+    # -- final accounting ------------------------------------------------------------
+
+    def unconsumed_entries(self) -> List[OpKey]:
+        """Log entries that no re-executed operation produced.
+
+        Entries that are only *referenced* (as a read's dictating write)
+        count as consumed when their own coordinates re-execute; a write
+        entry whose coordinates never re-executed as a write of this
+        variable is a fabrication and must reject the audit.
+        """
+        return [k for k in self.log if k not in self.consumed]
+
+
+class PlainVarState:
+    """A non-loggable variable: per-request plain cells (section 5).
+
+    The developer asserted all accesses are R-ordered, so the verifier
+    tracks no versions and performs no checks -- mis-annotation costs
+    Completeness, never Soundness.
+    """
+
+    __slots__ = ("var_id", "initial", "values")
+
+    def __init__(self, var_id: str, initial: object):
+        self.var_id = var_id
+        self.initial = initial
+        self.values: Dict[str, object] = {}
+
+    def read(self, rid: str) -> object:
+        return self.values.get(rid, self.initial)
+
+    def write(self, rid: str, value: object) -> None:
+        self.values[rid] = value

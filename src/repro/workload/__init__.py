@@ -1,0 +1,21 @@
+"""Workload generation (paper section 6, "Workloads")."""
+
+from repro.workload.generator import (
+    MIX_MIXED,
+    MIX_READ_HEAVY,
+    MIX_WRITE_HEAVY,
+    motd_workload,
+    stacks_workload,
+    wiki_workload,
+    workload_for,
+)
+
+__all__ = [
+    "MIX_MIXED",
+    "MIX_READ_HEAVY",
+    "MIX_WRITE_HEAVY",
+    "motd_workload",
+    "stacks_workload",
+    "wiki_workload",
+    "workload_for",
+]

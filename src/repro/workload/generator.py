@@ -1,0 +1,135 @@
+"""Synthetic request workloads matching the paper's mixes (section 6).
+
+* MOTD and stack-dump use three mixes: read-heavy (90% reads), write-heavy
+  (90% writes), and mixed (50/50).
+* Stack-dump write requests split 10% new dumps / 90% re-reports of a
+  previously submitted dump.
+* The wiki mix is 25% page creations, 15% comment creations, 60% renders
+  (loosely derived from a Wikipedia trace, as in the paper).
+
+Generators are seeded and deterministic; request ids encode arrival order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core.digest import value_digest
+from repro.core.ids import make_rid
+from repro.trace.trace import Request
+
+MIX_READ_HEAVY = "read-heavy"
+MIX_WRITE_HEAVY = "write-heavy"
+MIX_MIXED = "mixed"
+
+_WRITE_FRACTION = {
+    MIX_READ_HEAVY: 0.10,
+    MIX_WRITE_HEAVY: 0.90,
+    MIX_MIXED: 0.50,
+}
+
+_DAYS = ("mon", "tue", "wed", "thu", "fri", "sat", "sun", "all")
+
+
+def _write_fraction(mix: str) -> float:
+    try:
+        return _WRITE_FRACTION[mix]
+    except KeyError:
+        raise ValueError(f"unknown mix {mix!r}") from None
+
+
+def motd_workload(n: int, mix: str = MIX_MIXED, seed: int = 0) -> List[Request]:
+    """Get/set requests over a small day domain."""
+    rng = random.Random(seed)
+    frac = _write_fraction(mix)
+    out = []
+    for i in range(n):
+        rid = make_rid(i)
+        if rng.random() < frac:
+            out.append(
+                Request.make(
+                    rid,
+                    "set",
+                    day=rng.choice(_DAYS),
+                    msg=f"message of the day #{rng.randrange(1000)}",
+                )
+            )
+        else:
+            out.append(Request.make(rid, "get", day=rng.choice(_DAYS)))
+    return out
+
+
+def _dump_text(k: int) -> str:
+    frames = [f"  at frame_{(k * 7 + j) % 23}(module_{j % 5}.py:{40 + j})" for j in range(6)]
+    return f"Traceback #{k}\n" + "\n".join(frames)
+
+
+def stacks_workload(n: int, mix: str = MIX_MIXED, seed: int = 0) -> List[Request]:
+    """Submit/count/list requests.
+
+    Writes are submits (10% brand-new dumps, 90% re-reports); reads split
+    between count (2/3) and list (1/3) requests.
+    """
+    rng = random.Random(seed)
+    frac = _write_fraction(mix)
+    submitted: List[str] = []
+    out = []
+    next_new = 0
+    for i in range(n):
+        rid = make_rid(i)
+        if rng.random() < frac or not submitted:
+            if rng.random() < 0.10 or not submitted:
+                dump = _dump_text(next_new)
+                next_new += 1
+            else:
+                dump = rng.choice(submitted)
+            submitted.append(dump)
+            out.append(Request.make(rid, "submit", dump=dump))
+        elif rng.random() < 2 / 3:
+            out.append(
+                Request.make(rid, "count", digest=value_digest(rng.choice(submitted)))
+            )
+        else:
+            out.append(Request.make(rid, "list"))
+    return out
+
+
+def wiki_workload(n: int, seed: int = 0) -> List[Request]:
+    """25% create-page / 15% create-comment / 60% render."""
+    rng = random.Random(seed)
+    titles: List[str] = []
+    out = []
+    next_page = 0
+    for i in range(n):
+        rid = make_rid(i)
+        roll = rng.random()
+        if roll < 0.25 or not titles:
+            title = f"Page_{next_page}"
+            next_page += 1
+            titles.append(title)
+            content = f"Contents of {title}.\nSection {next_page % 4}."
+            out.append(Request.make(rid, "create_page", title=title, content=content))
+        elif roll < 0.40:
+            out.append(
+                Request.make(
+                    rid,
+                    "create_comment",
+                    title=rng.choice(titles),
+                    text=f"comment #{rng.randrange(1000)}",
+                )
+            )
+        else:
+            out.append(Request.make(rid, "render", title=rng.choice(titles)))
+    return out
+
+
+def workload_for(app_name: str, n: int, mix: str = MIX_MIXED, seed: int = 0) -> List[Request]:
+    """Dispatch by application name ('motd', 'stacks', 'wiki')."""
+    if app_name == "motd":
+        return motd_workload(n, mix, seed)
+    if app_name == "stacks":
+        return stacks_workload(n, mix, seed)
+    if app_name == "wiki":
+        return wiki_workload(n, seed)
+    raise ValueError(f"unknown application {app_name!r}")

@@ -1,0 +1,102 @@
+"""The atomic read-modify-write operation (ctx.update).
+
+On the threaded runtime, plain read-then-write pairs from concurrent
+handlers can interleave (lost updates -- faithful, but not what counter-
+like application logic wants).  ``ctx.update`` fuses the pair under the
+operation lock; these tests pin down both semantics.
+"""
+
+import pytest
+
+from repro.kem import AppSpec, RandomScheduler
+from repro.kem.threaded import ThreadedRuntime
+from repro.server import KarousosPolicy, run_server
+from repro.trace.trace import Request
+from repro.verifier import audit
+
+N = 40
+
+
+def atomic_counter_app():
+    def handle(ctx, req):
+        new = ctx.update("n", lambda v: v + 1)
+        ctx.respond({"n": new})
+
+    def init(ic):
+        ic.create_var("n", 0)
+        ic.register_route("bump", "handle")
+
+    return AppSpec("atomic", {"handle": handle}, init)
+
+
+def racy_counter_app():
+    def handle(ctx, req):
+        v = ctx.read("n")
+        ctx.write("n", ctx.apply(lambda x: x + 1, v))
+        ctx.respond({"n": ctx.apply(lambda x: x + 1, v)})
+
+    def init(ic):
+        ic.create_var("n", 0)
+        ic.register_route("bump", "handle")
+
+    return AppSpec("racy", {"handle": handle}, init)
+
+
+def serve_threaded(app, seed=0):
+    policy = KarousosPolicy()
+    runtime = ThreadedRuntime(
+        app, policy, scheduler=RandomScheduler(seed), concurrency=12, parallelism=6
+    )
+    policy.runtime = runtime
+    trace = runtime.serve([Request.make(f"r{i:03d}", "bump") for i in range(N)])
+    return trace, policy.advice()
+
+
+class TestAtomicity:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_no_lost_updates_with_atomic_update(self, seed):
+        app = atomic_counter_app()
+        trace, advice = serve_threaded(app, seed)
+        finals = sorted(r["n"] for r in trace.responses().values())
+        assert finals == list(range(1, N + 1)), "every increment must land"
+        result = audit(atomic_counter_app(), trace, advice)
+        assert result.accepted, (result.reason, result.detail)
+
+    def test_racy_pairs_may_lose_updates_but_still_audit(self):
+        # Without atomicity the final count can be < N; whatever happened
+        # must still replay (faithfulness is about the execution that
+        # occurred, not the one the developer hoped for).
+        app = racy_counter_app()
+        trace, advice = serve_threaded(app, seed=1)
+        finals = [r["n"] for r in trace.responses().values()]
+        assert max(finals) <= N
+        result = audit(racy_counter_app(), trace, advice)
+        assert result.accepted, (result.reason, result.detail)
+
+
+class TestUpdateSemantics:
+    def test_update_consumes_two_opnums(self):
+        app = atomic_counter_app()
+        run = run_server(app, [Request.make("r0", "bump")], KarousosPolicy())
+        ((rid, hid),) = run.advice.opcounts.keys()
+        assert run.advice.opcounts[(rid, hid)] == 2, "one read + one write"
+
+    def test_update_returns_new_value(self):
+        app = atomic_counter_app()
+        run = run_server(app, [Request.make("r0", "bump")], KarousosPolicy())
+        assert run.trace.response("r0") == {"n": 1}
+
+    def test_update_with_extra_args(self):
+        def handle(ctx, req):
+            new = ctx.update("board", lambda b, k, v: {**b, k: v}, req["k"], req["v"])
+            ctx.respond({"board": new})
+
+        def init(ic):
+            ic.create_var("board", {})
+            ic.register_route("put", "handle")
+
+        app = AppSpec("args", {"handle": handle}, init)
+        run = run_server(app, [Request.make("r0", "put", k="x", v=7)], KarousosPolicy())
+        assert run.trace.response("r0") == {"board": {"x": 7}}
+        result = audit(app, run.trace, run.advice)
+        assert result.accepted

@@ -1,0 +1,130 @@
+"""Completeness (Definition 2): honest (trace, advice) must always be
+accepted -- across applications, workload mixes, concurrency levels, and
+dispatch schedules."""
+
+import pytest
+
+from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.kem.scheduler import FifoScheduler, LifoScheduler, RandomScheduler
+from repro.server import KarousosPolicy, OrochiPolicy, run_server
+from repro.store import IsolationLevel, KVStore
+from repro.verifier import audit
+from repro.workload import motd_workload, stacks_workload, wiki_workload
+
+
+def serve_and_audit(app, requests, policy=None, store=None, scheduler=None, concurrency=4):
+    run = run_server(
+        app,
+        requests,
+        policy or KarousosPolicy(),
+        store=store,
+        scheduler=scheduler or RandomScheduler(0),
+        concurrency=concurrency,
+    )
+    return audit(app, run.trace, run.advice), run
+
+
+class TestMotdCompleteness:
+    @pytest.mark.parametrize("mix", ["read-heavy", "write-heavy", "mixed"])
+    def test_all_mixes_accepted(self, mix):
+        result, _ = serve_and_audit(motd_app(), motd_workload(30, mix=mix, seed=1))
+        assert result.accepted, (result.reason, result.detail)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_many_schedules_accepted(self, seed):
+        result, _ = serve_and_audit(
+            motd_app(),
+            motd_workload(25, mix="mixed", seed=seed),
+            scheduler=RandomScheduler(seed),
+            concurrency=8,
+        )
+        assert result.accepted, (result.reason, result.detail)
+
+    @pytest.mark.parametrize("concurrency", [1, 2, 8, 25])
+    def test_all_concurrency_levels(self, concurrency):
+        result, _ = serve_and_audit(
+            motd_app(),
+            motd_workload(25, mix="mixed", seed=2),
+            concurrency=concurrency,
+        )
+        assert result.accepted, (result.reason, result.detail)
+
+    def test_batching_actually_happens(self):
+        result, run = serve_and_audit(motd_app(), motd_workload(40, mix="read-heavy", seed=3))
+        assert result.accepted
+        assert result.stats["groups"] < 40, "similar requests must batch"
+
+
+class TestStacksCompleteness:
+    @pytest.mark.parametrize("mix", ["read-heavy", "write-heavy", "mixed"])
+    @pytest.mark.parametrize(
+        "level",
+        [
+            IsolationLevel.SERIALIZABLE,
+            IsolationLevel.READ_COMMITTED,
+            IsolationLevel.READ_UNCOMMITTED,
+        ],
+    )
+    def test_mixes_and_isolation_levels(self, mix, level):
+        result, _ = serve_and_audit(
+            stackdump_app(),
+            stacks_workload(25, mix=mix, seed=4),
+            store=KVStore(level),
+            concurrency=6,
+        )
+        assert result.accepted, (result.reason, result.detail)
+
+    @pytest.mark.parametrize("scheduler", [FifoScheduler(), LifoScheduler(), RandomScheduler(9)])
+    def test_schedulers(self, scheduler):
+        result, _ = serve_and_audit(
+            stackdump_app(),
+            stacks_workload(20, mix="mixed", seed=5),
+            store=KVStore(IsolationLevel.SERIALIZABLE),
+            scheduler=scheduler,
+            concurrency=5,
+        )
+        assert result.accepted, (result.reason, result.detail)
+
+
+class TestWikiCompleteness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_wiki_mix_accepted(self, seed):
+        result, _ = serve_and_audit(
+            wiki_app(),
+            wiki_workload(30, seed=seed),
+            store=KVStore(IsolationLevel.SERIALIZABLE),
+            scheduler=RandomScheduler(seed),
+            concurrency=6,
+        )
+        assert result.accepted, (result.reason, result.detail)
+
+
+class TestOrochiAdviceCompleteness:
+    """The Karousos verifier must also accept Orochi-JS advice (it is the
+    same validation problem with more logging and finer groups)."""
+
+    def test_motd(self):
+        result, _ = serve_and_audit(
+            motd_app(), motd_workload(25, mix="mixed", seed=6), policy=OrochiPolicy()
+        )
+        assert result.accepted, (result.reason, result.detail)
+
+    def test_stacks(self):
+        result, _ = serve_and_audit(
+            stackdump_app(),
+            stacks_workload(20, mix="mixed", seed=7),
+            policy=OrochiPolicy(),
+            store=KVStore(IsolationLevel.SERIALIZABLE),
+            concurrency=5,
+        )
+        assert result.accepted, (result.reason, result.detail)
+
+    def test_wiki(self):
+        result, _ = serve_and_audit(
+            wiki_app(),
+            wiki_workload(25, seed=8),
+            policy=OrochiPolicy(),
+            store=KVStore(IsolationLevel.SERIALIZABLE),
+            concurrency=5,
+        )
+        assert result.accepted, (result.reason, result.detail)

@@ -1,0 +1,149 @@
+"""Cross-module property tests.
+
+These tie the substrates together: randomly scheduled executions of the
+real applications must always audit cleanly (Completeness over the
+configuration space), the serializable store must produce Adya-clean
+histories, and R-gated logging must be a strict refinement of
+log-everything.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adya import History, HOp, HTransaction, OpKind, check_isolation
+from repro.advice.records import TX_ABORT, TX_COMMIT, TX_GET, TX_PUT, TX_START
+from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.kem.scheduler import RandomScheduler
+from repro.server import KarousosPolicy, OrochiPolicy, run_server
+from repro.store import IsolationLevel, KVStore
+from repro.verifier import audit
+from repro.workload import stacks_workload, workload_for
+
+APPS = {
+    "motd": (motd_app, False),
+    "stacks": (stackdump_app, True),
+    "wiki": (wiki_app, True),
+}
+
+
+def _serve(app_name, n, mix, seed, concurrency, isolation=IsolationLevel.SERIALIZABLE):
+    app_fn, needs_store = APPS[app_name]
+    return run_server(
+        app_fn(),
+        workload_for(app_name, n, mix=mix, seed=seed),
+        KarousosPolicy(),
+        store=KVStore(isolation) if needs_store else None,
+        scheduler=RandomScheduler(seed),
+        concurrency=concurrency,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    app_name=st.sampled_from(["motd", "stacks", "wiki"]),
+    mix=st.sampled_from(["read-heavy", "write-heavy", "mixed"]),
+    seed=st.integers(0, 10_000),
+    concurrency=st.integers(1, 12),
+)
+def test_property_honest_executions_always_verify(app_name, mix, seed, concurrency):
+    """Completeness over the configuration space (Definition 2)."""
+    run = _serve(app_name, 14, mix, seed, concurrency)
+    result = audit(APPS[app_name][0](), run.trace, run.advice)
+    assert result.accepted, (app_name, mix, seed, concurrency, result.reason, result.detail)
+
+
+def _history_from_advice(advice) -> History:
+    """Convert transaction logs + write order into an Adya history."""
+    kind = {
+        TX_START: OpKind.START,
+        TX_COMMIT: OpKind.COMMIT,
+        TX_ABORT: OpKind.ABORT,
+        TX_PUT: OpKind.PUT,
+        TX_GET: OpKind.GET,
+    }
+    h = History()
+    for (rid, tid), log in advice.tx_logs.items():
+        ops = []
+        for entry in log:
+            observed = None
+            if entry.optype == TX_GET and entry.opcontents is not None:
+                rid_w, tid_w, i_w = entry.opcontents
+                observed = ((rid_w, tid_w), i_w)
+            ops.append(
+                HOp(
+                    kind[entry.optype],
+                    key=entry.key,
+                    value=entry.opcontents if entry.optype == TX_PUT else None,
+                    observed=observed,
+                )
+            )
+        h.add(HTransaction((rid, tid), ops))
+    for rid, tid, i in advice.write_order:
+        key = advice.tx_logs[(rid, tid)][i].key
+        h.version_order.setdefault(key, []).append(((rid, tid), i))
+    return h
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), concurrency=st.integers(1, 10))
+def test_property_serializable_store_yields_adya_clean_histories(seed, concurrency):
+    run = _serve("stacks", 16, "mixed", seed, concurrency)
+    history = _history_from_advice(run.advice)
+    assert check_isolation(history, IsolationLevel.SERIALIZABLE) == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), concurrency=st.integers(2, 10))
+def test_property_read_committed_store_never_shows_g1(seed, concurrency):
+    run = _serve(
+        "stacks", 16, "mixed", seed, concurrency,
+        isolation=IsolationLevel.READ_COMMITTED,
+    )
+    history = _history_from_advice(run.advice)
+    assert check_isolation(history, IsolationLevel.READ_COMMITTED) == []
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    app_name=st.sampled_from(["motd", "stacks", "wiki"]),
+    seed=st.integers(0, 10_000),
+    concurrency=st.integers(1, 10),
+)
+def test_property_karousos_logs_subset_of_orochi(app_name, seed, concurrency):
+    """R-gated logging only ever *removes* entries relative to
+    log-everything (same workload, same schedule)."""
+    app_fn, needs_store = APPS[app_name]
+    workload = workload_for(app_name, 14, mix="mixed", seed=seed)
+
+    def entries(policy, store):
+        run = run_server(
+            app_fn(), workload, policy, store=store,
+            scheduler=RandomScheduler(seed), concurrency=concurrency,
+        )
+        return {
+            (var_id, key)
+            for var_id, log in run.advice.variable_logs.items()
+            for key in log
+        }
+
+    karousos = entries(
+        KarousosPolicy(), KVStore(IsolationLevel.SERIALIZABLE) if needs_store else None
+    )
+    orochi = entries(
+        OrochiPolicy(), KVStore(IsolationLevel.SERIALIZABLE) if needs_store else None
+    )
+    assert karousos <= orochi
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_tags_partition_by_response_shape(seed):
+    """Requests in one group always produced same-shaped executions; as a
+    visible consequence, grouped responses share their status field."""
+    run = _serve("stacks", 16, "mixed", seed, 6)
+    by_tag = {}
+    for rid, tag in run.advice.tags.items():
+        by_tag.setdefault(tag, []).append(rid)
+    for rids in by_tag.values():
+        statuses = {run.trace.response(rid)["status"] for rid in rids}
+        assert len(statuses) == 1

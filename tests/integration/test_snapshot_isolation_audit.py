@@ -1,0 +1,220 @@
+"""Integration tests for auditing snapshot-isolation executions
+(the extension to the paper's future work, DESIGN.md)."""
+
+import copy
+
+import pytest
+
+from repro.apps import stackdump_app, wiki_app
+from repro.errors import AuditRejected
+from repro.kem import AppSpec
+from repro.kem.scheduler import FifoScheduler, RandomScheduler
+from repro.server import KarousosPolicy, run_server
+from repro.store import IsolationLevel, KVStore
+from repro.trace.trace import Request
+from repro.verifier import audit
+from repro.workload import stacks_workload, wiki_workload
+
+
+class TestSnapshotCompleteness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stacks_under_si_verifies(self, seed):
+        run = run_server(
+            stackdump_app(),
+            stacks_workload(20, mix="mixed", seed=seed),
+            KarousosPolicy(),
+            store=KVStore(IsolationLevel.SNAPSHOT),
+            scheduler=RandomScheduler(seed),
+            concurrency=6,
+        )
+        result = audit(stackdump_app(), run.trace, run.advice)
+        assert result.accepted, (result.reason, result.detail)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_wiki_under_si_verifies(self, seed):
+        run = run_server(
+            wiki_app(),
+            wiki_workload(20, seed=seed),
+            KarousosPolicy(),
+            store=KVStore(IsolationLevel.SNAPSHOT),
+            scheduler=RandomScheduler(seed),
+            concurrency=6,
+        )
+        result = audit(wiki_app(), run.trace, run.advice)
+        assert result.accepted, (result.reason, result.detail)
+
+    def test_first_committer_wins_retry_replayed(self):
+        """A commit that lost first-committer-wins appears as a retry in
+        the trace and must replay faithfully."""
+        dump = "Traceback: duel"
+        run = run_server(
+            stackdump_app(),
+            [Request.make("r0", "submit", dump=dump),
+             Request.make("r1", "submit", dump=dump)],
+            KarousosPolicy(),
+            store=KVStore(IsolationLevel.SNAPSHOT),
+            scheduler=FifoScheduler(),
+            concurrency=2,
+        )
+        statuses = sorted(r["status"] for r in run.trace.responses().values())
+        assert statuses == ["ok", "retry"]
+        result = audit(stackdump_app(), run.trace, run.advice)
+        assert result.accepted, (result.reason, result.detail)
+
+
+def write_skew_app():
+    def _mk_done(write_key):
+        def done(ctx, payload):
+            tid = payload["tid"]
+            ctx.tx_put(tid, write_key, 1)
+            status = ctx.tx_commit(tid)
+            committed = ctx.branch(ctx.apply(lambda s: s == "ok", status))
+            ctx.respond({"committed": committed})
+
+        return done
+
+    def _mk(read_key, cb):
+        def handler(ctx, req):
+            tid = ctx.tx_start()
+            ctx.tx_get(tid, read_key, cb)
+
+        return handler
+
+    def init(ic):
+        ic.register_route("sa", "handle_sa")
+        ic.register_route("sb", "handle_sb")
+
+    return AppSpec(
+        "siskew",
+        {
+            "handle_sa": _mk("a", "sa_done"),
+            "sa_done": _mk_done("b"),
+            "handle_sb": _mk("b", "sb_done"),
+            "sb_done": _mk_done("a"),
+        },
+        init,
+    )
+
+
+class TestSnapshotSemantics:
+    def _skew_run(self, claimed, actual=None):
+        app = write_skew_app()
+        store = KVStore(claimed, actual_level=actual or claimed)
+        run = run_server(
+            app,
+            [Request.make("r0", "sa"), Request.make("r1", "sb")],
+            KarousosPolicy(),
+            store=store,
+            scheduler=FifoScheduler(),
+            concurrency=2,
+        )
+        return app, run
+
+    def test_write_skew_accepted_under_si_claim(self):
+        """The anomaly SI permits must still verify under an SI claim."""
+        app, run = self._skew_run(IsolationLevel.SNAPSHOT)
+        assert all(r["committed"] for r in run.trace.responses().values())
+        result = audit(app, run.trace, run.advice)
+        assert result.accepted, (result.reason, result.detail)
+
+    def test_same_history_rejected_under_serializable_claim(self):
+        app, run = self._skew_run(
+            IsolationLevel.SERIALIZABLE, actual=IsolationLevel.SNAPSHOT
+        )
+        result = audit(app, run.trace, run.advice)
+        assert not result.accepted
+        assert result.reason == "isolation-violated"
+
+    def test_non_repeatable_read_rejected_under_si_claim(self):
+        """A store that actually runs READ COMMITTED serves a read that a
+        snapshot would have forbidden: claiming SI must be rejected."""
+
+        def handler_w(ctx, req):
+            tid = ctx.tx_start()
+            ctx.tx_put(tid, "k", req["v"])
+            ctx.tx_commit(tid)
+            ctx.respond({"ok": True})
+
+        def handler_r(ctx, req):
+            tid = ctx.tx_start()
+            ctx.tx_get(tid, "k", "r_one")
+
+        def r_one(ctx, payload):
+            ctx.tx_get(payload["tid"], "k", "r_two")
+
+        def r_two(ctx, payload):
+            ctx.tx_commit(payload["tid"])
+            ctx.respond({"v": payload["value"]})
+
+        def init(ic):
+            ic.register_route("w", "handler_w")
+            ic.register_route("r", "handler_r")
+
+        app = AppSpec(
+            "nrr",
+            {"handler_w": handler_w, "handler_r": handler_r,
+             "r_one": r_one, "r_two": r_two},
+            init,
+        )
+        store = KVStore(
+            IsolationLevel.SNAPSHOT, actual_level=IsolationLevel.READ_COMMITTED
+        )
+        # Schedule: w0 commits k=1; reader starts, reads k (=1); w1 commits
+        # k=2; reader reads k again (=2 under RC; =1 under real SI).
+        run = run_server(
+            app,
+            [Request.make("r0", "w", v=1),
+             Request.make("r1", "r"),
+             Request.make("r2", "w", v=2)],
+            KarousosPolicy(),
+            store=store,
+            scheduler=FifoScheduler(),
+            concurrency=3,
+        )
+        assert run.trace.response("r1") == {"v": 2}, "the dirty schedule happened"
+        result = audit(app, run.trace, run.advice)
+        assert not result.accepted
+        assert result.reason == "si-violated", (result.reason, result.detail)
+
+
+class TestWindowTampering:
+    def _honest(self):
+        run = run_server(
+            stackdump_app(),
+            stacks_workload(15, mix="mixed", seed=6),
+            KarousosPolicy(),
+            store=KVStore(IsolationLevel.SNAPSHOT),
+            scheduler=RandomScheduler(6),
+            concurrency=4,
+        )
+        return run
+
+    def test_missing_window_rejected(self):
+        run = self._honest()
+        advice = copy.deepcopy(run.advice)
+        advice.tx_windows.pop(next(iter(advice.tx_logs)))
+        result = audit(stackdump_app(), run.trace, advice)
+        assert not result.accepted
+        assert result.reason == "si-violated"
+
+    def test_inverted_window_rejected(self):
+        run = self._honest()
+        advice = copy.deepcopy(run.advice)
+        key = next(k for k in advice.tx_windows if advice.tx_windows[k][1] is not None)
+        start, commit = advice.tx_windows[key]
+        advice.tx_windows[key] = (commit, start)
+        result = audit(stackdump_app(), run.trace, advice)
+        assert not result.accepted
+
+    def test_duplicate_commit_seq_rejected(self):
+        run = self._honest()
+        advice = copy.deepcopy(run.advice)
+        committed = [k for k, (_s, c) in advice.tx_windows.items()
+                     if c is not None and k in advice.tx_logs]
+        if len(committed) < 2:
+            pytest.skip("need two committed transactions")
+        a, b = committed[0], committed[1]
+        advice.tx_windows[b] = (advice.tx_windows[b][0], advice.tx_windows[a][1])
+        result = audit(stackdump_app(), run.trace, advice)
+        assert not result.accepted
+        assert result.reason == "si-violated"

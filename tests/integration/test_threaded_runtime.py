@@ -1,0 +1,123 @@
+"""The multi-threaded KEM runtime: executions with real thread-level
+concurrency must still audit cleanly (paper section 3's generality claim).
+
+These tests intentionally embrace OS-scheduler non-determinism: whatever
+interleaving actually happened, the collected advice must let the verifier
+replay it (Completeness does not get to pick the schedule).
+"""
+
+import pytest
+
+from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.kem.scheduler import FifoScheduler, RandomScheduler
+from repro.kem.threaded import ThreadedRuntime
+from repro.server import KarousosPolicy, UnmodifiedPolicy
+from repro.store import IsolationLevel, KVStore
+from repro.trace.trace import Request
+from repro.verifier import audit
+from repro.workload import motd_workload, stacks_workload, wiki_workload
+
+
+def serve_threaded(app, requests, store=None, concurrency=6, parallelism=4, seed=0):
+    policy = KarousosPolicy()
+    runtime = ThreadedRuntime(
+        app,
+        policy,
+        store=store,
+        scheduler=RandomScheduler(seed),
+        concurrency=concurrency,
+        parallelism=parallelism,
+    )
+    policy.runtime = runtime
+    trace = runtime.serve(requests)
+    return trace, policy.advice()
+
+
+class TestThreadedServing:
+    def test_motd_trace_balanced(self):
+        trace, _ = serve_threaded(motd_app(), motd_workload(40, mix="mixed", seed=1))
+        assert trace.is_balanced()
+        assert len(trace.request_ids()) == 40
+
+    def test_single_worker_degenerates_to_sequential_dispatch(self):
+        trace, advice = serve_threaded(
+            motd_app(), motd_workload(20, mix="mixed", seed=2), parallelism=1
+        )
+        assert audit(motd_app(), trace, advice).accepted
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadedRuntime(motd_app(), KarousosPolicy(), parallelism=0)
+
+
+class TestThreadedCompleteness:
+    @pytest.mark.parametrize("trial", range(4))
+    def test_motd_audits_cleanly(self, trial):
+        trace, advice = serve_threaded(
+            motd_app(),
+            motd_workload(30, mix="mixed", seed=trial),
+            parallelism=4,
+            seed=trial,
+        )
+        result = audit(motd_app(), trace, advice)
+        assert result.accepted, (result.reason, result.detail)
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_stacks_audits_cleanly(self, trial):
+        trace, advice = serve_threaded(
+            stackdump_app(),
+            stacks_workload(25, mix="mixed", seed=trial),
+            store=KVStore(IsolationLevel.SERIALIZABLE),
+            parallelism=4,
+            seed=trial,
+        )
+        result = audit(stackdump_app(), trace, advice)
+        assert result.accepted, (result.reason, result.detail)
+
+    @pytest.mark.parametrize("trial", range(3))
+    def test_wiki_audits_cleanly_under_snapshot_isolation(self, trial):
+        trace, advice = serve_threaded(
+            wiki_app(),
+            wiki_workload(20, seed=trial),
+            store=KVStore(IsolationLevel.SNAPSHOT),
+            parallelism=4,
+            seed=trial,
+        )
+        result = audit(wiki_app(), trace, advice)
+        assert result.accepted, (result.reason, result.detail)
+
+
+class TestThreadedSoundness:
+    def test_tampered_response_still_rejected(self):
+        trace, advice = serve_threaded(
+            motd_app(), motd_workload(20, mix="mixed", seed=9)
+        )
+        tampered = trace.with_response(trace.request_ids()[0], {"status": "pwned"})
+        result = audit(motd_app(), tampered, advice)
+        assert not result.accepted
+
+
+class TestThreadedSemantics:
+    def test_racy_counter_is_replayed_faithfully(self):
+        """Handler-atomic increments through shared state: whatever final
+        value the threaded interleaving produced, re-execution reproduces
+        it (faithfulness, not application-level correctness)."""
+        from repro.kem import AppSpec
+
+        def handle(ctx, req):
+            n = ctx.read("n")
+            ctx.write("n", ctx.apply(lambda v: v + 1, n))
+            ctx.respond({"saw": n})
+
+        def init(ic):
+            ic.create_var("n", 0)
+            ic.register_route("bump", "handle")
+
+        app = AppSpec("tbump", {"handle": handle}, init)
+        requests = [Request.make(f"r{i:02d}", "bump") for i in range(30)]
+        trace, advice = serve_threaded(app, requests, concurrency=8, parallelism=6)
+        # Each handler's read-increment-write is NOT atomic across threads,
+        # so the multiset of observed values is schedule-dependent; the
+        # audit must accept whatever really happened.
+        result = audit(app, trace, advice)
+        assert result.accepted, (result.reason, result.detail)

@@ -1,0 +1,139 @@
+"""Unit tests for the loggable-variable static analyzer."""
+
+import pytest
+
+from repro.analysis import analyze_app, suggest_annotations
+from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.kem import AppSpec
+
+
+def make_app(functions, init):
+    return AppSpec("t", functions, init)
+
+
+class TestClassification:
+    def test_shared_variable_detected(self):
+        def handle(ctx, req):
+            v = ctx.read("counter")
+            ctx.write("counter", v + 1)
+            ctx.respond({})
+
+        def init(ic):
+            ic.create_var("counter", 0)
+            ic.register_route("r", "handle")
+
+        report = analyze_app(make_app({"handle": handle}, init))
+        assert report.classification("counter") == "shared"
+        assert report.recommended_loggable("counter")
+        assert report.usage["counter"].readers == {"handle"}
+        assert report.usage["counter"].writers == {"handle"}
+
+    def test_read_only_variable_detected(self):
+        def handle(ctx, req):
+            ctx.respond({"cfg": ctx.read("config")})
+
+        def init(ic):
+            ic.create_var("config", {"a": 1})
+            ic.register_route("r", "handle")
+
+        report = analyze_app(make_app({"handle": handle}, init))
+        assert report.classification("config") == "read-only"
+        assert not report.recommended_loggable("config")
+
+    def test_unused_variable_detected(self):
+        def handle(ctx, req):
+            ctx.respond({})
+
+        def init(ic):
+            ic.create_var("dead", 0)
+            ic.register_route("r", "handle")
+
+        report = analyze_app(make_app({"handle": handle}, init))
+        assert report.unused == {"dead"}
+        assert report.classification("dead") == "unused"
+
+    def test_undeclared_access_detected(self):
+        def handle(ctx, req):
+            ctx.write("ghost", 1)
+            ctx.respond({})
+
+        def init(ic):
+            ic.register_route("r", "handle")
+
+        report = analyze_app(make_app({"handle": handle}, init))
+        assert report.undeclared == {"ghost"}
+
+    def test_dynamic_access_forces_conservatism(self):
+        def handle(ctx, req):
+            ctx.write("prefix:" + req["k"], 1)
+            ctx.respond({})
+
+        def init(ic):
+            ic.create_var("innocent", 0)
+            ic.register_route("r", "handle")
+
+        report = analyze_app(make_app({"handle": handle}, init))
+        assert report.dynamic_sites, "non-literal id must be reported"
+        # Even the untouched variable becomes conservatively loggable.
+        assert report.recommended_loggable("innocent")
+
+    def test_ctx_parameter_identified_positionally(self):
+        def handle(c, payload):  # unconventional name
+            c.write("x", 1)
+            c.respond({})
+
+        def init(ic):
+            ic.create_var("x", 0)
+            ic.register_route("r", "handle")
+
+        report = analyze_app(make_app({"handle": handle}, init))
+        assert report.usage["x"].writers == {"handle"}
+
+
+class TestSuggestions:
+    def test_under_annotation_flagged(self):
+        def handle(ctx, req):
+            v = ctx.read("shared")
+            ctx.write("shared", v)
+            ctx.respond({})
+
+        def init(ic):
+            ic.create_var("shared", 0, loggable=False)  # wrong!
+            ic.register_route("r", "handle")
+
+        suggestions = suggest_annotations(make_app({"handle": handle}, init))
+        assert suggestions["shared"] == "MUST-be-loggable"
+
+    def test_over_annotation_noted(self):
+        def handle(ctx, req):
+            ctx.respond({"v": ctx.read("ro")})
+
+        def init(ic):
+            ic.create_var("ro", 1)  # loggable, but read-only
+            ic.register_route("r", "handle")
+
+        suggestions = suggest_annotations(make_app({"handle": handle}, init))
+        assert suggestions["ro"] == "can-skip-logging"
+
+
+class TestOnRealApps:
+    def test_motd_variables_are_shared(self):
+        report = analyze_app(motd_app())
+        assert report.classification("motd") == "shared"
+        assert report.classification("set_count") == "shared"
+        assert not report.undeclared
+        assert not report.dynamic_sites
+
+    def test_stacks_variables_are_shared(self):
+        report = analyze_app(stackdump_app())
+        for var in ("digests", "list_acc", "submit_count"):
+            assert report.classification(var) == "shared"
+
+    def test_wiki_config_is_read_only(self):
+        report = analyze_app(wiki_app())
+        assert report.classification("config") == "read-only"
+        assert report.classification("nav_cache") == "shared"
+        assert report.classification("conn_pool") == "shared"
+        suggestions = suggest_annotations(wiki_app())
+        assert suggestions["config"] == "can-skip-logging"
+        assert suggestions["conn_pool"] == "keep"

@@ -1,0 +1,156 @@
+"""Behavioural unit tests for the three evaluation applications."""
+
+import pytest
+
+from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.core.digest import value_digest
+from repro.kem.scheduler import FifoScheduler
+from repro.server import UnmodifiedPolicy, run_server
+from repro.store import IsolationLevel, KVStore
+from repro.trace.trace import Request
+
+
+def serve(app, requests, store=None, concurrency=1):
+    return run_server(
+        app, requests, UnmodifiedPolicy(), store=store,
+        scheduler=FifoScheduler(), concurrency=concurrency,
+    ).trace
+
+
+class TestMotd:
+    def test_default_message(self):
+        trace = serve(motd_app(), [Request.make("r0", "get", day="wed")])
+        resp = trace.response("r0")
+        assert resp["status"] == "ok"
+        assert resp["motd"].endswith("welcome")
+
+    def test_set_then_get_specific_day(self):
+        trace = serve(motd_app(), [
+            Request.make("r0", "set", day="fri", msg="it's friday"),
+            Request.make("r1", "get", day="fri"),
+            Request.make("r2", "get", day="mon"),
+        ])
+        assert trace.response("r0")["status"] == "ok"
+        assert trace.response("r1")["motd"].endswith("it's friday")
+        assert trace.response("r2")["motd"].endswith("welcome"), "falls back to 'all'"
+
+    def test_invalid_day_rejected(self):
+        trace = serve(motd_app(), [Request.make("r0", "set", day="someday", msg="x")])
+        assert trace.response("r0")["status"] == "error"
+
+    def test_overlong_message_rejected(self):
+        trace = serve(motd_app(), [Request.make("r0", "set", day="mon", msg="x" * 281)])
+        assert trace.response("r0")["status"] == "error"
+
+    def test_set_receipt_is_deterministic(self):
+        t1 = serve(motd_app(), [Request.make("r0", "set", day="mon", msg="hi")])
+        t2 = serve(motd_app(), [Request.make("r0", "set", day="mon", msg="hi")])
+        assert t1.response("r0") == t2.response("r0")
+
+
+class TestStackdump:
+    def store(self):
+        return KVStore(IsolationLevel.SERIALIZABLE)
+
+    def test_new_dump_reported(self):
+        trace = serve(
+            stackdump_app(), [Request.make("r0", "submit", dump="tb")], self.store()
+        )
+        assert trace.response("r0") == {"status": "ok", "new": True}
+
+    def test_repeat_dump_counted(self):
+        reqs = [Request.make(f"r{i}", "submit", dump="tb") for i in range(2)]
+        reqs.append(Request.make("r2", "count", digest=value_digest("tb")))
+        trace = serve(stackdump_app(), reqs, self.store())
+        assert trace.response("r1") == {"status": "ok", "new": False}
+        assert trace.response("r2") == {"status": "ok", "count": 2}
+
+    def test_count_of_unknown_dump_is_zero(self):
+        trace = serve(
+            stackdump_app(),
+            [Request.make("r0", "count", digest="nope")],
+            self.store(),
+        )
+        assert trace.response("r0") == {"status": "ok", "count": 0}
+
+    def test_empty_list(self):
+        trace = serve(stackdump_app(), [Request.make("r0", "list")], self.store())
+        assert trace.response("r0") == {"status": "ok", "dumps": []}
+
+    def test_list_after_submissions(self):
+        reqs = [
+            Request.make("r0", "submit", dump="b-dump"),
+            Request.make("r1", "submit", dump="a-dump"),
+            Request.make("r2", "submit", dump="a-dump"),
+            Request.make("r3", "list"),
+        ]
+        trace = serve(stackdump_app(), reqs, self.store())
+        dumps = trace.response("r3")["dumps"]
+        assert [(d, c) for d, c, _ in dumps] == [("a-dump", 2), ("b-dump", 1)]
+
+
+class TestWiki:
+    def store(self):
+        return KVStore(IsolationLevel.SERIALIZABLE)
+
+    def test_create_and_render(self):
+        reqs = [
+            Request.make("r0", "create_page", title="Home", content="hello\nworld"),
+            Request.make("r1", "render", title="Home"),
+        ]
+        trace = serve(wiki_app(), reqs, self.store())
+        assert trace.response("r0") == {"status": "ok"}
+        html = trace.response("r1")["html"]
+        assert "<h1>Home</h1>" in html
+        assert "<p>hello</p>" in html
+        assert "<nav>Home</nav>" in html
+
+    def test_render_missing_page_404(self):
+        trace = serve(
+            wiki_app(), [Request.make("r0", "render", title="Ghost")], self.store()
+        )
+        assert trace.response("r0") == {"status": "not-found"}
+
+    def test_duplicate_create_conflicts(self):
+        reqs = [
+            Request.make("r0", "create_page", title="P", content="x"),
+            Request.make("r1", "create_page", title="P", content="y"),
+        ]
+        trace = serve(wiki_app(), reqs, self.store())
+        assert trace.response("r1") == {"status": "conflict"}
+
+    def test_comments_appear_in_render(self):
+        reqs = [
+            Request.make("r0", "create_page", title="P", content="body"),
+            Request.make("r1", "create_comment", title="P", text="nice page"),
+            Request.make("r2", "create_comment", title="P", text="agreed"),
+            Request.make("r3", "render", title="P"),
+        ]
+        trace = serve(wiki_app(), reqs, self.store())
+        html = trace.response("r3")["html"]
+        assert "<li>nice page</li>" in html
+        assert "<li>agreed</li>" in html
+
+    def test_nav_lists_all_pages_sorted(self):
+        reqs = [
+            Request.make("r0", "create_page", title="Zebra", content="z"),
+            Request.make("r1", "create_page", title="Apple", content="a"),
+            Request.make("r2", "render", title="Apple"),
+        ]
+        trace = serve(wiki_app(), reqs, self.store())
+        assert "<nav>Apple | Zebra</nav>" in trace.response("r2")["html"]
+
+    def test_pool_returns_to_zero(self):
+        store = self.store()
+        run = run_server(
+            wiki_app(),
+            [Request.make("r0", "create_page", title="P", content="x"),
+             Request.make("r1", "render", title="P")],
+            UnmodifiedPolicy(),
+            store=store,
+            scheduler=FifoScheduler(),
+            concurrency=2,
+        )
+        pool = run.runtime.policy._vars["conn_pool"]
+        assert pool["active"] == 0
+        assert len(pool["slots"]) >= 1

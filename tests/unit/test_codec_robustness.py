@@ -1,0 +1,109 @@
+"""Robustness fuzzing for the wire formats.
+
+The verifier consumes advice from an adversary: the decoder must never
+crash with anything other than a clean AdviceFormatError, no matter how
+the document is corrupted.  (A crash inside the audit would still be
+caught and rejected, but the codec contract is stricter: corrupt bytes
+are a *format* error, not an internal failure.)
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.advice.codec import decode_advice, encode_advice
+from repro.apps import stackdump_app
+from repro.errors import AdviceFormatError, AuditRejected
+from repro.kem.scheduler import RandomScheduler
+from repro.server import KarousosPolicy, run_server
+from repro.store import IsolationLevel, KVStore
+from repro.trace.codec import decode_trace, encode_trace
+from repro.verifier import audit
+from repro.workload import stacks_workload
+
+
+@pytest.fixture(scope="module")
+def honest():
+    return run_server(
+        stackdump_app(),
+        stacks_workload(12, mix="mixed", seed=7),
+        KarousosPolicy(),
+        store=KVStore(IsolationLevel.SNAPSHOT),
+        scheduler=RandomScheduler(7),
+        concurrency=4,
+    )
+
+
+def _mutate_json(doc, rng):
+    """Randomly corrupt one node of a parsed JSON document."""
+    def walk(node, path):
+        sites = [(node, path)]
+        if isinstance(node, dict):
+            for k, v in node.items():
+                sites.extend(walk(v, path + [k]))
+        elif isinstance(node, list):
+            for i, v in enumerate(node):
+                sites.extend(walk(v, path + [i]))
+        return sites
+
+    sites = walk(doc, [])
+    target, path = sites[rng.randrange(len(sites))]
+    mutation = rng.choice(["null", "string", "number", "drop", "list"])
+    if not path:
+        return {"corrupted": True}
+    parent = doc
+    for step in path[:-1]:
+        parent = parent[step]
+    key = path[-1]
+    if mutation == "drop" and isinstance(parent, dict):
+        del parent[key]
+    elif mutation == "null":
+        parent[key] = None
+    elif mutation == "string":
+        parent[key] = "garbage"
+    elif mutation == "number":
+        parent[key] = 424242
+    else:
+        parent[key] = ["garbage"]
+    return doc
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_corrupted_advice_never_crashes_decoder(honest, seed):
+    rng = random.Random(seed)
+    doc = _mutate_json(json.loads(encode_advice(honest.advice)), rng)
+    try:
+        decoded = decode_advice(json.dumps(doc))
+    except AdviceFormatError:
+        return  # clean rejection at the format boundary
+    # Decoding succeeded: the audit must still terminate with a verdict
+    # (accept iff the mutation was semantically inert).
+    result = audit(stackdump_app(), honest.trace, decoded)
+    assert isinstance(result.accepted, bool)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_corrupted_trace_never_crashes_decoder(honest, seed):
+    rng = random.Random(seed)
+    doc = _mutate_json(json.loads(encode_trace(honest.trace)), rng)
+    try:
+        decode_trace(json.dumps(doc))
+    except AdviceFormatError:
+        pass
+
+
+@settings(max_examples=40, deadline=None)
+@given(junk=st.text(max_size=60))
+def test_arbitrary_text_rejected_cleanly(junk):
+    try:
+        decode_advice(junk)
+    except AdviceFormatError:
+        pass
+    try:
+        decode_trace(junk)
+    except AdviceFormatError:
+        pass

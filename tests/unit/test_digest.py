@@ -1,0 +1,80 @@
+"""Unit tests for control-flow digests and request tags (section 5)."""
+
+from repro.core.digest import (
+    ControlFlowDigest,
+    karousos_tag,
+    orochi_tag,
+    value_digest,
+)
+from repro.core.ids import HandlerId
+
+ROOT = HandlerId("req")
+H1 = HandlerId("f", ROOT, 1)
+H2 = HandlerId("g", ROOT, 2)
+
+
+def cf(*branches):
+    d = ControlFlowDigest()
+    for b in branches:
+        d.branch(b)
+    return d.value()
+
+
+class TestControlFlowDigest:
+    def test_same_branches_same_digest(self):
+        assert cf(True, False) == cf(True, False)
+
+    def test_branch_direction_matters(self):
+        assert cf(True) != cf(False)
+
+    def test_branch_order_matters(self):
+        assert cf(True, False) != cf(False, True)
+
+    def test_branch_count_matters(self):
+        assert cf(True) != cf(True, True)
+
+
+class TestKarousosTag:
+    def test_order_invariant_over_handler_tree(self):
+        # Section 4.1: requests whose handlers ran in different interleavings
+        # must still land in the same re-execution group.
+        a = karousos_tag([(ROOT, cf(True)), (H1, cf()), (H2, cf(False))])
+        b = karousos_tag([(H2, cf(False)), (ROOT, cf(True)), (H1, cf())])
+        assert a == b
+
+    def test_different_tree_different_tag(self):
+        a = karousos_tag([(ROOT, cf()), (H1, cf())])
+        b = karousos_tag([(ROOT, cf()), (H2, cf())])
+        assert a != b
+
+    def test_different_control_flow_different_tag(self):
+        a = karousos_tag([(ROOT, cf(True))])
+        b = karousos_tag([(ROOT, cf(False))])
+        assert a != b
+
+
+class TestOrochiTag:
+    def test_order_sensitive(self):
+        # Section 6 baselines: Orochi-JS batches only identical handler
+        # *sequences*, so reordering splits the group.
+        a = orochi_tag([(H1, cf()), (H2, cf())])
+        b = orochi_tag([(H2, cf()), (H1, cf())])
+        assert a != b
+
+    def test_same_sequence_same_tag(self):
+        seq = [(ROOT, cf(True)), (H1, cf())]
+        assert orochi_tag(list(seq)) == orochi_tag(list(seq))
+
+    def test_agrees_with_karousos_for_single_handler(self):
+        # With one handler there is no reordering freedom; both schemes
+        # partition requests identically (MOTD's behaviour in section 6.2).
+        seq_x = [(ROOT, cf(True))]
+        seq_y = [(ROOT, cf(True))]
+        assert (orochi_tag(seq_x) == orochi_tag(seq_y)) == (
+            karousos_tag(seq_x) == karousos_tag(seq_y)
+        )
+
+
+def test_value_digest_stable_and_discriminating():
+    assert value_digest({"a": 1}) == value_digest({"a": 1})
+    assert value_digest("x") != value_digest("y")

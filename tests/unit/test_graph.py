@@ -1,0 +1,116 @@
+"""Unit and property tests for the verifier's directed graph."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import networkx as nx
+
+from repro.core.graph import Digraph
+
+
+def build(edges, nodes=()):
+    g = Digraph()
+    for n in nodes:
+        g.add_node(n)
+    for a, b in edges:
+        g.add_edge(a, b)
+    return g
+
+
+class TestBasics:
+    def test_empty_graph_is_acyclic(self):
+        assert build([]).is_acyclic()
+
+    def test_isolated_nodes(self):
+        g = build([], nodes=["a", "b"])
+        assert g.node_count == 2
+        assert g.edge_count == 0
+        assert g.is_acyclic()
+
+    def test_parallel_edges_coalesce(self):
+        g = build([("a", "b"), ("a", "b")])
+        assert g.edge_count == 1
+
+    def test_self_loop_is_cycle(self):
+        assert build([("a", "a")]).find_cycle() == ["a"]
+
+    def test_has_edge_and_contains(self):
+        g = build([("a", "b")])
+        assert "a" in g and "b" in g and "c" not in g
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+
+class TestCycles:
+    def test_chain_acyclic(self):
+        assert build([(i, i + 1) for i in range(100)]).is_acyclic()
+
+    def test_two_cycle(self):
+        cyc = build([("a", "b"), ("b", "a")]).find_cycle()
+        assert sorted(cyc) == ["a", "b"]
+
+    def test_cycle_witness_is_a_real_cycle(self):
+        g = build([("a", "b"), ("b", "c"), ("c", "d"), ("d", "b"), ("a", "x")])
+        cyc = g.find_cycle()
+        assert cyc is not None
+        for i, node in enumerate(cyc):
+            assert g.has_edge(node, cyc[(i + 1) % len(cyc)])
+
+    def test_diamond_is_acyclic(self):
+        assert build([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]).is_acyclic()
+
+    def test_deep_graph_no_recursion_error(self):
+        # 200k-node chain with a cycle at the far end; recursive DFS would die.
+        n = 200_000
+        g = build([(i, i + 1) for i in range(n)])
+        g.add_edge(n, n - 1)
+        assert not g.is_acyclic()
+
+
+class TestTopologicalSort:
+    def test_respects_edges(self):
+        g = build([("a", "b"), ("b", "c"), ("a", "c")])
+        order = g.topological_sort()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_raises_on_cycle(self):
+        with pytest.raises(ValueError):
+            build([("a", "b"), ("b", "a")]).topological_sort()
+
+    def test_deterministic(self):
+        edges = [("a", "c"), ("b", "c"), ("c", "d")]
+        assert build(edges).topological_sort() == build(edges).topological_sort()
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        g = build([("a", "b"), ("b", "c"), ("x", "y")])
+        assert g.reachable_from("a") == {"b", "c"}
+        assert g.reachable_from("c") == set()
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=40
+)
+
+
+@settings(max_examples=200)
+@given(edge_lists)
+def test_cycle_detection_matches_networkx(edges):
+    ours = build(edges)
+    theirs = nx.DiGraph()
+    theirs.add_nodes_from(range(13))
+    theirs.add_edges_from(edges)
+    assert ours.is_acyclic() == nx.is_directed_acyclic_graph(theirs)
+
+
+@settings(max_examples=200)
+@given(edge_lists)
+def test_topological_sort_valid_whenever_acyclic(edges):
+    g = build(edges)
+    if not g.is_acyclic():
+        return
+    order = g.topological_sort()
+    position = {n: i for i, n in enumerate(order)}
+    for a, b in g.edges():
+        assert position[a] < position[b]

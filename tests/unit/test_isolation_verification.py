@@ -1,0 +1,122 @@
+"""Unit tests for the verifier's isolation-level verification (Figure 17)."""
+
+import copy
+
+import pytest
+
+from repro.apps import stackdump_app, wiki_app
+from repro.errors import AuditRejected
+from repro.kem.scheduler import RandomScheduler
+from repro.server import KarousosPolicy, run_server
+from repro.store import IsolationLevel, KVStore
+from repro.verifier.isolation import verify_isolation_level
+from repro.verifier.preprocess import preprocess
+from repro.workload import stacks_workload
+
+
+def served(level=IsolationLevel.SERIALIZABLE, n=20, seed=0):
+    return run_server(
+        stackdump_app(),
+        stacks_workload(n, mix="mixed", seed=seed),
+        KarousosPolicy(),
+        store=KVStore(level),
+        scheduler=RandomScheduler(seed),
+        concurrency=5,
+    )
+
+
+def verify(run, advice=None):
+    state = preprocess(stackdump_app(), run.trace, advice or run.advice)
+    return verify_isolation_level(state)
+
+
+class TestHonestHistories:
+    @pytest.mark.parametrize(
+        "level",
+        [
+            IsolationLevel.SERIALIZABLE,
+            IsolationLevel.READ_COMMITTED,
+            IsolationLevel.READ_UNCOMMITTED,
+        ],
+    )
+    def test_honest_store_verifies_at_its_level(self, level):
+        run = served(level)
+        dg = verify(run)
+        assert dg.is_acyclic()
+
+    def test_dg_nodes_are_committed_transactions(self):
+        run = served()
+        state = preprocess(stackdump_app(), run.trace, run.advice)
+        dg = verify_isolation_level(state)
+        assert set(dg.nodes()) == state.committed
+
+    def test_serializable_history_passes_weaker_claims(self):
+        # A serializable history satisfies every weaker level.
+        run = served(IsolationLevel.SERIALIZABLE)
+        for claim in (IsolationLevel.READ_COMMITTED, IsolationLevel.READ_UNCOMMITTED):
+            advice = copy.deepcopy(run.advice)
+            advice.isolation_level = claim
+            verify(run, advice)  # must not raise
+
+
+class TestWriteOrderValidation:
+    def test_missing_entry_rejected(self):
+        run = served()
+        advice = copy.deepcopy(run.advice)
+        assert advice.write_order, "workload must commit writes"
+        advice.write_order.pop()
+        with pytest.raises(AuditRejected) as exc:
+            verify(run, advice)
+        assert exc.value.reason == "bad-write-order"
+
+    def test_duplicate_entry_rejected(self):
+        run = served()
+        advice = copy.deepcopy(run.advice)
+        # Keep length correct but duplicate one entry over another.
+        advice.write_order[-1] = advice.write_order[0]
+        with pytest.raises(AuditRejected) as exc:
+            verify(run, advice)
+        assert exc.value.reason == "bad-write-order"
+
+    def test_non_put_entry_rejected(self):
+        run = served()
+        advice = copy.deepcopy(run.advice)
+        rid, tid, _ = advice.write_order[0]
+        advice.write_order[0] = (rid, tid, 0)  # index 0 is tx_start
+        with pytest.raises(AuditRejected) as exc:
+            verify(run, advice)
+        assert exc.value.reason == "bad-write-order"
+
+    def test_intermediate_write_rejected(self):
+        # Point a write-order entry at a PUT that is not the transaction's
+        # last modification of the key, if the workload produced one.
+        run = served(n=30, seed=3)
+        advice = copy.deepcopy(run.advice)
+        for pos_idx, (rid, tid, i) in enumerate(advice.write_order):
+            log = advice.tx_logs[(rid, tid)]
+            key = log[i].key
+            earlier = [
+                j for j in range(i) if log[j].optype == "PUT" and log[j].key == key
+            ]
+            if earlier:
+                advice.write_order[pos_idx] = (rid, tid, earlier[0])
+                with pytest.raises(AuditRejected):
+                    verify(run, advice)
+                return
+        pytest.skip("no transaction wrote the same key twice")
+
+    def test_malformed_entry_rejected(self):
+        run = served()
+        advice = copy.deepcopy(run.advice)
+        advice.write_order[0] = "garbage"
+        with pytest.raises(AuditRejected):
+            verify(run, advice)
+
+
+class TestLevelClaims:
+    def test_unknown_level_rejected(self):
+        run = served()
+        advice = copy.deepcopy(run.advice)
+        advice.isolation_level = "super-serializable"
+        with pytest.raises(AuditRejected):
+            verify(run, advice)

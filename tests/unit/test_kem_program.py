@@ -1,0 +1,137 @@
+"""Unit tests for AppSpec/InitContext and handler-context mechanics."""
+
+import pytest
+
+from repro.core.ids import TxId
+from repro.kem import AppSpec, InitContext, Runtime
+from repro.kem.program import request_event
+from repro.errors import ProgramError
+from repro.server import KarousosPolicy, UnmodifiedPolicy
+from repro.store import IsolationLevel, KVStore
+from repro.trace.trace import Request
+
+
+class TestInitContext:
+    def test_register_route_maps_to_request_event(self):
+        ic = InitContext()
+        ic.register_route("get", "f")
+        assert ic.global_handlers == [(request_event("get"), "f")]
+
+    def test_duplicate_registration_coalesced(self):
+        ic = InitContext()
+        ic.register("e", "f")
+        ic.register("e", "f")
+        assert len(ic.global_handlers) == 1
+
+    def test_duplicate_var_rejected(self):
+        ic = InitContext()
+        ic.create_var("x", 1)
+        with pytest.raises(ValueError):
+            ic.create_var("x", 2)
+
+    def test_loggable_flag_recorded(self):
+        ic = InitContext()
+        ic.create_var("a", 1)
+        ic.create_var("b", 2, loggable=False)
+        assert ic.loggable == {"a": True, "b": False}
+
+
+class TestAppSpec:
+    def test_init_with_unknown_function_rejected(self):
+        def init(ic):
+            ic.register_route("r", "missing")
+
+        app = AppSpec("bad", {}, init)
+        with pytest.raises(ValueError):
+            app.run_init()
+
+    def test_function_lookup(self):
+        fn = lambda ctx, p: None
+        app = AppSpec("a", {"f": fn}, lambda ic: None)
+        assert app.function("f") is fn
+        with pytest.raises(KeyError):
+            app.function("g")
+
+
+class TestContextMechanics:
+    def _serve(self, handler, policy=None, store=None, routes=("t",)):
+        def init(ic):
+            for route in routes:
+                ic.register_route(route, "handler")
+            ic.create_var("x", 0)
+
+        app = AppSpec("t", {"handler": handler}, init)
+        rt = Runtime(app, policy or UnmodifiedPolicy(), store=store)
+        return rt.serve([Request.make("r0", routes[0])])
+
+    def test_branch_returns_plain_bool(self):
+        seen = []
+
+        def handler(ctx, req):
+            seen.append(ctx.branch(1 == 1))
+            seen.append(ctx.branch(0))
+            ctx.respond({})
+
+        self._serve(handler)
+        assert seen == [True, False]
+
+    def test_control_returns_value(self):
+        def handler(ctx, req):
+            n = ctx.control(5)
+            ctx.respond({"n": n})
+
+        trace = self._serve(handler)
+        assert trace.response("r0") == {"n": 5}
+
+    def test_apply_is_plain_call_on_server(self):
+        def handler(ctx, req):
+            ctx.respond({"v": ctx.apply(lambda a, b: a + b, 2, 3)})
+
+        assert self._serve(handler).response("r0") == {"v": 5}
+
+    def test_tx_ids_are_start_coordinates(self):
+        captured = []
+
+        def handler(ctx, req):
+            tid = ctx.tx_start()
+            captured.append(tid)
+            ctx.tx_put(tid, "k", 1)
+            ctx.tx_commit(tid)
+            ctx.respond({})
+
+        self._serve(handler, store=KVStore(IsolationLevel.SERIALIZABLE))
+        (tid,) = captured
+        assert isinstance(tid, TxId)
+        assert tid.hid.function_id == "handler"
+        assert tid.opnum == 1
+
+    def test_tx_op_on_unknown_tid_is_program_error(self):
+        def handler(ctx, req):
+            ghost = TxId(hid=None, opnum=9)
+            ctx.tx_put(ghost, "k", 1)
+
+        with pytest.raises(ProgramError):
+            self._serve(handler, store=KVStore(IsolationLevel.SERIALIZABLE))
+
+    def test_tx_without_store_is_program_error(self):
+        def handler(ctx, req):
+            ctx.tx_start()
+
+        with pytest.raises(ProgramError):
+            self._serve(handler)
+
+    def test_opnum_counts_all_operation_kinds(self):
+        def handler(ctx, req):
+            ctx.read("x")                  # 1
+            ctx.write("x", 1)              # 2
+            tid = ctx.tx_start()           # 3
+            ctx.tx_put(tid, "k", 1)        # 4
+            ctx.tx_commit(tid)             # 5
+            ctx.nondet(lambda: 0)          # 6
+            ctx.respond({})                # responses do not consume opnums
+
+        policy = KarousosPolicy()
+        self._serve(handler, policy=policy, store=KVStore(IsolationLevel.SERIALIZABLE))
+        ((_, hid),) = [k for k in policy.advice_out.opcounts]
+        assert policy.advice_out.opcounts[("r0", hid)] == 6
+        assert policy.advice_out.response_emitted_by["r0"] == (hid, 6)

@@ -1,0 +1,134 @@
+"""Unit and property tests for the R partial order (Definitions 7-8)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ids import HandlerId, Label, OpRef
+from repro.core.rorder import (
+    hid_r_precedes,
+    labels_r_concurrent,
+    labels_r_precede,
+    r_concurrent,
+    r_precedes,
+)
+
+ROOT = HandlerId("req")
+CHILD = HandlerId("f", ROOT, 1)
+GRANDCHILD = HandlerId("g", CHILD, 2)
+SIBLING = HandlerId("h", ROOT, 2)
+
+
+class TestRPrecedes:
+    def test_program_order_within_handler(self):
+        assert r_precedes(OpRef("r", ROOT, 1), OpRef("r", ROOT, 2))
+        assert not r_precedes(OpRef("r", ROOT, 2), OpRef("r", ROOT, 1))
+
+    def test_ancestor_ops_precede_descendant_ops(self):
+        # Even a *later* opnum in the ancestor precedes the descendant:
+        # activation order dominates within the tree.
+        assert r_precedes(OpRef("r", ROOT, 9), OpRef("r", CHILD, 1))
+        assert r_precedes(OpRef("r", ROOT, 1), OpRef("r", GRANDCHILD, 1))
+        assert r_precedes(OpRef("r", CHILD, 5), OpRef("r", GRANDCHILD, 1))
+
+    def test_descendant_never_precedes_ancestor(self):
+        assert not r_precedes(OpRef("r", GRANDCHILD, 1), OpRef("r", ROOT, 9))
+
+    def test_cross_request_never_ordered(self):
+        assert not r_precedes(OpRef("r1", ROOT, 1), OpRef("r2", ROOT, 2))
+        assert r_concurrent(OpRef("r1", ROOT, 1), OpRef("r2", ROOT, 2))
+
+    def test_siblings_concurrent(self):
+        assert r_concurrent(OpRef("r", CHILD, 1), OpRef("r", SIBLING, 1))
+
+    def test_same_op_not_concurrent(self):
+        op = OpRef("r", ROOT, 1)
+        assert not r_concurrent(op, op)
+        assert not r_precedes(op, op)
+
+
+class TestLabelBased:
+    def test_init_pseudo_handler_precedes_everything(self):
+        assert labels_r_precede("", None, 1, "r", Label((0,)), 1)
+        assert not labels_r_precede("r", Label((0,)), 1, "", None, 1)
+
+    def test_prefix_means_precedes(self):
+        assert labels_r_precede("r", Label((0,)), 5, "r", Label((0, 1)), 1)
+
+    def test_same_label_uses_opnum(self):
+        assert labels_r_precede("r", Label((0,)), 1, "r", Label((0,)), 2)
+        assert not labels_r_precede("r", Label((0,)), 2, "r", Label((0,)), 1)
+
+    def test_cross_request_concurrent(self):
+        assert labels_r_concurrent("r1", Label((0,)), 1, "r2", Label((0,)), 1)
+
+    def test_same_op_not_concurrent(self):
+        assert not labels_r_concurrent("r", Label((0,)), 1, "r", Label((0,)), 1)
+
+
+# -- property tests: the two R implementations agree, R is a partial order --
+
+@st.composite
+def handler_trees(draw):
+    """A random activation tree for one request, as a list of HandlerIds."""
+    hids = [HandlerId(f"req{draw(st.integers(0, 1))}")]
+    n = draw(st.integers(min_value=0, max_value=12))
+    for i in range(n):
+        parent = draw(st.sampled_from(hids))
+        hids.append(HandlerId(f"f{i}", parent, draw(st.integers(1, 4))))
+    return hids
+
+
+def labels_for(hids):
+    """Assign runtime labels matching the structural tree."""
+    labels = {}
+    child_count = {}
+    for hid in hids:
+        if hid.parent is None:
+            labels[hid] = Label((len([h for h in labels if h.parent is None]),))
+        else:
+            num = child_count.get(hid.parent, 0)
+            child_count[hid.parent] = num + 1
+            labels[hid] = labels[hid.parent].child(num)
+    return labels
+
+
+@given(handler_trees(), st.data())
+def test_label_and_hid_orders_agree(hids, data):
+    labels = labels_for(hids)
+    a = data.draw(st.sampled_from(hids))
+    b = data.draw(st.sampled_from(hids))
+    na = data.draw(st.integers(1, 5))
+    nb = data.draw(st.integers(1, 5))
+    structural = r_precedes(OpRef("r", a, na), OpRef("r", b, nb))
+    by_label = labels_r_precede("r", labels[a], na, "r", labels[b], nb)
+    assert structural == by_label
+
+
+@given(handler_trees(), st.data())
+def test_r_is_a_strict_partial_order(hids, data):
+    ops = [
+        OpRef("r", data.draw(st.sampled_from(hids)), data.draw(st.integers(1, 4)))
+        for _ in range(3)
+    ]
+    a, b, c = ops
+    assert not r_precedes(a, a), "irreflexive"
+    if r_precedes(a, b):
+        assert not r_precedes(b, a), "asymmetric"
+    if r_precedes(a, b) and r_precedes(b, c):
+        assert r_precedes(a, c), "transitive"
+
+
+@given(handler_trees(), st.data())
+def test_concurrent_is_symmetric_complement(hids, data):
+    a = OpRef("r", data.draw(st.sampled_from(hids)), data.draw(st.integers(1, 4)))
+    b = OpRef("r", data.draw(st.sampled_from(hids)), data.draw(st.integers(1, 4)))
+    if a == b:
+        return
+    assert r_concurrent(a, b) == r_concurrent(b, a)
+    assert r_concurrent(a, b) == (not r_precedes(a, b) and not r_precedes(b, a))
+
+
+def test_hid_r_precedes_matches_opref_form():
+    assert hid_r_precedes(ROOT, 3, CHILD, 1)
+    assert hid_r_precedes(ROOT, 1, ROOT, 2)
+    assert not hid_r_precedes(CHILD, 1, SIBLING, 1)

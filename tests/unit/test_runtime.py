@@ -1,0 +1,209 @@
+"""Unit tests for the KEM runtime dispatch loop."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.kem import AppSpec, FifoScheduler, RandomScheduler, Runtime
+from repro.kem.scheduler import LifoScheduler
+from repro.server import KarousosPolicy, UnmodifiedPolicy
+from repro.store import IsolationLevel, KVStore
+from repro.trace.trace import Request
+
+
+def echo_app():
+    def handle(ctx, req):
+        ctx.respond({"echo": req["x"]})
+
+    def init(ic):
+        ic.register_route("echo", "handle")
+
+    return AppSpec("echo", {"handle": handle}, init)
+
+
+def chain_app():
+    """Request handler emits an event caught by a registered handler."""
+
+    def handle(ctx, req):
+        ctx.register("boing", "second")
+        ctx.emit("boing", {"n": req["n"]})
+
+    def second(ctx, payload):
+        ctx.respond({"n2": payload["n"] * 2})
+
+    def init(ic):
+        ic.register_route("go", "handle")
+
+    return AppSpec("chain", {"handle": handle, "second": second}, init)
+
+
+def reqs(route, count, **kw):
+    return [
+        Request.make(
+            f"r{i:03d}",
+            route,
+            **{k: v(i) if callable(v) else v for k, v in kw.items()},
+        )
+        for i in range(count)
+    ]
+
+
+class TestBasicServing:
+    def test_single_request(self):
+        rt = Runtime(echo_app(), UnmodifiedPolicy())
+        trace = rt.serve(reqs("echo", 1, x=7))
+        assert trace.is_balanced()
+        assert trace.response("r000") == {"echo": 7}
+
+    def test_many_requests_fifo(self):
+        rt = Runtime(echo_app(), UnmodifiedPolicy(), concurrency=4)
+        trace = rt.serve(reqs("echo", 10, x=lambda i: i))
+        assert trace.is_balanced()
+        for i in range(10):
+            assert trace.response(f"r{i:03d}") == {"echo": i}
+
+    def test_event_chain(self):
+        rt = Runtime(chain_app(), UnmodifiedPolicy())
+        trace = rt.serve(reqs("go", 3, n=lambda i: i))
+        for i in range(3):
+            assert trace.response(f"r{i:03d}") == {"n2": 2 * i}
+
+    def test_unknown_route_raises(self):
+        rt = Runtime(echo_app(), UnmodifiedPolicy())
+        with pytest.raises(ProgramError):
+            rt.serve([Request.make("r0", "nope")])
+
+    def test_no_response_raises(self):
+        def silent(ctx, req):
+            pass
+
+        def init(ic):
+            ic.register_route("s", "silent")
+
+        rt = Runtime(AppSpec("s", {"silent": silent}, init), UnmodifiedPolicy())
+        with pytest.raises(ProgramError):
+            rt.serve([Request.make("r0", "s")])
+
+    def test_double_response_raises(self):
+        def loud(ctx, req):
+            ctx.respond({})
+            ctx.respond({})
+
+        def init(ic):
+            ic.register_route("l", "loud")
+
+        rt = Runtime(AppSpec("l", {"loud": loud}, init), UnmodifiedPolicy())
+        with pytest.raises(ProgramError):
+            rt.serve([Request.make("r0", "l")])
+
+    def test_invalid_concurrency(self):
+        with pytest.raises(ValueError):
+            Runtime(echo_app(), UnmodifiedPolicy(), concurrency=0)
+
+
+class TestSchedulers:
+    def test_random_scheduler_is_deterministic_per_seed(self):
+        def run(seed):
+            rt = Runtime(
+                chain_app(),
+                KarousosPolicy(),
+                scheduler=RandomScheduler(seed),
+                concurrency=5,
+            )
+            return [
+                (e.kind, e.rid) for e in rt.serve(reqs("go", 10, n=lambda i: i))
+            ]
+
+        assert run(3) == run(3)
+
+    def test_lifo_differs_from_fifo_in_event_order(self):
+        def run(sched):
+            rt = Runtime(chain_app(), UnmodifiedPolicy(), scheduler=sched, concurrency=8)
+            return [(e.kind, e.rid) for e in rt.serve(reqs("go", 8, n=lambda i: i))]
+
+        assert run(FifoScheduler()) != run(LifoScheduler())
+
+    def test_responses_identical_across_schedules(self):
+        # KEM non-determinism changes order, never per-request results here.
+        def run(sched):
+            rt = Runtime(chain_app(), UnmodifiedPolicy(), scheduler=sched, concurrency=8)
+            return rt.serve(reqs("go", 8, n=lambda i: i)).responses()
+
+        assert run(FifoScheduler()) == run(RandomScheduler(7))
+
+
+class TestConcurrencyAdmission:
+    def test_concurrency_one_serialises_requests(self):
+        rt = Runtime(chain_app(), UnmodifiedPolicy(), scheduler=RandomScheduler(1), concurrency=1)
+        trace = rt.serve(reqs("go", 4, n=lambda i: i))
+        # With c=1 the trace must be REQ/RESP strictly alternating.
+        kinds = [e.kind for e in trace]
+        assert kinds == ["REQ", "RESP"] * 4
+
+    def test_higher_concurrency_overlaps_requests(self):
+        rt = Runtime(chain_app(), UnmodifiedPolicy(), scheduler=LifoScheduler(), concurrency=4)
+        trace = rt.serve(reqs("go", 4, n=lambda i: i))
+        kinds = [e.kind for e in trace]
+        assert kinds[:4] == ["REQ"] * 4, "all four admitted before any response"
+
+
+class TestRegistration:
+    def test_register_scope_is_per_request(self):
+        # Handler registered by request A must not fire for request B.
+        def handle(ctx, req):
+            if ctx.branch(req["who"] == "a"):
+                ctx.register("evt", "second")
+            ctx.emit("evt", {"n": 1})
+            ctx.respond({"who": req["who"]})
+
+        def second(ctx, payload):
+            pass  # absorbs the event for request A only
+
+        def init(ic):
+            ic.register_route("t", "handle")
+
+        app = AppSpec("t", {"handle": handle, "second": second}, init)
+        rt = Runtime(app, KarousosPolicy())
+        trace = rt.serve(
+            [Request.make("ra", "t", who="a"), Request.make("rb", "t", who="b")]
+        )
+        assert trace.is_balanced()
+
+    def test_double_register_rejected(self):
+        def handle(ctx, req):
+            ctx.register("evt", "handle")
+            ctx.register("evt", "handle")
+
+        def init(ic):
+            ic.register_route("t", "handle")
+
+        rt = Runtime(AppSpec("t", {"handle": handle}, init), UnmodifiedPolicy())
+        with pytest.raises(ProgramError):
+            rt.serve([Request.make("r0", "t")])
+
+    def test_unregister_unknown_rejected(self):
+        def handle(ctx, req):
+            ctx.unregister("evt", "handle")
+
+        def init(ic):
+            ic.register_route("t", "handle")
+
+        rt = Runtime(AppSpec("t", {"handle": handle}, init), UnmodifiedPolicy())
+        with pytest.raises(ProgramError):
+            rt.serve([Request.make("r0", "t")])
+
+    def test_unregister_stops_activation(self):
+        def handle(ctx, req):
+            ctx.register("evt", "second")
+            ctx.unregister("evt", "second")
+            ctx.emit("evt", {})
+            ctx.respond({"ok": True})
+
+        def second(ctx, payload):
+            raise AssertionError("must not be activated")
+
+        def init(ic):
+            ic.register_route("t", "handle")
+
+        rt = Runtime(AppSpec("t", {"handle": handle, "second": second}, init), UnmodifiedPolicy())
+        trace = rt.serve([Request.make("r0", "t")])
+        assert trace.response("r0") == {"ok": True}

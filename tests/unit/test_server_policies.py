@@ -1,0 +1,232 @@
+"""Unit tests for advice collection (Karousos and Orochi-JS policies)."""
+
+import pytest
+
+from repro.advice.records import TX_ABORT, TX_COMMIT, TX_GET, TX_PUT, TX_START
+from repro.apps import motd_app, stackdump_app
+from repro.core.ids import HandlerId
+from repro.kem import AppSpec, RandomScheduler, Runtime
+from repro.server import KarousosPolicy, OrochiPolicy, run_server
+from repro.server.variables import INIT_REF
+from repro.store import IsolationLevel, KVStore
+from repro.trace.trace import Request
+from repro.workload import motd_workload, stacks_workload
+
+
+def serve_karousos(app, requests, store=None, seed=0, concurrency=4):
+    return run_server(
+        app,
+        requests,
+        KarousosPolicy(),
+        store=store,
+        scheduler=RandomScheduler(seed),
+        concurrency=concurrency,
+    )
+
+
+class TestVariableLogs:
+    def seq_app(self):
+        """One request handler that reads then writes a shared counter."""
+
+        def handle(ctx, req):
+            n = ctx.read("n")
+            ctx.write("n", ctx.apply(lambda v: v + 1, n))
+            ctx.respond({"n": n})
+
+        def init(ic):
+            ic.create_var("n", 0)
+            ic.register_route("bump", "handle")
+
+        return AppSpec("bump", {"handle": handle}, init)
+
+    def test_request_activations_are_r_concurrent_so_logged(self):
+        run = serve_karousos(
+            self.seq_app(), [Request.make(f"r{i}", "bump") for i in range(3)]
+        )
+        log = run.advice.variable_logs["n"]
+        # The first handler's read and write observe the init write and are
+        # R-ordered with it (I precedes everything): unlogged.  Every later
+        # access is R-concurrent (request activations are siblings under I):
+        # n-1 logged reads, n-1 logged writes + 1 backfilled first write.
+        reads = [e for e in log.values() if e.access == "read"]
+        writes = [e for e in log.values() if e.access == "write"]
+        assert len(reads) == 2
+        assert len(writes) == 3
+        assert INIT_REF not in log, "the init write itself was never R-concurrent"
+
+    def test_parent_child_accesses_not_logged(self):
+        """A write in the request handler read by its event-chain child is
+        R-ordered: no logging needed (the section 4.2 common pattern)."""
+
+        def handle(ctx, req):
+            ctx.write("x", 41)
+            ctx.register("go", "child")
+            ctx.emit("go", None)
+
+        def child(ctx, payload):
+            v = ctx.read("x")
+            ctx.respond({"x": v})
+
+        def init(ic):
+            ic.create_var("x", 0)
+            ic.register_route("t", "handle")
+
+        app = AppSpec("t", {"handle": handle, "child": child}, init)
+        run = serve_karousos(app, [Request.make("r0", "t")])
+        assert "x" not in run.advice.variable_logs, "nothing was R-concurrent"
+        assert run.trace.response("r0") == {"x": 41}
+
+    def test_orochi_logs_everything(self):
+        def handle(ctx, req):
+            ctx.write("x", 1)
+            v = ctx.read("x")
+            ctx.respond({"x": v})
+
+        def init(ic):
+            ic.create_var("x", 0)
+            ic.register_route("t", "handle")
+
+        app = AppSpec("t", {"handle": handle}, init)
+        karousos = run_server(app, [Request.make("r0", "t")], KarousosPolicy())
+        orochi = run_server(app, [Request.make("r0", "t")], OrochiPolicy())
+        k_entries = sum(len(l) for l in karousos.advice.variable_logs.values())
+        o_entries = sum(len(l) for l in orochi.advice.variable_logs.values())
+        assert k_entries == 0, "write then own read is R-ordered"
+        assert o_entries >= 2, "Orochi logs both accesses"
+
+
+class TestHandlerLogsAndOpcounts:
+    def test_opcounts_cover_all_handlers(self):
+        run = serve_karousos(motd_app(), motd_workload(10, seed=1), concurrency=3)
+        rids = {rid for rid, _ in run.advice.opcounts}
+        assert rids == set(run.trace.request_ids())
+
+    def test_response_emitted_by_present_for_all(self):
+        run = serve_karousos(motd_app(), motd_workload(10, seed=1))
+        assert set(run.advice.response_emitted_by) == set(run.trace.request_ids())
+
+    def test_motd_has_no_handler_ops(self):
+        # MOTD never emits/registers: handler logs stay empty.
+        run = serve_karousos(motd_app(), motd_workload(10, seed=1))
+        assert run.advice.handler_log_entry_count() == 0
+
+
+class TestTags:
+    def test_same_shape_requests_share_tags(self):
+        reqs = [Request.make(f"r{i}", "get", day="mon") for i in range(5)]
+        run = serve_karousos(motd_app(), reqs)
+        assert len(set(run.advice.tags.values())) == 1
+
+    def test_different_control_flow_splits_tags(self):
+        reqs = [
+            Request.make("r0", "get", day="mon"),
+            Request.make("r1", "set", day="mon", msg="hello"),
+        ]
+        run = serve_karousos(motd_app(), reqs)
+        assert run.advice.tags["r0"] != run.advice.tags["r1"]
+
+
+class TestTransactionLogs:
+    def serve_stacks(self, n=12, seed=0, concurrency=4, mix="mixed"):
+        store = KVStore(IsolationLevel.SERIALIZABLE)
+        return serve_karousos(
+            stackdump_app(),
+            stacks_workload(n, mix=mix, seed=seed),
+            store=store,
+            seed=seed,
+            concurrency=concurrency,
+        )
+
+    def test_tx_logs_start_with_tx_start(self):
+        run = self.serve_stacks()
+        assert run.advice.tx_logs, "workload must touch the store"
+        for (_rid, _tid), log in run.advice.tx_logs.items():
+            assert log[0].optype == TX_START
+
+    def test_committed_logs_end_with_commit(self):
+        run = self.serve_stacks()
+        enders = {log[-1].optype for log in run.advice.tx_logs.values()}
+        assert enders <= {TX_COMMIT, TX_ABORT}
+
+    def test_write_order_points_at_put_entries(self):
+        run = self.serve_stacks(n=20)
+        assert run.advice.write_order, "some transactions committed writes"
+        for rid, tid, idx in run.advice.write_order:
+            entry = run.advice.tx_logs[(rid, tid)][idx]
+            assert entry.optype == TX_PUT
+
+    def test_get_opcontents_reference_puts_or_initial(self):
+        run = self.serve_stacks(n=20)
+        for log in run.advice.tx_logs.values():
+            for entry in log:
+                if entry.optype != TX_GET or entry.opcontents is None:
+                    continue
+                rid_w, tid_w, idx_w = entry.opcontents
+                dictating = run.advice.tx_logs[(rid_w, tid_w)][idx_w]
+                assert dictating.optype == TX_PUT
+                assert dictating.key == entry.key
+
+
+class TestApplicationsUnderLoad:
+    @pytest.mark.parametrize("mix", ["read-heavy", "write-heavy", "mixed"])
+    def test_motd_serves_all_mixes(self, mix):
+        run = serve_karousos(motd_app(), motd_workload(40, mix=mix, seed=2), concurrency=8)
+        assert run.trace.is_balanced()
+
+    @pytest.mark.parametrize("mix", ["read-heavy", "write-heavy", "mixed"])
+    def test_stacks_serves_all_mixes(self, mix):
+        store = KVStore(IsolationLevel.SERIALIZABLE)
+        run = serve_karousos(
+            stackdump_app(),
+            stacks_workload(40, mix=mix, seed=3),
+            store=store,
+            concurrency=8,
+        )
+        assert run.trace.is_balanced()
+        statuses = {r["status"] for r in run.trace.responses().values()}
+        assert statuses <= {"ok", "retry"}
+
+    def test_stacks_counts_reflect_submissions(self):
+        # Sequentially (c=1) submit the same dump 3 times then count it.
+        from repro.core.digest import value_digest
+
+        dump = "Traceback: boom"
+        reqs = [Request.make(f"r{i}", "submit", dump=dump) for i in range(3)]
+        reqs.append(Request.make("r3", "count", digest=value_digest(dump)))
+        store = KVStore(IsolationLevel.SERIALIZABLE)
+        run = serve_karousos(stackdump_app(), reqs, store=store, concurrency=1)
+        assert run.trace.response("r3") == {"status": "ok", "count": 3}
+
+    def test_stacks_list_returns_sorted_dumps(self):
+        dumps = ["z-dump", "a-dump"]
+        reqs = [Request.make(f"r{i}", "submit", dump=d) for i, d in enumerate(dumps)]
+        reqs.append(Request.make("r2", "list"))
+        store = KVStore(IsolationLevel.SERIALIZABLE)
+        run = serve_karousos(stackdump_app(), reqs, store=store, concurrency=1)
+        resp = run.trace.response("r2")
+        assert resp["status"] == "ok"
+        assert [(d, c) for d, c, _fmt in resp["dumps"]] == [
+            ("a-dump", 1),
+            ("z-dump", 1),
+        ]
+
+    def test_concurrent_duplicate_submits_yield_retry(self):
+        # Same dump submitted by two concurrent requests: FIFO dispatch
+        # interleaves both GETs (shared read locks) before either PUT, so
+        # one PUT hits the other's read lock and surfaces a retry error
+        # (section 6).
+        from repro.kem.scheduler import FifoScheduler
+
+        dump = "Traceback: same"
+        reqs = [Request.make(f"r{i}", "submit", dump=dump) for i in range(2)]
+        store = KVStore(IsolationLevel.SERIALIZABLE)
+        run = run_server(
+            stackdump_app(),
+            reqs,
+            KarousosPolicy(),
+            store=store,
+            scheduler=FifoScheduler(),
+            concurrency=2,
+        )
+        statuses = sorted(r["status"] for r in run.trace.responses().values())
+        assert "retry" in statuses

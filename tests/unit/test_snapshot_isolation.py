@@ -1,0 +1,118 @@
+"""Unit tests for the snapshot-isolation extension (store semantics)."""
+
+import pytest
+
+from repro.errors import TransactionRetry
+from repro.store import IsolationLevel, KVStore, TxStatus
+
+
+def store():
+    return KVStore(IsolationLevel.SNAPSHOT)
+
+
+class TestSnapshotReads:
+    def test_reads_see_snapshot_not_later_commits(self):
+        s = store()
+        t0 = s.begin()
+        s.put(t0, "k", 1, writer_token="w1")
+        s.commit(t0)
+        reader = s.begin()
+        assert s.get(reader, "k") == (1, "w1")
+        writer = s.begin()
+        s.put(writer, "k", 2, writer_token="w2")
+        s.commit(writer)
+        # Repeatable read: still the snapshot version.
+        assert s.get(reader, "k") == (1, "w1")
+        # A new transaction sees the new version.
+        late = s.begin()
+        assert s.get(late, "k") == (2, "w2")
+
+    def test_no_dirty_reads(self):
+        s = store()
+        writer = s.begin()
+        s.put(writer, "k", 99)
+        reader = s.begin()
+        assert s.get(reader, "k") == (None, None)
+
+    def test_own_writes_visible(self):
+        s = store()
+        t = s.begin()
+        s.put(t, "k", 5, writer_token="mine")
+        assert s.get(t, "k") == (5, "mine")
+
+    def test_initial_state_read(self):
+        s = store()
+        t = s.begin()
+        assert s.get(t, "never-written") == (None, None)
+
+
+class TestFirstCommitterWins:
+    def test_second_committer_aborts(self):
+        s = store()
+        t1, t2 = s.begin(), s.begin()
+        s.put(t1, "k", 1)
+        s.put(t2, "k", 2)  # no conflict yet: SI detects at commit
+        s.commit(t1)
+        with pytest.raises(TransactionRetry):
+            s.commit(t2)
+        assert t2.status is TxStatus.ABORTED
+        assert s.committed_value("k") == 1
+
+    def test_disjoint_windows_both_commit(self):
+        s = store()
+        t1 = s.begin()
+        s.put(t1, "k", 1)
+        s.commit(t1)
+        t2 = s.begin()  # starts after t1 committed
+        s.put(t2, "k", 2)
+        s.commit(t2)
+        assert s.committed_value("k") == 2
+
+    def test_write_skew_allowed(self):
+        # The anomaly SI is famous for: both read the other's key, both
+        # write their own, both commit.
+        s = store()
+        t1, t2 = s.begin(), s.begin()
+        assert s.get(t1, "b") == (None, None)
+        assert s.get(t2, "a") == (None, None)
+        s.put(t1, "a", 1)
+        s.put(t2, "b", 2)
+        s.commit(t1)
+        s.commit(t2)  # must NOT raise: different keys
+        assert s.committed_value("a") == 1
+        assert s.committed_value("b") == 2
+
+    def test_conflict_on_any_written_key(self):
+        s = store()
+        t1, t2 = s.begin(), s.begin()
+        s.put(t1, "a", 1)
+        s.put(t1, "b", 1)
+        s.put(t2, "b", 2)
+        s.commit(t1)
+        with pytest.raises(TransactionRetry):
+            s.commit(t2)
+
+
+class TestWindows:
+    def test_windows_reported(self):
+        s = store()
+        t1 = s.begin()
+        s.put(t1, "k", 1)
+        s.commit(t1)
+        t2 = s.begin()
+        start, commit = s.tx_window(t1)
+        assert commit is not None and commit > start
+        start2, commit2 = s.tx_window(t2)
+        assert start2 == commit, "t2's snapshot is t1's commit point"
+        assert commit2 is None
+
+    def test_version_history_accumulates(self):
+        s = store()
+        for i in range(3):
+            t = s.begin()
+            s.put(t, "k", i, writer_token=f"w{i}")
+            s.commit(t)
+        history = s.version_history("k")
+        assert [v for _seq, v, _tok in history] == [0, 1, 2]
+        seqs = [seq for seq, _v, _tok in history]
+        assert seqs == sorted(seqs)

@@ -1,0 +1,210 @@
+"""Unit tests for the transactional KV store substrate."""
+
+import pytest
+
+from repro.errors import TransactionAborted, TransactionRetry
+from repro.store import IsolationLevel, KVStore, TxStatus
+
+
+def serializable():
+    return KVStore(IsolationLevel.SERIALIZABLE)
+
+
+class TestBasics:
+    def test_read_your_own_write(self):
+        s = serializable()
+        tx = s.begin()
+        s.put(tx, "k", 1, writer_token="w1")
+        assert s.get(tx, "k") == (1, "w1")
+
+    def test_uncommitted_write_invisible_after_abort(self):
+        s = serializable()
+        tx = s.begin()
+        s.put(tx, "k", 1)
+        s.abort(tx)
+        tx2 = s.begin()
+        assert s.get(tx2, "k") == (None, None)
+
+    def test_commit_installs_last_write_per_key(self):
+        s = serializable()
+        tx = s.begin()
+        s.put(tx, "k", 1, writer_token="first")
+        s.put(tx, "k", 2, writer_token="last")
+        s.commit(tx)
+        assert s.committed_value("k") == 2
+        assert s.committed_writer("k") == "last"
+        # Binlog records only the installed (final) version.
+        assert s.binlog.version_order("k") == ["last"]
+
+    def test_get_missing_key(self):
+        s = serializable()
+        tx = s.begin()
+        assert s.get(tx, "nope") == (None, None)
+
+    def test_ops_on_finished_tx_raise(self):
+        s = serializable()
+        tx = s.begin()
+        s.commit(tx)
+        with pytest.raises(TransactionAborted):
+            s.put(tx, "k", 1)
+        with pytest.raises(TransactionAborted):
+            s.get(tx, "k")
+
+    def test_abort_is_idempotent(self):
+        s = serializable()
+        tx = s.begin()
+        s.abort(tx)
+        s.abort(tx)
+        assert tx.status is TxStatus.ABORTED
+
+
+class TestSerializableConflicts:
+    def test_write_write_conflict_retries(self):
+        s = serializable()
+        t1, t2 = s.begin(), s.begin()
+        s.put(t1, "k", 1)
+        with pytest.raises(TransactionRetry):
+            s.put(t2, "k", 2)
+        assert t2.status is TxStatus.ABORTED, "conflicting tx is auto-aborted"
+        s.commit(t1)
+        assert s.committed_value("k") == 1
+
+    def test_read_write_conflict_retries(self):
+        s = serializable()
+        t1, t2 = s.begin(), s.begin()
+        s.get(t1, "k")
+        with pytest.raises(TransactionRetry):
+            s.put(t2, "k", 2)
+
+    def test_write_read_conflict_retries(self):
+        s = serializable()
+        t1, t2 = s.begin(), s.begin()
+        s.put(t1, "k", 1)
+        with pytest.raises(TransactionRetry):
+            s.get(t2, "k")
+
+    def test_concurrent_readers_allowed(self):
+        s = serializable()
+        t1, t2 = s.begin(), s.begin()
+        assert s.get(t1, "k") == (None, None)
+        assert s.get(t2, "k") == (None, None)
+        s.commit(t1)
+        s.commit(t2)
+
+    def test_locks_released_on_commit(self):
+        s = serializable()
+        t1 = s.begin()
+        s.put(t1, "k", 1)
+        s.commit(t1)
+        t2 = s.begin()
+        s.put(t2, "k", 2)  # no conflict: t1's lock is gone
+        s.commit(t2)
+        assert s.committed_value("k") == 2
+
+    def test_no_dirty_reads(self):
+        s = serializable()
+        t1 = s.begin()
+        s.put(t1, "k", 1)
+        s.commit(t1)
+        t2 = s.begin()
+        s.put(t2, "k", 99)
+        t3 = s.begin()
+        with pytest.raises(TransactionRetry):
+            s.get(t3, "k")
+
+
+class TestReadCommitted:
+    def test_reads_do_not_block_writers(self):
+        s = KVStore(IsolationLevel.READ_COMMITTED)
+        t1, t2 = s.begin(), s.begin()
+        s.get(t1, "k")
+        s.put(t2, "k", 2)  # allowed: no read locks at this level
+        s.commit(t2)
+        s.commit(t1)
+
+    def test_non_repeatable_read_possible(self):
+        s = KVStore(IsolationLevel.READ_COMMITTED)
+        t0 = s.begin()
+        s.put(t0, "k", 1, writer_token="w0")
+        s.commit(t0)
+        reader = s.begin()
+        assert s.get(reader, "k")[0] == 1
+        writer = s.begin()
+        s.put(writer, "k", 2, writer_token="w1")
+        s.commit(writer)
+        assert s.get(reader, "k")[0] == 2, "second read sees the new commit"
+
+    def test_no_dirty_reads(self):
+        s = KVStore(IsolationLevel.READ_COMMITTED)
+        writer = s.begin()
+        s.put(writer, "k", 99, writer_token="dirty")
+        reader = s.begin()
+        assert s.get(reader, "k") == (None, None)
+
+
+class TestReadUncommitted:
+    def test_dirty_reads_visible(self):
+        s = KVStore(IsolationLevel.READ_UNCOMMITTED)
+        writer = s.begin()
+        s.put(writer, "k", 99, writer_token="dirty")
+        reader = s.begin()
+        assert s.get(reader, "k") == (99, "dirty")
+
+    def test_dirty_value_gone_after_abort(self):
+        s = KVStore(IsolationLevel.READ_UNCOMMITTED)
+        writer = s.begin()
+        s.put(writer, "k", 99)
+        s.abort(writer)
+        reader = s.begin()
+        assert s.get(reader, "k") == (None, None)
+
+
+class TestBinlog:
+    def test_global_commit_order(self):
+        s = KVStore(IsolationLevel.READ_COMMITTED)
+        t1 = s.begin()
+        s.put(t1, "a", 1, writer_token="w-a1")
+        t2 = s.begin()
+        s.put(t2, "b", 1, writer_token="w-b1")
+        s.commit(t2)
+        s.commit(t1)
+        tokens = [e.writer_token for e in s.binlog]
+        assert tokens == ["w-b1", "w-a1"], "binlog is in commit order"
+
+    def test_version_order_per_key(self):
+        s = serializable()
+        for i in range(3):
+            tx = s.begin()
+            s.put(tx, "k", i, writer_token=f"w{i}")
+            s.commit(tx)
+        assert s.binlog.version_order("k") == ["w0", "w1", "w2"]
+
+    def test_aborted_writes_not_in_binlog(self):
+        s = serializable()
+        tx = s.begin()
+        s.put(tx, "k", 1, writer_token="gone")
+        s.abort(tx)
+        assert len(s.binlog) == 0
+
+
+class TestFaultInjection:
+    def test_claimed_serializable_actual_uncommitted_serves_dirty_reads(self):
+        s = KVStore(
+            IsolationLevel.SERIALIZABLE,
+            actual_level=IsolationLevel.READ_UNCOMMITTED,
+        )
+        writer = s.begin()
+        s.put(writer, "k", 13, writer_token="dirty")
+        reader = s.begin()
+        # A correctly serializable store would raise TransactionRetry here.
+        assert s.get(reader, "k") == (13, "dirty")
+
+    def test_stats_counters(self):
+        s = serializable()
+        tx = s.begin()
+        s.put(tx, "k", 1)
+        s.get(tx, "k")
+        s.commit(tx)
+        assert s.stats["puts"] == 1
+        assert s.stats["gets"] == 1
+        assert s.stats["commits"] == 1

@@ -1,0 +1,98 @@
+"""Unit tests for traces and the trusted collector."""
+
+import pytest
+
+from repro.trace import Collector, REQ, RESP, Request, Trace, TraceEvent
+
+
+def req(rid, route="get", **payload):
+    return Request.make(rid, route, **payload)
+
+
+class TestRequest:
+    def test_payload_roundtrip(self):
+        r = req("r1", "set", msg="hi", day="all")
+        assert r.inputs == {"msg": "hi", "day": "all"}
+
+    def test_hashable_and_equal(self):
+        assert req("r1", "set", a=1) == req("r1", "set", a=1)
+        assert len({req("r1", "set", a=1), req("r1", "set", a=1)}) == 1
+
+
+class TestCollector:
+    def test_records_in_order(self):
+        c = Collector()
+        c.on_request(req("r1"))
+        c.on_request(req("r2"))
+        c.on_response("r1", {"ok": True})
+        c.on_response("r2", {"ok": False})
+        kinds = [(e.kind, e.rid) for e in c.trace()]
+        assert kinds == [(REQ, "r1"), (REQ, "r2"), (RESP, "r1"), (RESP, "r2")]
+
+    def test_duplicate_request_rejected(self):
+        c = Collector()
+        c.on_request(req("r1"))
+        with pytest.raises(ValueError):
+            c.on_request(req("r1"))
+
+    def test_response_without_request_rejected(self):
+        with pytest.raises(ValueError):
+            Collector().on_response("ghost", {})
+
+    def test_double_response_rejected(self):
+        c = Collector()
+        c.on_request(req("r1"))
+        c.on_response("r1", {})
+        with pytest.raises(ValueError):
+            c.on_response("r1", {})
+
+    def test_in_flight_tracking(self):
+        c = Collector()
+        assert c.in_flight == 0
+        c.on_request(req("r1"))
+        c.on_request(req("r2"))
+        assert c.in_flight == 2
+        c.on_response("r2", {})
+        assert c.in_flight == 1
+
+
+class TestTrace:
+    def make_balanced(self):
+        t = Trace()
+        t.append(TraceEvent(REQ, "r1", req("r1")))
+        t.append(TraceEvent(RESP, "r1", {"v": 1}))
+        t.append(TraceEvent(REQ, "r2", req("r2")))
+        t.append(TraceEvent(RESP, "r2", {"v": 2}))
+        return t
+
+    def test_balanced(self):
+        assert self.make_balanced().is_balanced()
+
+    def test_unanswered_request_unbalanced(self):
+        t = Trace()
+        t.append(TraceEvent(REQ, "r1", req("r1")))
+        assert not t.is_balanced()
+
+    def test_response_before_request_unbalanced(self):
+        t = Trace()
+        t.append(TraceEvent(RESP, "r1", {}))
+        t.append(TraceEvent(REQ, "r1", req("r1")))
+        assert not t.is_balanced()
+
+    def test_lookups(self):
+        t = self.make_balanced()
+        assert t.request_ids() == ["r1", "r2"]
+        assert t.response("r1") == {"v": 1}
+        assert t.request("r2").rid == "r2"
+        assert t.responses() == {"r1": {"v": 1}, "r2": {"v": 2}}
+
+    def test_with_response_substitutes(self):
+        tampered = self.make_balanced().with_response("r1", {"v": 666})
+        assert tampered.response("r1") == {"v": 666}
+        assert tampered.response("r2") == {"v": 2}
+        # Original untouched.
+        assert self.make_balanced().response("r1") == {"v": 1}
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(KeyError):
+            self.make_balanced().request("nope")

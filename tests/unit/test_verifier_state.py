@@ -1,0 +1,160 @@
+"""Unit tests for the verifier's variable state (Figures 20-21)."""
+
+import pytest
+
+from repro.advice.records import VariableLogEntry
+from repro.core.ids import HandlerId
+from repro.errors import AuditRejected
+from repro.server.variables import INIT_HID, INIT_REF, INIT_RID
+from repro.verifier.state import PlainVarState, VarState
+
+ROOT = HandlerId("root", None, 0)
+CHILD = HandlerId("child", ROOT, 2)
+GRANDCHILD = HandlerId("gc", CHILD, 1)
+OTHER_ROOT = HandlerId("root", None, 0)
+
+
+def var(log=None, initial=0):
+    return VarState("x", initial, log or {})
+
+
+class TestFindNearestRPrecedingWrite:
+    def test_falls_back_to_init_value(self):
+        v = var(initial=42)
+        key, value = v.find_nearest_r_preceding_write("r1", ROOT, 1)
+        assert key == (INIT_RID, INIT_HID, 0)
+        assert value == 42
+
+    def test_own_earlier_write_wins(self):
+        v = var()
+        v.on_write("r1", ROOT, 1, "first")
+        v.on_write("r1", ROOT, 3, "second")
+        key, value = v.find_nearest_r_preceding_write("r1", ROOT, 4)
+        assert key == ("r1", ROOT, 3)
+        assert value == "second"
+
+    def test_own_later_write_ignored(self):
+        v = var()
+        v.on_write("r1", ROOT, 5, "later")
+        key, _ = v.find_nearest_r_preceding_write("r1", ROOT, 2)
+        assert key == (INIT_RID, INIT_HID, 0)
+
+    def test_ancestor_write_found(self):
+        v = var()
+        v.on_write("r1", ROOT, 1, "parent-val")
+        key, value = v.find_nearest_r_preceding_write("r1", GRANDCHILD, 1)
+        assert key == ("r1", ROOT, 1)
+        assert value == "parent-val"
+
+    def test_nearest_ancestor_preferred(self):
+        v = var()
+        v.on_write("r1", ROOT, 1, "far")
+        v.on_write("r1", CHILD, 1, "near")
+        key, value = v.find_nearest_r_preceding_write("r1", GRANDCHILD, 1)
+        assert key == ("r1", CHILD, 1)
+        assert value == "near"
+
+    def test_other_requests_writes_invisible(self):
+        v = var(initial="init")
+        v.on_write("r2", ROOT, 1, "foreign")
+        key, value = v.find_nearest_r_preceding_write("r1", CHILD, 1)
+        assert key == (INIT_RID, INIT_HID, 0)
+        assert value == "init"
+
+
+class TestOnReadLoggedPath:
+    def test_logged_read_feeds_from_dictating_write(self):
+        log = {
+            ("r1", ROOT, 2): VariableLogEntry("write", value="w1", prec=None),
+            ("r2", ROOT, 1): VariableLogEntry("read", prec=("r1", ROOT, 2)),
+        }
+        v = var(log)
+        assert v.on_read("r2", ROOT, 1) == "w1"
+        assert ("r2", ROOT, 1) in v.read_observers[("r1", ROOT, 2)]
+
+    def test_read_entry_without_prec_rejected(self):
+        v = var({("r1", ROOT, 1): VariableLogEntry("read", prec=None)})
+        with pytest.raises(AuditRejected) as exc:
+            v.on_read("r1", ROOT, 1)
+        assert exc.value.reason == "variable-log-invalid"
+
+    def test_read_whose_dictating_write_missing_rejected(self):
+        v = var({("r1", ROOT, 1): VariableLogEntry("read", prec=("r9", ROOT, 9))})
+        with pytest.raises(AuditRejected):
+            v.on_read("r1", ROOT, 1)
+
+    def test_read_pointing_at_read_rejected(self):
+        log = {
+            ("r1", ROOT, 1): VariableLogEntry("read", prec=("r2", ROOT, 1)),
+            ("r2", ROOT, 1): VariableLogEntry("read", prec=("r1", ROOT, 1)),
+        }
+        v = var(log)
+        with pytest.raises(AuditRejected):
+            v.on_read("r1", ROOT, 1)
+
+
+class TestOnWrite:
+    def test_unlogged_write_links_predecessor(self):
+        v = var()
+        v.on_write("r1", ROOT, 1, "a")
+        v.on_write("r1", ROOT, 2, "b")
+        assert v.write_observer[("r1", ROOT, 1)] == ("r1", ROOT, 2)
+        assert v.write_observer[INIT_REF] == ("r1", ROOT, 1)
+
+    def test_logged_write_value_mismatch_rejected(self):
+        v = var({("r1", ROOT, 1): VariableLogEntry("write", value="logged", prec=None)})
+        with pytest.raises(AuditRejected) as exc:
+            v.on_write("r1", ROOT, 1, "different")
+        assert exc.value.reason == "write-mismatch"
+
+    def test_logged_write_as_read_rejected(self):
+        v = var({("r1", ROOT, 1): VariableLogEntry("read", prec=INIT_REF)})
+        with pytest.raises(AuditRejected):
+            v.on_write("r1", ROOT, 1, "x")
+
+    def test_double_overwrite_rejected(self):
+        log = {
+            ("r1", ROOT, 1): VariableLogEntry("write", value="a", prec=None),
+            ("r2", ROOT, 1): VariableLogEntry("write", value="b", prec=("r1", ROOT, 1)),
+            ("r3", ROOT, 1): VariableLogEntry("write", value="c", prec=("r1", ROOT, 1)),
+        }
+        v = var(log)
+        v.on_write("r1", ROOT, 1, "a")
+        v.on_write("r2", ROOT, 1, "b")
+        with pytest.raises(AuditRejected) as exc:
+            v.on_write("r3", ROOT, 1, "c")
+        assert exc.value.reason == "double-overwrite"
+
+
+class TestInitEntryValidation:
+    def test_matching_backfilled_init_entry_accepted(self):
+        log = {INIT_REF: VariableLogEntry("write", value=7, prec=None)}
+        v = VarState("x", 7, log)
+        assert INIT_REF in v.consumed
+
+    def test_forged_init_value_rejected(self):
+        log = {INIT_REF: VariableLogEntry("write", value=666, prec=None)}
+        with pytest.raises(AuditRejected) as exc:
+            VarState("x", 7, log)
+        assert exc.value.reason == "forged-initial-value"
+
+
+class TestConsumption:
+    def test_unconsumed_entries_reported(self):
+        log = {("rX", ROOT, 9): VariableLogEntry("write", value=1, prec=None)}
+        v = var(log)
+        assert v.unconsumed_entries() == [("rX", ROOT, 9)]
+
+    def test_consumed_after_reexecution(self):
+        log = {("r1", ROOT, 1): VariableLogEntry("write", value="a", prec=None)}
+        v = var(log)
+        v.on_write("r1", ROOT, 1, "a")
+        assert v.unconsumed_entries() == []
+
+
+class TestPlainVarState:
+    def test_per_request_isolation(self):
+        v = PlainVarState("p", initial=0)
+        v.write("r1", 5)
+        assert v.read("r1") == 5
+        assert v.read("r2") == 0

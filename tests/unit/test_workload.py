@@ -1,0 +1,100 @@
+"""Unit tests for the workload generators (section 6 mixes)."""
+
+import pytest
+
+from repro.workload import (
+    MIX_MIXED,
+    MIX_READ_HEAVY,
+    MIX_WRITE_HEAVY,
+    motd_workload,
+    stacks_workload,
+    wiki_workload,
+    workload_for,
+)
+
+
+class TestMotdWorkload:
+    def test_deterministic(self):
+        assert motd_workload(50, seed=3) == motd_workload(50, seed=3)
+
+    def test_seed_changes_output(self):
+        assert motd_workload(50, seed=3) != motd_workload(50, seed=4)
+
+    def test_rids_encode_arrival_order(self):
+        rids = [r.rid for r in motd_workload(30, seed=0)]
+        assert rids == sorted(rids)
+        assert len(set(rids)) == 30
+
+    @pytest.mark.parametrize(
+        "mix,lo,hi",
+        [(MIX_READ_HEAVY, 0.0, 0.25), (MIX_WRITE_HEAVY, 0.75, 1.0), (MIX_MIXED, 0.35, 0.65)],
+    )
+    def test_write_fractions(self, mix, lo, hi):
+        reqs = motd_workload(400, mix=mix, seed=1)
+        frac = sum(1 for r in reqs if r.route == "set") / len(reqs)
+        assert lo <= frac <= hi
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            motd_workload(10, mix="chaotic")
+
+
+class TestStacksWorkload:
+    def test_routes(self):
+        routes = {r.route for r in stacks_workload(200, seed=2)}
+        assert routes == {"submit", "count", "list"}
+
+    def test_first_request_is_a_submit(self):
+        # count/list need prior submissions to reference.
+        assert stacks_workload(10, seed=5)[0].route == "submit"
+
+    def test_repeat_submissions_dominate(self):
+        reqs = stacks_workload(400, mix=MIX_WRITE_HEAVY, seed=3)
+        dumps = [r.inputs["dump"] for r in reqs if r.route == "submit"]
+        assert len(set(dumps)) < len(dumps) * 0.5, "90% of writes re-report"
+
+    def test_counts_reference_submitted_dumps(self):
+        from repro.core.digest import value_digest
+
+        reqs = stacks_workload(300, seed=4)
+        submitted = {
+            value_digest(r.inputs["dump"]) for r in reqs if r.route == "submit"
+        }
+        for r in reqs:
+            if r.route == "count":
+                assert r.inputs["digest"] in submitted
+
+
+class TestWikiWorkload:
+    def test_routes_roughly_match_mix(self):
+        reqs = wiki_workload(600, seed=6)
+        counts = {}
+        for r in reqs:
+            counts[r.route] = counts.get(r.route, 0) + 1
+        assert counts["render"] / 600 == pytest.approx(0.60, abs=0.1)
+        assert counts["create_page"] / 600 == pytest.approx(0.25, abs=0.1)
+
+    def test_renders_target_existing_pages(self):
+        reqs = wiki_workload(200, seed=7)
+        created = set()
+        for r in reqs:
+            if r.route == "create_page":
+                created.add(r.inputs["title"])
+            else:
+                assert r.inputs["title"] in created
+
+    def test_page_titles_unique(self):
+        reqs = wiki_workload(200, seed=8)
+        titles = [r.inputs["title"] for r in reqs if r.route == "create_page"]
+        assert len(titles) == len(set(titles))
+
+
+class TestDispatch:
+    def test_workload_for_names(self):
+        assert workload_for("motd", 5)[0].route in ("get", "set")
+        assert workload_for("stacks", 5)[0].route == "submit"
+        assert workload_for("wiki", 5)[0].route == "create_page"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            workload_for("blog", 5)
