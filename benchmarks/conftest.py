@@ -32,3 +32,19 @@ def _scale() -> BenchScale:
 @pytest.fixture(scope="session")
 def scale() -> BenchScale:
     return _scale()
+
+
+@pytest.fixture
+def work_scale():
+    """Scale every app's ``cpu_work`` compute for one benchmark without
+    editing app code.  Returns a context manager factory:
+
+    ``with work_scale(4.0): serve_and_audit(...)``
+
+    The scale rides on an environment variable so audit worker processes
+    inherit it; serve and audit must happen inside the same ``with`` block
+    (re-execution with a different scale changes every digest).
+    """
+    from repro.core.work import scaled_work
+
+    return scaled_work

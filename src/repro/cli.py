@@ -74,6 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
     aud.add_argument("--advice", required=True)
     aud.add_argument("--singleton-groups", action="store_true",
                      help="use the sequential OOOAudit (one group per request)")
+    aud.add_argument("--jobs", type=int, default=1,
+                     help="shard re-execution groups across N workers "
+                     "(>1 enables the parallel audit pipeline)")
+    aud.add_argument("--parallel-mode", default="auto",
+                     choices=["auto", "process", "thread", "serial"],
+                     help="worker flavour for --jobs > 1 (default: auto)")
 
     attack = sub.add_parser("attack", help="tamper with advice, then audit")
     attack.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
@@ -139,12 +145,15 @@ def _load(args):
 def _cmd_audit(args) -> int:
     trace, advice = _load(args)
     result = Auditor(
-        make_app(args.app), trace, advice, singleton_groups=args.singleton_groups
+        make_app(args.app), trace, advice,
+        singleton_groups=args.singleton_groups,
+        parallelism=args.jobs, parallel_mode=args.parallel_mode,
     ).run()
     if result.accepted:
+        workers = f", {args.jobs} workers" if args.jobs > 1 else ""
         print(f"ACCEPT  ({result.stats['elapsed_seconds']:.3f}s, "
               f"{result.stats.get('groups', 0):.0f} groups, "
-              f"graph {result.stats.get('graph_nodes', 0):.0f} nodes)")
+              f"graph {result.stats.get('graph_nodes', 0):.0f} nodes{workers})")
         return EXIT_OK
     print(f"REJECT  reason={result.reason}")
     if result.detail:

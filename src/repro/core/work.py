@@ -9,16 +9,62 @@ sections 2.3 and 6.2).
 :func:`cpu_work` is the stand-in: a seeded SHA-256 chain whose cost scales
 linearly in ``units`` and whose output is a pure function of its inputs --
 so it is safe to call through ``ctx.apply`` and to deduplicate.
+
+Benchmarks can scale every app's compute without editing app code via
+:data:`WORK_SCALE_ENV` (read per call, so :func:`set_work_scale` /
+:func:`scaled_work` take effect immediately).  The environment variable --
+rather than a module global -- is deliberate: audit worker *processes*
+inherit the environment, so serve-time and audit-time compute stay equal
+even across a process pool, which re-execution correctness requires
+(different unit counts would change the hash chain and every digest).
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+from contextlib import contextmanager
+
+WORK_SCALE_ENV = "KAROUSOS_WORK_SCALE"
+
+
+def work_scale() -> float:
+    """The current compute multiplier (default 1.0)."""
+    raw = os.environ.get(WORK_SCALE_ENV)
+    if not raw:
+        return 1.0
+    try:
+        scale = float(raw)
+    except ValueError:
+        return 1.0
+    return scale if scale > 0 else 1.0
+
+
+def set_work_scale(scale: float) -> None:
+    """Set the compute multiplier for this process and its children."""
+    os.environ[WORK_SCALE_ENV] = repr(float(scale))
+
+
+@contextmanager
+def scaled_work(scale: float):
+    """Temporarily scale :func:`cpu_work` (serve *and* audit the workload
+    inside one ``with`` block -- the scale must match on both sides)."""
+    previous = os.environ.get(WORK_SCALE_ENV)
+    set_work_scale(scale)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(WORK_SCALE_ENV, None)
+        else:
+            os.environ[WORK_SCALE_ENV] = previous
 
 
 def cpu_work(units: int, *seed: object) -> str:
-    """Burn ~``units`` hash iterations; returns a deterministic digest."""
+    """Burn ~``units`` (scaled) hash iterations; returns a deterministic
+    digest.  Output depends on the effective iteration count, so the
+    scale must be identical when serving and when auditing a workload."""
     state = repr(seed).encode("utf-8")
-    for _ in range(units):
+    for _ in range(int(units * work_scale())):
         state = hashlib.sha256(state).digest()
     return state.hex()[:16]

@@ -4,11 +4,13 @@ behind every figure of the paper's evaluation (section 6)."""
 from repro.harness.experiment import (
     AdviceSizes,
     ExperimentConfig,
+    ParallelAuditComparison,
     ServerComparison,
     VerifierComparison,
     make_app,
     make_store,
     measure_advice_sizes,
+    measure_parallel_audit,
     measure_server_overhead,
     measure_verification,
 )
@@ -17,11 +19,13 @@ from repro.harness.reporting import format_series, print_series
 __all__ = [
     "AdviceSizes",
     "ExperimentConfig",
+    "ParallelAuditComparison",
     "ServerComparison",
     "VerifierComparison",
     "make_app",
     "make_store",
     "measure_advice_sizes",
+    "measure_parallel_audit",
     "measure_server_overhead",
     "measure_verification",
     "format_series",

@@ -52,6 +52,8 @@ class ExperimentConfig:
     seed: int = 0
     isolation: IsolationLevel = IsolationLevel.SERIALIZABLE
     warmup_fraction: float = 0.2
+    # Audit-side parallelism: >1 shards re-execution groups over workers.
+    jobs: int = 1
 
 
 def make_app(name: str) -> AppSpec:
@@ -157,11 +159,13 @@ def measure_verification(cfg: ExperimentConfig, repeats: int = 1) -> VerifierCom
     k_result = o_result = seq = None
     for _ in range(max(1, repeats)):
         started = time.perf_counter()
-        k_result = audit(make_app(cfg.app_name), k_trace, k_advice)
+        k_result = audit(make_app(cfg.app_name), k_trace, k_advice,
+                         parallelism=cfg.jobs)
         k_seconds.append(time.perf_counter() - started)
 
         started = time.perf_counter()
-        o_result = audit(make_app(cfg.app_name), o_trace, o_advice)
+        o_result = audit(make_app(cfg.app_name), o_trace, o_advice,
+                         parallelism=cfg.jobs)
         o_seconds.append(time.perf_counter() - started)
 
         seq = sequential_reexecute(make_app(cfg.app_name), k_trace, store_factory)
@@ -176,6 +180,79 @@ def measure_verification(cfg: ExperimentConfig, repeats: int = 1) -> VerifierCom
         karousos_accepted=k_result.accepted,
         orochi_accepted=o_result.accepted,
         sequential_match_fraction=seq.match_fraction,
+    )
+
+
+@dataclass
+class ParallelAuditComparison:
+    """Sequential vs sharded audit of one served trace (same advice)."""
+
+    sequential_seconds: float
+    parallel_seconds: Dict[int, float]  # jobs -> seconds
+    sequential_accepted: bool
+    parallel_accepted: Dict[int, bool]
+    stats_identical: Dict[int, bool]  # modulo elapsed_seconds
+    mode_used: Dict[int, str]
+
+    def speedup(self, jobs: int) -> float:
+        return self.sequential_seconds / self.parallel_seconds[jobs]
+
+
+def measure_parallel_audit(
+    cfg: ExperimentConfig,
+    jobs_list: Tuple[int, ...] = (2, 4),
+    repeats: int = 1,
+    mode: str = "auto",
+) -> ParallelAuditComparison:
+    """Audit one Karousos-served trace sequentially and with the parallel
+    pipeline at each worker count in ``jobs_list``; minimum time over
+    ``repeats`` per configuration.  Also records whether verdict and
+    deterministic stats matched the sequential audit (they must)."""
+    from repro.verifier import Auditor
+
+    full = ExperimentConfig(**{**cfg.__dict__, "warmup_fraction": 0.0})
+    _, trace, advice, _ = _serve_with_warmup(full, KarousosPolicy())
+
+    def strip(stats: Dict[str, float]) -> Dict[str, float]:
+        return {k: v for k, v in stats.items() if k != "elapsed_seconds"}
+
+    seq_seconds = []
+    seq_result = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        seq_result = audit(make_app(cfg.app_name), trace, advice)
+        seq_seconds.append(time.perf_counter() - started)
+
+    par_seconds: Dict[int, float] = {}
+    par_accepted: Dict[int, bool] = {}
+    stats_identical: Dict[int, bool] = {}
+    mode_used: Dict[int, str] = {}
+    for jobs in jobs_list:
+        timings = []
+        for _ in range(max(1, repeats)):
+            auditor = Auditor(
+                make_app(cfg.app_name), trace, advice,
+                parallelism=jobs, parallel_mode=mode,
+            )
+            started = time.perf_counter()
+            result = auditor.run()
+            timings.append(time.perf_counter() - started)
+        par_seconds[jobs] = min(timings)
+        par_accepted[jobs] = result.accepted
+        stats_identical[jobs] = (
+            result.accepted == seq_result.accepted
+            and result.reason == seq_result.reason
+            and strip(result.stats) == strip(seq_result.stats)
+        )
+        mode_used[jobs] = auditor.parallel.mode_used if auditor.parallel else "sequential"
+
+    return ParallelAuditComparison(
+        sequential_seconds=min(seq_seconds),
+        parallel_seconds=par_seconds,
+        sequential_accepted=seq_result.accepted,
+        parallel_accepted=par_accepted,
+        stats_identical=stats_identical,
+        mode_used=mode_used,
     )
 
 

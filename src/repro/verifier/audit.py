@@ -38,8 +38,33 @@ class AuditResult:
         return f"<AuditResult {verdict}>"
 
 
+def collect_stats(
+    started: float, state: Optional[AuditState], re_exec: Optional[ReExecutor]
+) -> Dict[str, float]:
+    """AuditResult statistics; shared by the sequential and parallel audits
+    so their stats are identical key-for-key (only elapsed_seconds, being
+    wall-clock, can differ)."""
+    stats: Dict[str, float] = {
+        "elapsed_seconds": time.perf_counter() - started,
+    }
+    if state is not None:
+        stats["graph_nodes"] = state.graph.node_count
+        stats["graph_edges"] = state.graph.edge_count
+    if re_exec is not None:
+        stats["groups"] = re_exec.groups_executed
+        stats["handlers_executed"] = re_exec.handlers_executed
+    return stats
+
+
 class Auditor:
-    """Runs one audit; exposes intermediate state for tests and tooling."""
+    """Runs one audit; exposes intermediate state for tests and tooling.
+
+    ``parallelism > 1`` delegates to the parallel audit pipeline
+    (:mod:`repro.verifier.parallel`): re-execution groups are fanned out
+    over worker processes (or threads, per ``parallel_mode``) and reduced
+    in canonical group order, so the verdict and deterministic statistics
+    are identical to the sequential audit.
+    """
 
     def __init__(
         self,
@@ -48,16 +73,23 @@ class Auditor:
         advice: Advice,
         singleton_groups: bool = False,
         reverse_groups: bool = False,
+        parallelism: int = 1,
+        parallel_mode: str = "auto",
     ):
         self.app = app
         self.trace = trace
         self.advice = advice
         self.singleton_groups = singleton_groups
         self.reverse_groups = reverse_groups
+        self.parallelism = parallelism
+        self.parallel_mode = parallel_mode
         self.state: Optional[AuditState] = None
         self.re_exec: Optional[ReExecutor] = None
+        self.parallel = None  # the ParallelAuditor, when one ran
 
     def run(self) -> AuditResult:
+        if self.parallelism and self.parallelism > 1:
+            return self._run_parallel()
         started = time.perf_counter()
         try:
             self.state = preprocess(self.app, self.trace, self.advice)
@@ -85,19 +117,30 @@ class Auditor:
             )
         return AuditResult(accepted=True, stats=self._stats(started))
 
+    def _run_parallel(self) -> AuditResult:
+        # Imported lazily: parallel imports AuditResult from this module.
+        from repro.verifier.parallel import ParallelAuditor
+
+        pipeline = ParallelAuditor(
+            self.app,
+            self.trace,
+            self.advice,
+            jobs=self.parallelism,
+            mode=self.parallel_mode,
+            singleton_groups=self.singleton_groups,
+        )
+        result = pipeline.run()
+        self.parallel = pipeline
+        self.state = pipeline.state
+        self.re_exec = pipeline.re_exec
+        return result
+
     def _stats(self, started: float) -> Dict[str, float]:
-        stats: Dict[str, float] = {
-            "elapsed_seconds": time.perf_counter() - started,
-        }
-        if self.state is not None:
-            stats["graph_nodes"] = self.state.graph.node_count
-            stats["graph_edges"] = self.state.graph.edge_count
-        if self.re_exec is not None:
-            stats["groups"] = self.re_exec.groups_executed
-            stats["handlers_executed"] = self.re_exec.handlers_executed
-        return stats
+        return collect_stats(started, self.state, self.re_exec)
 
 
-def audit(app: AppSpec, trace: Trace, advice: Advice) -> AuditResult:
+def audit(
+    app: AppSpec, trace: Trace, advice: Advice, parallelism: int = 1
+) -> AuditResult:
     """Audit a served trace against the server's advice."""
-    return Auditor(app, trace, advice).run()
+    return Auditor(app, trace, advice, parallelism=parallelism).run()

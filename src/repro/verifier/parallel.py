@@ -1,0 +1,515 @@
+"""Parallel audit pipeline: shard re-execution groups across workers.
+
+The paper's Lemma 1 (see :mod:`repro.verifier.oooaudit`) proves all
+well-formed op schedules equivalent, which licenses re-executing
+independent groups concurrently.  In this verifier group re-execution is
+*value-isolated* by construction:
+
+* unlogged variable reads resolve via FindNearestRPrecedingWrite, which
+  only consults the reading request's own handler tree and the trusted
+  init write (section 4.2);
+* logged variable reads take their value from the dictating write's own
+  log entry (Figure 20) -- the value travels *in the advice*, not in live
+  re-execution state;
+* store GETs resolve their dictating PUT from the transaction logs
+  (section 4.4), again value-carrying.
+
+So a group re-executes to the same values regardless of what other groups
+ran before it.  The only cross-group mutable state is the write-history
+bookkeeping of :class:`~repro.verifier.state.VarState` -- overwrite
+claims (whose duplication is the ``double-overwrite`` rejection) and
+claim fallbacks/initializer updates, all order-sensitive.  Workers record
+exactly these events in an ordered per-group *journal*
+(:class:`GroupDelta`), and the parent replays every journal in canonical
+group order (sorted tags -- the sequential auditor's order) before
+merging the group's bulk state.  Consequences:
+
+* the verdict, rejection reason, and deterministic statistics are
+  identical to the sequential :class:`~repro.verifier.audit.Auditor`, no
+  matter how groups were sharded or in which order workers finished;
+* a cross-group conflict that the wave partition did not anticipate
+  (advice is untrusted and may lie about footprints) surfaces as the same
+  deterministic REJECT the sequential audit raises -- never a race.
+
+Waves: :func:`compute_waves` stages groups into topological waves from
+the advice's read/write sets.  Under the ``structural`` policy (default)
+every cross-group coupling found in the advice is value-carrying (per the
+three bullets above), so all groups land in one wave and fan out
+maximally; the ``footprint`` policy conservatively stages groups whose
+written variable/key footprints intersect another group's footprint --
+useful for debugging and for exercising plan invariance in tests.
+
+Executors: ``process`` (ProcessPoolExecutor; workers rebuild the audit
+state once per process from pickled inputs), ``thread`` (shared state;
+useful when inputs cannot cross a process boundary, e.g. closure-based
+test apps), and ``serial`` (in-process, for debugging and Windows-spawn
+environments).  ``auto`` picks processes when the inputs pickle, else
+threads.  A worker that dies mid-group (killed process, broken pool) is
+an infrastructure failure, not evidence about the advice: the affected
+groups are deterministically re-executed in-process so the verdict never
+depends on worker health.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.advice.records import Advice, TX_GET, TX_PUT
+from repro.errors import AuditRejected
+from repro.kem.program import AppSpec
+from repro.server.variables import INIT_RID
+from repro.trace.trace import Trace
+from repro.verifier.audit import AuditResult, collect_stats
+from repro.verifier.isolation import verify_isolation_level
+from repro.verifier.postprocess import postprocess
+from repro.verifier.preprocess import AuditState, preprocess
+from repro.verifier.reexec import ReExecutor
+from repro.verifier.state import VarState
+
+MODE_AUTO = "auto"
+MODE_PROCESS = "process"
+MODE_THREAD = "thread"
+MODE_SERIAL = "serial"
+MODES = (MODE_AUTO, MODE_PROCESS, MODE_THREAD, MODE_SERIAL)
+
+PARTITION_STRUCTURAL = "structural"
+PARTITION_FOOTPRINT = "footprint"
+
+# Test hook: a worker whose task tag equals this environment variable's
+# value dies without cleanup, simulating a hard worker crash (segfault,
+# OOM-kill).  Inherited by pool workers; never set in production.
+CRASH_ENV = "KAROUSOS_TEST_WORKER_CRASH"
+
+
+# -- group footprints and wave partition -------------------------------------
+
+
+@dataclass(frozen=True)
+class GroupFootprint:
+    """Alleged read/write sets of one group, from the untrusted advice.
+
+    Elements are ``("var", var_id)`` for loggable program variables and
+    ``("kv", key)`` for transactional store keys.
+    """
+
+    reads: frozenset
+    writes: frozenset
+
+    def conflicts_with(self, other: "GroupFootprint") -> bool:
+        return bool(
+            self.writes & other.writes
+            or self.writes & other.reads
+            or self.reads & other.writes
+        )
+
+
+def group_footprints(
+    state: AuditState, groups: Dict[str, List[str]]
+) -> Dict[str, GroupFootprint]:
+    """Per-group read/write footprints from the advice's logs."""
+    tag_of = {rid: tag for tag, rids in groups.items() for rid in rids}
+    reads: Dict[str, Set] = {tag: set() for tag in groups}
+    writes: Dict[str, Set] = {tag: set() for tag in groups}
+    for var_id, log in state.advice.variable_logs.items():
+        for (rid, _hid, _opnum), entry in log.items():
+            tag = tag_of.get(rid)  # INIT_RID backfills carry no group
+            if tag is None:
+                continue
+            target = writes if entry.access == "write" else reads
+            target[tag].add(("var", var_id))
+    for (rid, _tid), log in state.advice.tx_logs.items():
+        tag = tag_of.get(rid)
+        if tag is None:
+            continue
+        for entry in log:
+            if entry.optype == TX_GET:
+                reads[tag].add(("kv", entry.key))
+            elif entry.optype == TX_PUT:
+                writes[tag].add(("kv", entry.key))
+    return {
+        tag: GroupFootprint(frozenset(reads[tag]), frozenset(writes[tag]))
+        for tag in groups
+    }
+
+
+def compute_waves(
+    state: AuditState,
+    groups: Dict[str, List[str]],
+    partition: str = PARTITION_STRUCTURAL,
+) -> List[List[str]]:
+    """Stage groups into topological waves; groups within a wave may run
+    concurrently, waves run in order.
+
+    ``structural``: dependencies are cross-group couplings that are *not*
+    value-carrying in the advice.  Logged reads carry their dictating
+    write's value, store GETs carry a reference into value-carrying
+    transaction logs, and unlogged accesses cannot leave the request's
+    handler tree -- so for well-formed advice no such coupling exists and
+    every group lands in wave 0.  (Advice that lies about this is caught
+    by the canonical-order merge, not by scheduling.)
+
+    ``footprint``: conservative write/write and read/write staging over
+    the advice's alleged footprints; conflicts are oriented by canonical
+    tag order (always a DAG) and layered by longest path.
+    """
+    order = sorted(groups)
+    if not order:
+        return []
+    if partition == PARTITION_STRUCTURAL:
+        return [order]
+    if partition != PARTITION_FOOTPRINT:
+        raise ValueError(f"unknown partition policy {partition!r}")
+    fps = group_footprints(state, groups)
+    level: Dict[str, int] = {}
+    waves: List[List[str]] = []
+    for i, tag in enumerate(order):
+        depth = 0
+        for prev in order[:i]:
+            if fps[tag].conflicts_with(fps[prev]):
+                depth = max(depth, level[prev] + 1)
+        level[tag] = depth
+        while len(waves) <= depth:
+            waves.append([])
+        waves[depth].append(tag)
+    return waves
+
+
+# -- per-group execution (runs inside a worker) --------------------------------
+
+
+@dataclass
+class GroupDelta:
+    """Everything one group's isolated re-execution produced.
+
+    ``journal`` is the ordered list of cross-group-sensitive events
+    (overwrite claims, claim fallbacks, initializer updates, handler
+    completions) in execution order; the parent replays it in canonical
+    group order.  Bulk state (outputs, var dictionaries, observers) is
+    disjoint across groups and merged wholesale after a group's journal
+    replays cleanly.
+    """
+
+    tag: str
+    journal: List[Tuple] = field(default_factory=list)
+    executed: Set[Tuple] = field(default_factory=set)
+    outputs: Dict[str, object] = field(default_factory=dict)
+    var_dicts: Dict[str, Dict] = field(default_factory=dict)
+    read_observers: Dict[str, Dict] = field(default_factory=dict)
+    consumed: Dict[str, Set] = field(default_factory=dict)
+    plain_values: Dict[str, Dict] = field(default_factory=dict)
+    # (kind, reason, detail); kind is "rejected" (AuditRejected) or
+    # "crash" (any other exception, the sequential audit's audit-crash).
+    rejection: Optional[Tuple[str, str, str]] = None
+
+
+def execute_group(state: AuditState, tag: str, rids: List[str]) -> GroupDelta:
+    """Re-execute one group in isolation and package its delta."""
+    journal: List[Tuple] = []
+    delta = GroupDelta(tag=tag, journal=journal)
+    re_exec = None
+    try:
+        re_exec = ReExecutor(state, journal=journal)
+        re_exec.execute_group(rids)
+    except AuditRejected as rejection:
+        delta.rejection = ("rejected", rejection.reason, rejection.detail)
+    except Exception as exc:  # mirrors Auditor.run's audit-crash clause
+        delta.rejection = ("crash", "audit-crash", f"{type(exc).__name__}: {exc}")
+    if re_exec is None or delta.rejection is not None:
+        # A rejected group contributes only its journal (for stats and the
+        # rejection's canonical position); the audit stops before its bulk
+        # state could matter.
+        return delta
+    delta.executed = re_exec.executed
+    delta.outputs = re_exec.outputs
+    for var_id, var in re_exec.vars.items():
+        if isinstance(var, VarState):
+            var_dict = {
+                key: writes
+                for key, writes in var.var_dict.items()
+                if key[0] != INIT_RID
+            }
+            if var_dict:
+                delta.var_dicts[var_id] = var_dict
+            if var.read_observers:
+                delta.read_observers[var_id] = var.read_observers
+            if var.consumed:
+                delta.consumed[var_id] = var.consumed
+        elif var.values:
+            delta.plain_values[var_id] = var.values
+    return delta
+
+
+# -- process-pool plumbing -----------------------------------------------------
+
+_WORKER_STATE: Optional[AuditState] = None
+
+
+def _worker_init(payload: bytes) -> None:
+    """Pool initializer: rebuild the audit state once per worker process.
+
+    Preprocess is deterministic, and the parent only spawns workers after
+    its own preprocess succeeded, so this cannot newly reject.
+    """
+    global _WORKER_STATE
+    app, trace, advice = pickle.loads(payload)
+    _WORKER_STATE = preprocess(app, trace, advice)
+
+
+def _worker_run_group(tag: str, rids: List[str]) -> GroupDelta:
+    if os.environ.get(CRASH_ENV) == tag:
+        os._exit(17)  # simulated hard crash (test hook, see CRASH_ENV)
+    return execute_group(_WORKER_STATE, tag, rids)
+
+
+class _WorkerCrash:
+    """Sentinel for a group whose delta reported kind == "crash"."""
+
+    __slots__ = ("reason", "detail")
+
+    def __init__(self, reason: str, detail: str):
+        self.reason = reason
+        self.detail = detail
+
+
+# -- the pipeline ----------------------------------------------------------------
+
+
+class ParallelAuditor:
+    """The parallel audit: Preprocess, sharded ReExec, canonical merge,
+    Postprocess.  Verdict-equivalent to :class:`Auditor` by construction.
+
+    ``waves`` injects an explicit wave plan (a list of tag lists covering
+    every group exactly once) -- used by the schedule-fuzz tests to check
+    Lemma 1's observable content over random partitions.
+    """
+
+    def __init__(
+        self,
+        app: AppSpec,
+        trace: Trace,
+        advice: Advice,
+        jobs: Optional[int] = None,
+        mode: str = MODE_AUTO,
+        partition: str = PARTITION_STRUCTURAL,
+        singleton_groups: bool = False,
+        waves: Optional[Sequence[Sequence[str]]] = None,
+    ):
+        if mode not in MODES:
+            raise ValueError(f"unknown parallel mode {mode!r}")
+        self.app = app
+        self.trace = trace
+        self.advice = advice
+        self.jobs = max(1, int(jobs if jobs is not None else (os.cpu_count() or 1)))
+        self.mode = mode
+        self.partition = partition
+        self.singleton_groups = singleton_groups
+        self._forced_waves = waves
+        self._payload: Optional[bytes] = None
+        self.state: Optional[AuditState] = None
+        self.re_exec: Optional[ReExecutor] = None
+        self.plan: Optional[List[List[str]]] = None
+        self.mode_used: Optional[str] = None
+        # Tags recovered in-process after a hard worker failure.
+        self.fallback_tags: List[str] = []
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self) -> AuditResult:
+        started = time.perf_counter()
+        try:
+            self.state = preprocess(self.app, self.trace, self.advice)
+            verify_isolation_level(self.state)
+            self.re_exec = ReExecutor(self.state)  # the merge target
+            if self.singleton_groups:
+                groups = {rid: [rid] for rid in self.advice.tags}
+            else:
+                groups = self.advice.groups()
+            self.plan = self._plan(groups)
+            deltas = self._execute_waves(groups)
+            crash = self._merge(groups, deltas)
+            if crash is not None:
+                return AuditResult(
+                    accepted=False,
+                    reason=crash.reason,
+                    detail=crash.detail,
+                    stats=self._stats(started),
+                )
+            self.re_exec._final_checks()
+            postprocess(self.state, self.re_exec)
+        except AuditRejected as rejection:
+            return AuditResult(
+                accepted=False,
+                reason=rejection.reason,
+                detail=rejection.detail,
+                stats=self._stats(started),
+            )
+        except Exception as exc:  # malformed advice can crash any phase
+            return AuditResult(
+                accepted=False,
+                reason="audit-crash",
+                detail=f"{type(exc).__name__}: {exc}",
+                stats=self._stats(started),
+            )
+        return AuditResult(accepted=True, stats=self._stats(started))
+
+    def _stats(self, started: float) -> Dict[str, float]:
+        return collect_stats(started, self.state, self.re_exec)
+
+    # -- planning -----------------------------------------------------------
+
+    def _plan(self, groups: Dict[str, List[str]]) -> List[List[str]]:
+        if self._forced_waves is None:
+            return compute_waves(self.state, groups, self.partition)
+        waves = [list(wave) for wave in self._forced_waves]
+        covered = [tag for wave in waves for tag in wave]
+        if sorted(covered) != sorted(groups):
+            raise ValueError(
+                "injected waves must cover every group exactly once; "
+                f"got {sorted(covered)!r}, want {sorted(groups)!r}"
+            )
+        return waves
+
+    def _resolve_mode(self) -> str:
+        if self.mode != MODE_AUTO:
+            return self.mode
+        if self.jobs <= 1:
+            return MODE_SERIAL
+        try:
+            self._payload = pickle.dumps((self.app, self.trace, self.advice))
+        except Exception:
+            # Closure-based apps (tests) cannot cross a process boundary.
+            return MODE_THREAD
+        return MODE_PROCESS
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute_waves(self, groups: Dict[str, List[str]]) -> Dict[str, GroupDelta]:
+        self.mode_used = self._resolve_mode()
+        if self.mode_used == MODE_SERIAL:
+            return {
+                tag: execute_group(self.state, tag, groups[tag])
+                for wave in self.plan
+                for tag in wave
+            }
+        # More workers than groups would only pay fork + preprocess for
+        # idle processes.
+        workers = max(1, min(self.jobs, len(groups)))
+        if self.mode_used == MODE_THREAD:
+            return self._execute_pooled(
+                groups, ThreadPoolExecutor(max_workers=workers), execute_group
+            )
+        if self._payload is None:
+            self._payload = pickle.dumps((self.app, self.trace, self.advice))
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(self._payload,),
+        )
+        return self._execute_pooled(groups, pool, None)
+
+    def _execute_pooled(self, groups, pool, thread_fn) -> Dict[str, GroupDelta]:
+        deltas: Dict[str, GroupDelta] = {}
+        try:
+            for wave in self.plan:
+                futures = {}
+                for tag in wave:
+                    try:
+                        if thread_fn is not None:
+                            futures[tag] = pool.submit(
+                                thread_fn, self.state, tag, groups[tag]
+                            )
+                        else:
+                            futures[tag] = pool.submit(
+                                _worker_run_group, tag, groups[tag]
+                            )
+                    except Exception:  # pool already broken by a dead worker
+                        self.fallback_tags.append(tag)
+                        deltas[tag] = execute_group(self.state, tag, groups[tag])
+                for tag in wave:
+                    if tag not in futures:
+                        continue
+                    try:
+                        deltas[tag] = futures[tag].result()
+                    except Exception:
+                        # Hard worker failure (killed process, broken pool,
+                        # unpicklable delta): infrastructure, not advice.
+                        # Recover deterministically in-process so the
+                        # verdict never depends on worker health.
+                        self.fallback_tags.append(tag)
+                        deltas[tag] = execute_group(self.state, tag, groups[tag])
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return deltas
+
+    # -- canonical-order reduction ----------------------------------------------
+
+    def _merge(
+        self, groups: Dict[str, List[str]], deltas: Dict[str, GroupDelta]
+    ) -> Optional[_WorkerCrash]:
+        """Reduce group deltas in canonical (sorted-tag) order.
+
+        Raises :class:`AuditRejected` at exactly the point the sequential
+        audit would have: journals replay the order-sensitive write-history
+        bookkeeping, including the ``double-overwrite`` conflict check, and
+        a group's own rejection fires at its recorded position.
+        """
+        re_exec = self.re_exec
+        for tag in sorted(groups):
+            delta = deltas[tag]
+            re_exec.groups_executed += 1
+            for event in delta.journal:
+                kind = event[0]
+                if kind == "handlers":
+                    re_exec.handlers_executed += event[1]
+                elif kind == "claim":
+                    _, var_id, prec, key = event
+                    var = re_exec.vars[var_id]
+                    if prec in var.write_observer:
+                        raise AuditRejected(
+                            "double-overwrite",
+                            f"{var_id!r}: two writes overwrite {prec}",
+                        )
+                    var.write_observer[prec] = key
+                elif kind == "fallback":
+                    _, var_id, prec, key = event
+                    re_exec.vars[var_id].write_observer.setdefault(prec, key)
+                elif kind == "initializer":
+                    _, var_id, key = event
+                    re_exec.vars[var_id].initializer = key
+            if delta.rejection is not None:
+                kind, reason, detail = delta.rejection
+                if kind == "crash":
+                    return _WorkerCrash(reason, detail)
+                raise AuditRejected(reason, detail)
+            re_exec.executed.update(delta.executed)
+            re_exec.outputs.update(delta.outputs)
+            for var_id, var_dict in delta.var_dicts.items():
+                re_exec.vars[var_id].var_dict.update(var_dict)
+            for var_id, observers in delta.read_observers.items():
+                var = re_exec.vars[var_id]
+                for key, readers in observers.items():
+                    var.read_observers.setdefault(key, set()).update(readers)
+            for var_id, consumed in delta.consumed.items():
+                re_exec.vars[var_id].consumed.update(consumed)
+            for var_id, values in delta.plain_values.items():
+                re_exec.vars[var_id].values.update(values)
+        return None
+
+
+def parallel_audit(
+    app: AppSpec,
+    trace: Trace,
+    advice: Advice,
+    jobs: Optional[int] = None,
+    mode: str = MODE_AUTO,
+    partition: str = PARTITION_STRUCTURAL,
+) -> AuditResult:
+    """Audit with re-execution groups sharded across ``jobs`` workers."""
+    return ParallelAuditor(
+        app, trace, advice, jobs=jobs, mode=mode, partition=partition
+    ).run()

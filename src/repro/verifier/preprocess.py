@@ -91,7 +91,9 @@ def _check_advice_shape(state: AuditState) -> None:
             raise AuditRejected("unknown-request", f"tag for unknown request {rid}")
         if not isinstance(tag, str):
             raise AdviceFormatError(f"tag for {rid} is not a string")
-    for rid in state.trace_rids:
+    # Sorted so the rejection witness is deterministic across runs
+    # (trace_rids is a set; its raw order varies with hash randomization).
+    for rid in sorted(state.trace_rids):
         if rid not in advice.tags:
             raise AuditRejected("missing-tag", f"request {rid} has no grouping tag")
     for key, count in advice.opcounts.items():

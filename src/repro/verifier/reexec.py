@@ -80,11 +80,13 @@ class ReExecutor:
         state: AuditState,
         singleton_groups: bool = False,
         reverse_groups: bool = False,
+        journal: Optional[List[Tuple]] = None,
     ):
         self.state = state
         self.advice = state.advice
         self._singleton_groups = singleton_groups
         self._reverse_groups = reverse_groups
+        self.journal = journal
         self.vars: Dict[str, object] = {}
         for var_id, initial in state.init_ctx.initial_vars.items():
             log = state.advice.variable_logs.get(var_id, {})
@@ -102,6 +104,10 @@ class ReExecutor:
             raise AuditRejected(
                 "variable-log-invalid", f"logs for unknown variables {sorted(unknown)}"
             )
+        if journal is not None:
+            for var in self.vars.values():
+                if isinstance(var, VarState):
+                    var.journal = journal
         self.executed: Set[Tuple[str, HandlerId]] = set()
         self.outputs: Dict[str, object] = {}
         self.txnums: Dict[Tuple[str, TxId], int] = {}
@@ -120,6 +126,19 @@ class ReExecutor:
             self._run_group(groups[tag])
         self._final_checks()
 
+    def execute_group(self, rids: List[str]) -> None:
+        """Re-execute a single group: the parallel pipeline's unit of work.
+
+        Group re-execution is *value-isolated*: unlogged variable reads
+        resolve within the same request's handler tree (or the init
+        write), logged reads take their value from the advice, and store
+        GETs resolve their dictating PUT from the transaction logs -- so a
+        group computes the same values no matter which other groups ran
+        before it (Lemma 1's observable content).  The only cross-group
+        state is write-history bookkeeping, exposed via ``journal``.
+        """
+        self._run_group(rids)
+
     def _final_checks(self) -> None:
         for (rid, hid) in self.advice.opcounts:
             if (rid, hid) not in self.executed:
@@ -128,7 +147,9 @@ class ReExecutor:
                     f"advice claims handler {(rid, hid)} but re-execution "
                     "never ran it",
                 )
-        for rid in self.state.trace_rids:
+        # Sorted: trace_rids is a set, and the first mismatching rid is
+        # the rejection witness -- keep it deterministic across runs.
+        for rid in sorted(self.state.trace_rids):
             if rid not in self.outputs:
                 raise AuditRejected("missing-output", f"request {rid} not re-executed")
             expected = self.state.trace.response(rid)
@@ -222,6 +243,8 @@ class ReExecutor:
                 )
             self.executed.add((rid, hid))
         self.handlers_executed += len(rids)
+        if self.journal is not None:
+            self.journal.append(("handlers", len(rids)))
 
 
 class GroupContext:

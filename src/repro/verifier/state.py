@@ -43,6 +43,7 @@ class VarState:
         "write_observer",
         "initializer",
         "consumed",
+        "journal",
     )
 
     def __init__(
@@ -59,6 +60,13 @@ class VarState:
         self.write_observer: Dict[OpKey, OpKey] = {}
         self.initializer: Optional[OpKey] = INIT_REF
         self.consumed: Set[OpKey] = set()
+        # Optional event journal for the parallel audit pipeline: the only
+        # write-history bookkeeping whose outcome depends on *cross-group*
+        # ordering is recorded here (overwrite claims and their fallbacks),
+        # so a worker that re-executed a group in isolation can hand the
+        # events to the parent for replay in canonical group order (see
+        # repro.verifier.parallel).
+        self.journal: Optional[List[Tuple]] = None
         # Seed the dictionary with the trusted initial value (a write by I).
         self.var_dict[(INIT_RID, INIT_HID)] = [(0, initial_value)]
         # Simulate-and-check for the init write: a backfilled log entry for
@@ -159,6 +167,8 @@ class VarState:
                         f"{self.var_id!r}: two writes overwrite {entry.prec}",
                     )
                 self.write_observer[entry.prec] = key
+                if self.journal is not None:
+                    self.journal.append(("claim", self.var_id, entry.prec, key))
                 return
             # Backfilled entry (prec unknown to the server at logging time):
             # recover the predecessor from re-execution, as for unlogged
@@ -166,8 +176,12 @@ class VarState:
         found = self.find_nearest_r_preceding_write(rid, hid, opnum)
         if found is not None:
             self.write_observer.setdefault(found[0], key)
+            if self.journal is not None:
+                self.journal.append(("fallback", self.var_id, found[0], key))
         else:
             self.initializer = key
+            if self.journal is not None:
+                self.journal.append(("initializer", self.var_id, key))
 
     # -- final accounting ------------------------------------------------------------
 

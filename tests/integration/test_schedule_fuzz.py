@@ -1,0 +1,119 @@
+"""Seeded schedule fuzz: verdict invariance over random group partitions.
+
+Lemma 1 (the paper, via :mod:`repro.verifier.oooaudit`) states all
+well-formed op schedules are audit-equivalent.  The parallel pipeline's
+observable content of that lemma: whatever wave plan shards the groups
+-- however many waves, however the groups are shuffled among them -- the
+verdict, reason, and deterministic stats must equal the sequential
+audit's.  This test drives :class:`ParallelAuditor` with N random
+well-formed plans per served run (honest and tampered) and prints the
+failing fuzz seed on assertion failure so the exact plan reproduces.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import motd_app, stackdump_app
+from repro.attacks import ALL_ATTACKS
+from repro.kem.scheduler import RandomScheduler
+from repro.server import KarousosPolicy, run_server
+from repro.store import IsolationLevel, KVStore
+from repro.verifier import Auditor, ParallelAuditor, audit
+from repro.workload import motd_workload, stacks_workload
+
+pytestmark = pytest.mark.tier1
+
+N_PLANS = 8
+
+
+def _random_waves(tags, rng):
+    """A random well-formed plan: shuffle the tags, cut into 1..n waves."""
+    tags = list(tags)
+    rng.shuffle(tags)
+    n_waves = rng.randint(1, len(tags)) if tags else 1
+    cuts = sorted(rng.sample(range(1, len(tags)), n_waves - 1)) if len(tags) > 1 else []
+    waves, start = [], 0
+    for cut in cuts + [len(tags)]:
+        if tags[start:cut]:
+            waves.append(tags[start:cut])
+        start = cut
+    return waves
+
+
+def _strip(stats):
+    return {k: v for k, v in stats.items() if k != "elapsed_seconds"}
+
+
+def _fuzz(app_fn, trace, advice, fuzz_seed, context):
+    rng = random.Random(fuzz_seed)
+    seq = audit(app_fn(), trace, advice)
+    tags = sorted(advice.groups())
+    for trial in range(N_PLANS):
+        waves = _random_waves(tags, rng)
+        par = ParallelAuditor(
+            app_fn(), trace, advice, jobs=2, mode="serial", waves=waves
+        ).run()
+        blame = (
+            f"{context}: fuzz_seed={fuzz_seed} trial={trial} waves={waves!r}"
+        )
+        assert par.accepted == seq.accepted, (blame, par.reason, seq.reason)
+        assert par.reason == seq.reason, (blame, par.reason, seq.reason)
+        assert _strip(par.stats) == _strip(seq.stats), (
+            blame, _strip(par.stats), _strip(seq.stats),
+        )
+
+
+def _runs():
+    yield "motd", motd_app, motd_workload(16, mix="mixed", seed=41), None
+    yield "stacks", stackdump_app, stacks_workload(16, mix="mixed", seed=42), (
+        lambda: KVStore(IsolationLevel.SERIALIZABLE)
+    )
+
+
+@pytest.fixture(scope="module", params=list(_runs()), ids=lambda r: r[0])
+def served(request):
+    name, app_fn, workload, store_fn = request.param
+    run = run_server(
+        app_fn(),
+        workload,
+        KarousosPolicy(),
+        store=store_fn() if store_fn else None,
+        scheduler=RandomScheduler(2),
+        concurrency=5,
+    )
+    return name, app_fn, run
+
+
+def test_honest_plan_invariance(served):
+    name, app_fn, run = served
+    _fuzz(app_fn, run.trace, run.advice, fuzz_seed=100, context=f"{name}/honest")
+
+
+@pytest.mark.parametrize(
+    "attack",
+    [a for a in ALL_ATTACKS if a.guaranteed],
+    ids=lambda a: a.name,
+)
+def test_tampered_plan_invariance(served, attack):
+    """Rejections must also be plan-invariant: the canonical-order merge
+    pins the observed conflict regardless of which wave found it."""
+    name, app_fn, run = served
+    try:
+        trace, advice = attack.apply(run.trace, run.advice)
+    except LookupError:
+        pytest.skip("no target")
+    _fuzz(app_fn, trace, advice, fuzz_seed=200, context=f"{name}/{attack.name}")
+
+
+def test_plan_must_cover_groups_exactly_once(served):
+    name, app_fn, run = served
+    tags = sorted(run.advice.groups())
+    bad = ParallelAuditor(
+        app_fn(), run.trace, run.advice, mode="serial", waves=[tags, tags[:1]]
+    ).run()
+    # A malformed plan is an audit-infrastructure error, reported as a
+    # clean rejection rather than a crash or a silent partial audit.
+    assert not bad.accepted
+    assert bad.reason == "audit-crash"
+    assert "exactly once" in bad.detail

@@ -1,0 +1,136 @@
+"""Unit tests for the parallel pipeline's wave partition and plumbing
+(:mod:`repro.verifier.parallel`): footprint extraction, wave layering
+invariants, plan validation, work scaling."""
+
+import pytest
+
+from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.core.work import cpu_work, scaled_work, work_scale
+from repro.kem.scheduler import RandomScheduler
+from repro.server import KarousosPolicy, run_server
+from repro.store import IsolationLevel, KVStore
+from repro.verifier.parallel import (
+    PARTITION_FOOTPRINT,
+    PARTITION_STRUCTURAL,
+    ParallelAuditor,
+    compute_waves,
+    group_footprints,
+)
+from repro.verifier.preprocess import preprocess
+from repro.workload import motd_workload, stacks_workload, wiki_workload
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture(scope="module")
+def wiki_state():
+    run = run_server(
+        wiki_app(),
+        wiki_workload(12, seed=61),
+        KarousosPolicy(),
+        store=KVStore(IsolationLevel.SERIALIZABLE),
+        scheduler=RandomScheduler(1),
+        concurrency=4,
+    )
+    return preprocess(wiki_app(), run.trace, run.advice)
+
+
+@pytest.fixture(scope="module")
+def motd_state():
+    run = run_server(
+        motd_app(),
+        motd_workload(12, mix="write-heavy", seed=62),
+        KarousosPolicy(),
+        scheduler=RandomScheduler(1),
+        concurrency=4,
+    )
+    return preprocess(motd_app(), run.trace, run.advice)
+
+
+class TestFootprints:
+    def test_kv_footprints_cover_tx_logs(self, wiki_state):
+        groups = wiki_state.advice.groups()
+        fps = group_footprints(wiki_state, groups)
+        assert set(fps) == set(groups)
+        # Every wiki request goes through the connection pool variable and
+        # the kv store, so no group has an empty footprint.
+        assert all(fp.reads or fp.writes for fp in fps.values())
+        assert any(
+            kind == "kv" for fp in fps.values() for (kind, _k) in fp.writes
+        )
+
+    def test_var_footprints_split_reads_and_writes(self, motd_state):
+        groups = motd_state.advice.groups()
+        fps = group_footprints(motd_state, groups)
+        # write-heavy motd: set handlers write the motd board variable.
+        assert any(("var", "motd") in fp.writes for fp in fps.values())
+
+
+class TestWaves:
+    def test_structural_partition_is_one_wave(self, wiki_state):
+        groups = wiki_state.advice.groups()
+        waves = compute_waves(wiki_state, groups, PARTITION_STRUCTURAL)
+        assert waves == [sorted(groups)]
+
+    def test_footprint_partition_covers_each_group_once(self, wiki_state):
+        groups = wiki_state.advice.groups()
+        waves = compute_waves(wiki_state, groups, PARTITION_FOOTPRINT)
+        flat = [tag for wave in waves for tag in wave]
+        assert sorted(flat) == sorted(groups)
+
+    def test_footprint_partition_separates_conflicting_groups(self, wiki_state):
+        groups = wiki_state.advice.groups()
+        fps = group_footprints(wiki_state, groups)
+        waves = compute_waves(wiki_state, groups, PARTITION_FOOTPRINT)
+        for wave in waves:
+            for i, a in enumerate(wave):
+                for b in wave[i + 1:]:
+                    assert not fps[a].conflicts_with(fps[b]), (a, b)
+
+    def test_empty_groups_yield_no_waves(self, wiki_state):
+        assert compute_waves(wiki_state, {}, PARTITION_STRUCTURAL) == []
+        assert compute_waves(wiki_state, {}, PARTITION_FOOTPRINT) == []
+
+    def test_unknown_partition_rejected(self, wiki_state):
+        with pytest.raises(ValueError):
+            compute_waves(wiki_state, {"g": ["r"]}, "telepathic")
+
+
+class TestConstruction:
+    def test_unknown_mode_rejected(self, motd_state):
+        with pytest.raises(ValueError):
+            ParallelAuditor(
+                motd_app(),
+                motd_state.trace,
+                motd_state.advice,
+                mode="quantum",
+            )
+
+    def test_jobs_defaults_to_cpu_count_and_clamps(self, motd_state):
+        pipeline = ParallelAuditor(motd_app(), motd_state.trace, motd_state.advice)
+        assert pipeline.jobs >= 1
+        clamped = ParallelAuditor(
+            motd_app(), motd_state.trace, motd_state.advice, jobs=0
+        )
+        assert clamped.jobs == 1
+
+
+class TestWorkScale:
+    def test_scale_changes_cost_not_determinism(self):
+        baseline = cpu_work(64, "probe")
+        assert work_scale() == 1.0
+        with scaled_work(2.0):
+            assert work_scale() == 2.0
+            # A different effective iteration count produces a different
+            # digest -- which is why serve and audit must share the scale.
+            assert cpu_work(64, "probe") != baseline
+            assert cpu_work(32, "probe") == baseline
+        assert work_scale() == 1.0
+        assert cpu_work(64, "probe") == baseline
+
+    def test_scales_nest_and_restore(self):
+        with scaled_work(3.0):
+            with scaled_work(0.5):
+                assert work_scale() == 0.5
+            assert work_scale() == 3.0
+        assert work_scale() == 1.0
