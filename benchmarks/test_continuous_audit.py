@@ -1,0 +1,89 @@
+"""Continuous (epoch-sealed) audit vs the monolithic audit on the
+Figure 7 wiki workload, swept over epoch size.
+
+Continuous auditing trades nothing on verdicts -- every point must match
+the monolithic audit and re-execute exactly the same handler count --
+and buys *latency* and *footprint*: the first verdict lands after one
+epoch's audit instead of the whole trace's, and the bounded pending
+queue keeps resident epochs O(max_pending) instead of O(trace).  Both
+are asserted: time-to-first-verdict must shrink as epochs shrink, and
+peak resident epochs must respect the queue bound at every sweep point.
+"""
+
+from __future__ import annotations
+
+from repro.harness import print_series
+from repro.harness.experiment import ExperimentConfig, measure_continuous_audit
+
+COLUMNS = [
+    "seal_every",
+    "epochs",
+    "ttfv_s",
+    "continuous_s",
+    "monolithic_s",
+    "peak_pending",
+    "backpressure",
+    "verdicts_ok",
+    "handlers_ok",
+]
+
+MAX_PENDING = 4
+
+
+def _sweep(scale):
+    cfg = ExperimentConfig(
+        "wiki",
+        mix="mixed",
+        n_requests=scale.n_requests,
+        concurrency=15,
+        seed=0,
+    )
+    seal_everys = [5, 15, 60] if not scale.full else [5, 15, 60, 150]
+    return [
+        measure_continuous_audit(cfg, seal_every, max_pending=MAX_PENDING, repeats=2)
+        for seal_every in seal_everys
+    ]
+
+
+def _rows(sweep):
+    return [
+        {
+            "seal_every": c.seal_every,
+            "epochs": c.epochs,
+            "ttfv_s": c.first_verdict_seconds,
+            "continuous_s": c.continuous_seconds,
+            "monolithic_s": c.monolithic_seconds,
+            "peak_pending": c.peak_pending,
+            "backpressure": c.backpressure_events,
+            "verdicts_ok": c.verdicts_match,
+            "handlers_ok": c.handlers_match,
+        }
+        for c in sweep
+    ]
+
+
+def test_continuous_audit_epoch_sweep_wiki(benchmark, scale):
+    sweep = benchmark.pedantic(lambda: _sweep(scale), rounds=1, iterations=1)
+    rows = _rows(sweep)
+    print_series("Continuous audit epoch sweep (Wiki.js, Fig. 7 workload)", rows, COLUMNS)
+
+    for c in sweep:
+        assert c.monolithic_accepted and c.continuous_accepted, (
+            f"seal_every={c.seal_every} diverged from monolithic verdict"
+        )
+        assert c.handlers_match, (
+            f"seal_every={c.seal_every} re-executed a different handler count"
+        )
+        # Backpressure bound: resident epochs never exceed the queue cap.
+        assert c.peak_pending <= MAX_PENDING
+
+    # Finer epochs -> earlier first verdict.  Compare the finest sweep
+    # point against the coarsest (which audits nearly the whole trace in
+    # its first epoch); a 3x epoch-count gap must show up in latency.
+    finest, coarsest = sweep[0], sweep[-1]
+    assert finest.epochs > coarsest.epochs
+    assert finest.first_verdict_seconds < coarsest.first_verdict_seconds, (
+        f"time-to-first-verdict did not improve: "
+        f"{finest.first_verdict_seconds:.3f}s at seal_every={finest.seal_every} vs "
+        f"{coarsest.first_verdict_seconds:.3f}s at seal_every={coarsest.seal_every}"
+    )

@@ -44,8 +44,18 @@ from repro.server import (
     run_server,
 )
 from repro.store import IsolationLevel, KVStore
+from repro.continuous import (
+    AuditJournal,
+    Checkpoint,
+    CheckpointStore,
+    ContinuousAuditor,
+    Epoch,
+    EpochSealer,
+    slice_epochs,
+)
 from repro.trace import Collector, Request, Trace
 from repro.verifier import AuditResult, Auditor, audit
+from repro.verifier.carry import CarryIn
 from repro.verifier.oooaudit import ooo_audit
 
 __version__ = "1.0.0"
@@ -82,5 +92,13 @@ __all__ = [
     "Auditor",
     "audit",
     "ooo_audit",
+    "AuditJournal",
+    "CarryIn",
+    "Checkpoint",
+    "CheckpointStore",
+    "ContinuousAuditor",
+    "Epoch",
+    "EpochSealer",
+    "slice_epochs",
     "__version__",
 ]

@@ -16,8 +16,10 @@ from repro.advice.records import (
     TX_GET,
 )
 from repro.advice.sizing import advice_size_bytes, advice_breakdown
+from repro.advice.slicing import slice_advice
 
 __all__ = [
+    "slice_advice",
     "Advice",
     "HandlerOpEntry",
     "OpKey",

@@ -67,11 +67,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run on the threaded KEM runtime with N workers")
     serve.add_argument("--out-trace", help="write the trace JSON here")
     serve.add_argument("--out-advice", help="write the advice JSON here")
+    serve.add_argument("--seal-every", type=int, default=0, metavar="N",
+                       help="seal an epoch after every N responses (continuous "
+                       "auditing); 0 disables sealing")
+    serve.add_argument("--out-epochs", metavar="DIR",
+                       help="write sealed epochs as epoch-<k>.json files here "
+                       "(requires --seal-every)")
 
     aud = sub.add_parser("audit", help="audit a trace against advice")
     aud.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
-    aud.add_argument("--trace", required=True)
-    aud.add_argument("--advice", required=True)
+    aud.add_argument("--trace", help="trace JSON (required unless --epochs-dir)")
+    aud.add_argument("--advice", help="advice JSON (required unless --epochs-dir)")
+    aud.add_argument("--epochs", type=int, default=0, metavar="N",
+                     help="continuous audit: re-cut the trace into epochs of "
+                     "N responses and audit them in sequence with checkpoint "
+                     "hand-off")
+    aud.add_argument("--epochs-dir", metavar="DIR",
+                     help="continuous audit of sealed epoch files written by "
+                     "serve --out-epochs (replaces --trace/--advice)")
+    aud.add_argument("--checkpoint-dir", metavar="DIR",
+                     help="persist per-epoch checkpoints here (enables "
+                     "crash-resume together with --journal)")
+    aud.add_argument("--journal", metavar="PATH",
+                     help="append audit progress to this JSONL journal")
     aud.add_argument("--singleton-groups", action="store_true",
                      help="use the sequential OOOAudit (one group per request)")
     aud.add_argument("--jobs", type=int, default=1,
@@ -102,6 +120,29 @@ def _cmd_serve(args) -> int:
         KVStore(IsolationLevel(args.isolation)) if app_needs_store(args.app) else None
     )
     policy = _POLICIES[args.server]()
+    if args.seal_every < 0:
+        print("error: --seal-every must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    if args.out_epochs and not args.seal_every:
+        print("error: --out-epochs requires --seal-every", file=sys.stderr)
+        return EXIT_USAGE
+    sealer = None
+    if args.seal_every:
+        if args.threads > 0:
+            # The threaded runtime has no quiescent drain hook; sealing is
+            # a property of the cooperative serve loop.
+            print("error: --seal-every is not supported with --threads",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        from repro.continuous import EpochSealer
+        from repro.continuous.codec import write_epoch
+
+        sink = (
+            (lambda epoch: write_epoch(args.out_epochs, epoch))
+            if args.out_epochs
+            else None
+        )
+        sealer = EpochSealer(args.seal_every, sink=sink)
     if args.threads > 0:
         runtime = ThreadedRuntime(
             app, policy, store=store, scheduler=RandomScheduler(args.seed),
@@ -114,9 +155,13 @@ def _cmd_serve(args) -> int:
         run = run_server(
             app, requests, policy, store=store,
             scheduler=RandomScheduler(args.seed), concurrency=args.concurrency,
+            sealer=sealer,
         )
         trace, advice = run.trace, run.advice
     print(f"served {len(requests)} requests on the {args.server} server")
+    if sealer is not None:
+        print(f"sealed {len(sealer.epochs)} epochs"
+              + (f" -> {args.out_epochs}" if args.out_epochs else ""))
     if args.out_trace:
         with open(args.out_trace, "w") as fh:
             fh.write(encode_trace(trace))
@@ -143,6 +188,16 @@ def _load(args):
 
 
 def _cmd_audit(args) -> int:
+    if args.epochs and args.epochs_dir:
+        print("error: --epochs and --epochs-dir are mutually exclusive",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.epochs_dir is None and (args.trace is None or args.advice is None):
+        print("error: --trace and --advice are required unless --epochs-dir "
+              "is given", file=sys.stderr)
+        return EXIT_USAGE
+    if args.epochs or args.epochs_dir:
+        return _cmd_audit_continuous(args)
     trace, advice = _load(args)
     result = Auditor(
         make_app(args.app), trace, advice,
@@ -159,6 +214,51 @@ def _cmd_audit(args) -> int:
     if result.detail:
         print(f"        {result.detail}")
     return EXIT_REJECTED
+
+
+def _cmd_audit_continuous(args) -> int:
+    from repro.continuous import (
+        AuditJournal,
+        CheckpointStore,
+        ContinuousAuditor,
+        read_epochs,
+        slice_epochs,
+    )
+
+    if args.epochs_dir:
+        epochs = read_epochs(args.epochs_dir)
+        if not epochs:
+            print(f"error: no epoch files in {args.epochs_dir}", file=sys.stderr)
+            return EXIT_USAGE
+    else:
+        trace, advice = _load(args)
+        epochs = slice_epochs(trace, advice, args.epochs)
+    auditor = ContinuousAuditor(
+        make_app(args.app),
+        parallelism=args.jobs,
+        parallel_mode=args.parallel_mode,
+        checkpoints=CheckpointStore(args.checkpoint_dir),
+        journal=AuditJournal(args.journal),
+    )
+    verdicts = auditor.run(epochs)
+    if auditor.skipped_resumed:
+        print(f"resumed: {auditor.skipped_resumed} epochs already verified")
+    for verdict in verdicts:
+        if verdict.accepted:
+            digest = (verdict.checkpoint_digest or "")[:12]
+            print(f"epoch {verdict.epoch}: ACCEPT  checkpoint {digest}")
+        else:
+            print(f"epoch {verdict.epoch}: REJECT  reason={verdict.result.reason}")
+            if verdict.result.detail:
+                print(f"        {verdict.result.detail}")
+    stats = auditor.stats()
+    print(f"{stats['epochs']:.0f} epochs, "
+          f"{stats['epochs_accepted']:.0f} accepted "
+          f"({stats['elapsed_seconds']:.3f}s audit time)")
+    rejection = auditor.first_rejection
+    if rejection is not None or not all(v.accepted for v in verdicts):
+        return EXIT_REJECTED
+    return EXIT_OK
 
 
 def _cmd_attack(args) -> int:

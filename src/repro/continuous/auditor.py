@@ -1,0 +1,263 @@
+"""The continuous auditor: a bounded queue of sealed epochs (DESIGN.md §6).
+
+:class:`ContinuousAuditor` consumes :class:`~repro.continuous.epoch.Epoch`
+objects -- typically as the :class:`~repro.continuous.sealer.EpochSealer`'s
+sink, so verification overlaps serving -- and drives each through the
+existing :class:`~repro.verifier.audit.Auditor`:
+
+* epoch 0 audits from genesis; epoch k > 0 audits with the *carry-in*
+  state of checkpoint k-1 (:class:`~repro.verifier.carry.CarryIn`);
+* an accepted epoch yields a checkpoint (extracted from re-execution,
+  chained by digest) and a ``verified`` journal entry;
+* a rejected epoch stops the stream: later epochs are not audited (their
+  initial state is unverifiable) and report ``predecessor-rejected``.
+
+The pending queue is bounded (``max_pending``): submitting past the bound
+audits the oldest epoch synchronously first, which is the backpressure
+that keeps a continuous audit's memory footprint O(epoch) instead of
+O(trace).  Progress survives crashes via the journal + checkpoint store:
+a new auditor over the same stores resumes after the last verified epoch,
+after re-verifying the stored checkpoint chain (a tampered store is
+refused as ``checkpoint-chain-forged``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.continuous.checkpoint import (
+    Checkpoint,
+    CheckpointChainError,
+    CheckpointError,
+    CheckpointStore,
+    checkpoint_from_audit,
+)
+from repro.continuous.epoch import Epoch
+from repro.continuous.journal import AuditJournal
+from repro.kem.program import AppSpec
+from repro.verifier.audit import Auditor, AuditResult
+
+
+@dataclass
+class EpochVerdict:
+    """One epoch's audit outcome within the stream."""
+
+    epoch: int
+    result: AuditResult
+    checkpoint_digest: Optional[str] = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.result.accepted
+
+    def __repr__(self) -> str:
+        verdict = (
+            "ACCEPT" if self.accepted else f"REJECT({self.result.reason})"
+        )
+        return f"<EpochVerdict epoch={self.epoch} {verdict}>"
+
+
+class ContinuousAuditor:
+    """Streams sealed epochs through per-epoch audits with checkpoints."""
+
+    def __init__(
+        self,
+        app: AppSpec,
+        parallelism: int = 1,
+        parallel_mode: str = "auto",
+        max_pending: int = 4,
+        checkpoints: Optional[CheckpointStore] = None,
+        journal: Optional[AuditJournal] = None,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.app = app
+        self.parallelism = parallelism
+        self.parallel_mode = parallel_mode
+        self.max_pending = max_pending
+        self.checkpoints = checkpoints if checkpoints is not None else CheckpointStore()
+        self.journal = journal if journal is not None else AuditJournal()
+        self.verdicts: Dict[int, EpochVerdict] = {}
+        self._queue: Deque[Epoch] = deque()
+        self._failed: Optional[EpochVerdict] = None
+        self._chain_error: Optional[str] = None
+        self.peak_pending = 0
+        self.backpressure_events = 0
+        self.skipped_resumed = 0
+        self.first_verdict_seconds: Optional[float] = None
+        self._t0: Optional[float] = None
+        # Resume: trust the journal's verified prefix only as far as the
+        # stored checkpoint chain actually verifies.
+        self._next_index = 0
+        last = self.journal.last_verified()
+        if last >= 0:
+            try:
+                self.checkpoints.verify_chain(last)
+                # The chain being internally consistent is not enough: a
+                # forger can recompute digests.  Anchor each stored
+                # checkpoint to the digest journalled when it verified.
+                recorded = self.journal.verified_digests()
+                for index in range(last + 1):
+                    stored = self.checkpoints.get(index)
+                    if stored is None or stored.digest != recorded.get(index):
+                        raise CheckpointChainError(
+                            f"checkpoint {index} does not match the digest "
+                            "journalled at verification time"
+                        )
+            except CheckpointChainError as exc:
+                self._chain_error = str(exc)
+            else:
+                self._next_index = last + 1
+
+    # -- stream interface ----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def accepted(self) -> bool:
+        return (
+            self._failed is None
+            and self._chain_error is None
+            and all(v.accepted for v in self.verdicts.values())
+        )
+
+    @property
+    def first_rejection(self) -> Optional[EpochVerdict]:
+        return self._failed
+
+    def submit(self, epoch: Epoch) -> None:
+        """Enqueue a sealed epoch; audits the oldest pending epoch first
+        when the queue is full (backpressure)."""
+        if self._t0 is None:
+            self._t0 = time.perf_counter()
+        if epoch.index < self._next_index and epoch.index not in self.verdicts:
+            # Already verified in a previous run (journal + chain agree).
+            self.skipped_resumed += 1
+            return
+        self.journal.record("sealed", epoch.index, requests=epoch.request_count)
+        self._queue.append(epoch)
+        while len(self._queue) > self.max_pending:
+            self.backpressure_events += 1
+            self.step()
+        self.peak_pending = max(self.peak_pending, len(self._queue))
+
+    def step(self) -> Optional[EpochVerdict]:
+        """Audit the oldest pending epoch; None if the queue is empty."""
+        if not self._queue:
+            return None
+        epoch = self._queue.popleft()
+        verdict = self._audit_epoch(epoch)
+        self.verdicts[epoch.index] = verdict
+        if self.first_verdict_seconds is None and self._t0 is not None:
+            self.first_verdict_seconds = time.perf_counter() - self._t0
+        return verdict
+
+    def drain(self) -> List[EpochVerdict]:
+        """Audit everything pending; verdicts in epoch order."""
+        while self._queue:
+            self.step()
+        return [self.verdicts[i] for i in sorted(self.verdicts)]
+
+    def run(self, epochs: List[Epoch]) -> List[EpochVerdict]:
+        """Submit a pre-sealed epoch list and drain (the offline mode used
+        by ``audit --epochs``)."""
+        for epoch in epochs:
+            self.submit(epoch)
+        return self.drain()
+
+    # -- one epoch ----------------------------------------------------------
+
+    def _audit_epoch(self, epoch: Epoch) -> EpochVerdict:
+        if self._chain_error is not None:
+            return self._reject(
+                epoch, "checkpoint-chain-forged", self._chain_error
+            )
+        if self._failed is not None:
+            return self._reject(
+                epoch,
+                "predecessor-rejected",
+                f"epoch {self._failed.epoch} rejected "
+                f"({self._failed.result.reason}); initial state unverifiable",
+            )
+        parent: Optional[Checkpoint] = None
+        if epoch.index > 0:
+            parent = self.checkpoints.get(epoch.index - 1)
+            if parent is None:
+                return self._reject(
+                    epoch,
+                    "missing-checkpoint",
+                    f"no verified checkpoint for epoch {epoch.index - 1}",
+                )
+        auditor = Auditor(
+            self.app,
+            epoch.trace,
+            epoch.advice,
+            parallelism=self.parallelism,
+            parallel_mode=self.parallel_mode,
+            carry=parent.carry_in() if parent is not None else None,
+        )
+        result = auditor.run()
+        if not result.accepted:
+            verdict = EpochVerdict(epoch.index, result)
+            self._failed = verdict
+            self.journal.record(
+                "rejected", epoch.index, reason=result.reason, detail=result.detail
+            )
+            return verdict
+        try:
+            cp = checkpoint_from_audit(
+                epoch.index, parent, auditor.state, auditor.re_exec
+            )
+        except CheckpointError as exc:
+            verdict = EpochVerdict(
+                epoch.index,
+                AuditResult(
+                    accepted=False,
+                    reason="checkpoint-unextractable",
+                    detail=str(exc),
+                    stats=result.stats,
+                ),
+            )
+            self._failed = verdict
+            self.journal.record(
+                "rejected", epoch.index, reason="checkpoint-unextractable",
+                detail=str(exc),
+            )
+            return verdict
+        self.checkpoints.put(cp)
+        self.journal.record("verified", epoch.index, digest=cp.digest)
+        return EpochVerdict(epoch.index, result, checkpoint_digest=cp.digest)
+
+    def _reject(self, epoch: Epoch, reason: str, detail: str) -> EpochVerdict:
+        verdict = EpochVerdict(
+            epoch.index, AuditResult(accepted=False, reason=reason, detail=detail)
+        )
+        if self._failed is None and reason != "predecessor-rejected":
+            self._failed = verdict
+        self.journal.record("rejected", epoch.index, reason=reason, detail=detail)
+        return verdict
+
+    # -- aggregation ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate statistics across audited epochs."""
+        out: Dict[str, float] = {
+            "epochs": float(len(self.verdicts)),
+            "epochs_accepted": float(
+                sum(1 for v in self.verdicts.values() if v.accepted)
+            ),
+            "peak_pending": float(self.peak_pending),
+            "backpressure_events": float(self.backpressure_events),
+        }
+        for key in ("elapsed_seconds", "handlers_executed", "groups"):
+            out[key] = float(
+                sum(v.result.stats.get(key, 0) for v in self.verdicts.values())
+            )
+        if self.first_verdict_seconds is not None:
+            out["first_verdict_seconds"] = self.first_verdict_seconds
+        return out

@@ -1,0 +1,280 @@
+"""Verified end-of-epoch state, chained by digest (DESIGN.md §6).
+
+A :class:`Checkpoint` records what epoch *k*'s accepted audit proved about
+the server's state at the seal point: the final value of every loggable
+variable and the committed KV store contents.  Both are extracted from
+*re-execution* (the verifier's own computation), never copied from the
+advice: variable values come from walking the reconstructed write history
+(initializer -> write_observer chain) into the variable dictionary, and
+the KV state from replaying the verified write order over the previous
+checkpoint's KV map.
+
+Checkpoints form a hash chain: ``digest = H(index, parent_digest, vars,
+kv)`` with the genesis parent a fixed constant.  Epoch *k+1*'s audit
+initialises from checkpoint *k* (see :class:`repro.verifier.carry.CarryIn`),
+so trust in a continuous audit reduces to trust in the chain: resuming
+from storage re-verifies every digest, and a tampered stored checkpoint is
+rejected as ``checkpoint-chain-forged`` before any epoch is re-audited.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.advice.codec import decode_value, encode_value
+from repro.errors import KarousosError
+from repro.server.variables import INIT_HID, INIT_RID, INIT_REF
+from repro.verifier.carry import CarryIn
+from repro.verifier.preprocess import AuditState
+from repro.verifier.reexec import ReExecutor
+from repro.verifier.state import VarState
+
+GENESIS_DIGEST = "genesis"
+
+
+class CheckpointError(KarousosError):
+    """A checkpoint could not be extracted, stored, or verified."""
+
+
+class CheckpointChainError(CheckpointError):
+    """A stored checkpoint chain fails digest verification (forgery)."""
+
+
+def _canonical(value: object) -> object:
+    """Encoded value with dict pair lists sorted, so the digest does not
+    depend on insertion order."""
+    encoded = encode_value(value)
+    return _sort_encoded(encoded)
+
+
+def _sort_encoded(doc: object) -> object:
+    if isinstance(doc, dict):
+        if doc.get("t") == "d":
+            pairs = [
+                [_sort_encoded(k), _sort_encoded(v)] for k, v in doc["v"]
+            ]
+            pairs.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+            return {"t": "d", "v": pairs}
+        if "v" in doc:
+            return {**doc, "v": _sort_encoded(doc["v"])}
+        return doc
+    if isinstance(doc, list):
+        return [_sort_encoded(x) for x in doc]
+    return doc
+
+
+def compute_digest(
+    index: int, parent_digest: str, vars: Dict[str, object], kv: Dict[str, object]
+) -> str:
+    doc = {
+        "index": index,
+        "parent": parent_digest,
+        "vars": sorted(
+            ([var_id, _canonical(value)] for var_id, value in vars.items()),
+            key=lambda pair: pair[0],
+        ),
+        "kv": sorted(
+            ([key, _canonical(value)] for key, value in kv.items()),
+            key=lambda pair: pair[0],
+        ),
+    }
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Verified state at the end of one epoch."""
+
+    epoch: int
+    parent_digest: str
+    vars: Dict[str, object]
+    kv: Dict[str, object]
+    digest: str
+
+    @classmethod
+    def make(
+        cls,
+        epoch: int,
+        parent_digest: str,
+        vars: Dict[str, object],
+        kv: Dict[str, object],
+    ) -> "Checkpoint":
+        return cls(
+            epoch=epoch,
+            parent_digest=parent_digest,
+            vars=dict(vars),
+            kv=dict(kv),
+            digest=compute_digest(epoch, parent_digest, vars, kv),
+        )
+
+    def verify(self) -> bool:
+        return self.digest == compute_digest(
+            self.epoch, self.parent_digest, self.vars, self.kv
+        )
+
+    def carry_in(self) -> CarryIn:
+        return CarryIn(vars=dict(self.vars), kv=dict(self.kv))
+
+
+# -- extraction from an accepted audit ---------------------------------------
+
+
+def _final_var_value(var: VarState) -> object:
+    """The value left by the last write in the reconstructed history chain.
+
+    The chain starts at the initializer (the init pseudo-write unless the
+    epoch's first write had no predecessor) and follows ``write_observer``;
+    for an accepted audit of an honest epoch this is the total order of
+    writes, so the chain's endpoint is the server's cell value at seal
+    time.  The walk is bounded; a cyclic chain (impossible after an
+    accepted audit) raises :class:`CheckpointError`.
+    """
+    key = var.initializer if var.initializer is not None else INIT_REF
+    for _ in range(len(var.write_observer) + 1):
+        nxt = var.write_observer.get(key)
+        if nxt is None:
+            break
+        key = nxt
+    else:
+        raise CheckpointError(
+            f"variable {var.var_id!r}: write history chain does not terminate"
+        )
+    if key == INIT_REF:
+        return var.var_dict[(INIT_RID, INIT_HID)][0][1]
+    rid, hid, opnum = key
+    for w_opnum, value in var.var_dict.get((rid, hid), []):
+        if w_opnum == opnum:
+            return value
+    raise CheckpointError(
+        f"variable {var.var_id!r}: chain ends at {key} but no such write "
+        f"re-executed"
+    )
+
+
+def checkpoint_from_audit(
+    index: int,
+    parent: Optional[Checkpoint],
+    state: AuditState,
+    re_exec: ReExecutor,
+) -> Checkpoint:
+    """Extract epoch ``index``'s checkpoint from its accepted audit.
+
+    ``parent`` is epoch ``index - 1``'s checkpoint (None at genesis): its
+    KV map is the base the epoch's verified write order is replayed over.
+    """
+    vars: Dict[str, object] = {}
+    for var_id, var in re_exec.vars.items():
+        if isinstance(var, VarState):
+            vars[var_id] = _final_var_value(var)
+        # Plain (non-loggable) variables are per-request on the verifier
+        # side -- nothing crosses a request boundary, so nothing to carry.
+    kv: Dict[str, object] = dict(parent.kv) if parent is not None else {}
+    kv.update(state.initial_kv)
+    for rid, tid, i in state.advice.write_order:
+        entry = state.advice.tx_logs[(rid, tid)][i]
+        kv[entry.key] = entry.opcontents
+    parent_digest = parent.digest if parent is not None else GENESIS_DIGEST
+    return Checkpoint.make(index, parent_digest, vars, kv)
+
+
+# -- storage -------------------------------------------------------------------
+
+
+def encode_checkpoint(cp: Checkpoint) -> str:
+    doc = {
+        "epoch": cp.epoch,
+        "parent": cp.parent_digest,
+        "vars": [[k, encode_value(v)] for k, v in sorted(cp.vars.items())],
+        "kv": [[k, encode_value(v)] for k, v in sorted(cp.kv.items())],
+        "digest": cp.digest,
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def decode_checkpoint(payload: str) -> Checkpoint:
+    try:
+        doc = json.loads(payload)
+        return Checkpoint(
+            epoch=doc["epoch"],
+            parent_digest=doc["parent"],
+            vars={k: decode_value(v) for k, v in doc["vars"]},
+            kv={k: decode_value(v) for k, v in doc["kv"]},
+            digest=doc["digest"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+
+
+class CheckpointStore:
+    """Checkpoints by epoch index, optionally persisted to a directory.
+
+    With a directory, each checkpoint is written to
+    ``checkpoint-<index>.json`` on :meth:`put` and the store reloads them
+    on construction -- the persistence layer behind crash-resumable
+    audits.  :meth:`verify_chain` recomputes every digest and checks the
+    parent links, so tampering with stored state is detected before any
+    carried value is trusted.
+    """
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory
+        self._by_index: Dict[int, Checkpoint] = {}
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            for name in os.listdir(directory):
+                if not (name.startswith("checkpoint-") and name.endswith(".json")):
+                    continue
+                path = os.path.join(directory, name)
+                with open(path, "r", encoding="utf-8") as fh:
+                    cp = decode_checkpoint(fh.read())
+                self._by_index[cp.epoch] = cp
+
+    def __len__(self) -> int:
+        return len(self._by_index)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._by_index
+
+    def get(self, index: int) -> Optional[Checkpoint]:
+        return self._by_index.get(index)
+
+    def put(self, cp: Checkpoint) -> None:
+        self._by_index[cp.epoch] = cp
+        if self.directory is not None:
+            path = os.path.join(self.directory, f"checkpoint-{cp.epoch}.json")
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(encode_checkpoint(cp))
+            os.replace(tmp, path)
+
+    def latest(self) -> Optional[Checkpoint]:
+        if not self._by_index:
+            return None
+        return self._by_index[max(self._by_index)]
+
+    def verify_chain(self, up_to: Optional[int] = None) -> None:
+        """Check digests and parent links for epochs ``0..up_to`` (all
+        stored epochs if None); raise :class:`CheckpointChainError` on the
+        first inconsistency."""
+        if up_to is None:
+            up_to = max(self._by_index, default=-1)
+        parent = GENESIS_DIGEST
+        for index in range(up_to + 1):
+            cp = self._by_index.get(index)
+            if cp is None:
+                raise CheckpointChainError(f"checkpoint {index} missing from chain")
+            if cp.parent_digest != parent:
+                raise CheckpointChainError(
+                    f"checkpoint {index} parent digest does not match "
+                    f"checkpoint {index - 1}"
+                )
+            if not cp.verify():
+                raise CheckpointChainError(
+                    f"checkpoint {index} digest does not match its contents"
+                )
+            parent = cp.digest

@@ -1,0 +1,88 @@
+"""Wire format for sealed epochs.
+
+An epoch document embeds the trace segment and advice slice in their own
+versioned wire formats (:mod:`repro.trace.codec`, :mod:`repro.advice.codec`)
+plus the epoch index and binlog sub-range, so ``serve --seal-every N
+--out-epochs DIR`` and ``audit --epochs-dir DIR`` can hand epochs across
+processes one file at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import List, Optional
+
+from repro.advice.codec import decode_advice, encode_advice
+from repro.continuous.epoch import Epoch
+from repro.errors import AdviceFormatError
+from repro.trace.codec import decode_trace, encode_trace
+
+EPOCH_FORMAT_VERSION = 1
+
+_EPOCH_FILE = re.compile(r"^epoch-(\d+)\.json$")
+
+
+def encode_epoch(epoch: Epoch) -> str:
+    doc = {
+        "version": EPOCH_FORMAT_VERSION,
+        "index": epoch.index,
+        "binlog_range": list(epoch.binlog_range),
+        "trace": json.loads(encode_trace(epoch.trace)),
+        "advice": (
+            None if epoch.advice is None else json.loads(encode_advice(epoch.advice))
+        ),
+    }
+    return json.dumps(doc, separators=(",", ":"))
+
+
+def decode_epoch(payload: str) -> Epoch:
+    try:
+        doc = json.loads(payload)
+    except (TypeError, ValueError) as exc:
+        raise AdviceFormatError(f"epoch is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("version") != EPOCH_FORMAT_VERSION:
+        raise AdviceFormatError("unsupported epoch document")
+    index = doc.get("index")
+    if not isinstance(index, int) or index < 0:
+        raise AdviceFormatError("bad epoch index")
+    rng = doc.get("binlog_range")
+    if (
+        not isinstance(rng, list)
+        or len(rng) != 2
+        or not all(isinstance(x, int) for x in rng)
+    ):
+        raise AdviceFormatError("bad epoch binlog range")
+    trace = decode_trace(json.dumps(doc.get("trace"))).freeze()
+    advice_doc = doc.get("advice")
+    advice = None if advice_doc is None else decode_advice(json.dumps(advice_doc))
+    return Epoch(
+        index=index, trace=trace, advice=advice, binlog_range=(rng[0], rng[1])
+    )
+
+
+def write_epoch(directory: str, epoch: Epoch) -> str:
+    """Persist one epoch as ``epoch-<index>.json``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"epoch-{epoch.index}.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(encode_epoch(epoch))
+    os.replace(tmp, path)
+    return path
+
+
+def read_epochs(directory: str) -> List[Epoch]:
+    """Load every ``epoch-<k>.json`` in ``directory``, ordered by index."""
+    found = []
+    for name in os.listdir(directory):
+        match = _EPOCH_FILE.match(name)
+        if match is None:
+            continue
+        found.append((int(match.group(1)), name))
+    epochs: List[Epoch] = []
+    for _, name in sorted(found):
+        with open(os.path.join(directory, name), "r", encoding="utf-8") as fh:
+            epochs.append(decode_epoch(fh.read()))
+    return epochs

@@ -1,0 +1,70 @@
+"""Crash-resumable audit progress journal (DESIGN.md §6).
+
+One JSONL file, one event per line, appended and flushed as the
+continuous audit progresses:
+
+* ``{"event": "sealed",   "epoch": k, "requests": n}``
+* ``{"event": "verified", "epoch": k, "digest": "..."}``
+* ``{"event": "rejected", "epoch": k, "reason": "...", "detail": "..."}``
+
+A restarted auditor loads the journal, finds the last verified epoch, and
+resumes after it -- re-auditing nothing that already verified, provided
+the checkpoint chain up to that epoch still verifies (a tampered
+checkpoint store invalidates the journal's claim and the resume is
+refused as ``checkpoint-chain-forged``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+
+class AuditJournal:
+    """Append-only JSONL progress log; in-memory when ``path`` is None."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.events: List[Dict] = []
+        if path is not None and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        self.events.append(json.loads(line))
+
+    def record(self, event: str, epoch: int, **fields: object) -> None:
+        entry: Dict = {"event": event, "epoch": epoch}
+        entry.update(fields)
+        self.events.append(entry)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+                fh.flush()
+
+    # -- resume queries ----------------------------------------------------
+
+    def last_verified(self) -> int:
+        """Highest epoch index with a contiguous verified prefix 0..k, or
+        -1 if none: resumption must not trust a verified epoch whose
+        predecessors are not all verified."""
+        verified = {e["epoch"] for e in self.events if e["event"] == "verified"}
+        last = -1
+        while last + 1 in verified:
+            last += 1
+        return last
+
+    def verified_digests(self) -> Dict[int, str]:
+        """Checkpoint digest recorded at verification time, per epoch.
+        These anchor resumption: a stored checkpoint whose digest was
+        recomputed after forging its contents still chains internally,
+        but cannot match the digest journalled when it was verified."""
+        return {
+            e["epoch"]: e["digest"]
+            for e in self.events
+            if e["event"] == "verified" and "digest" in e
+        }
+
+    def rejections(self) -> List[Dict]:
+        return [e for e in self.events if e["event"] == "rejected"]

@@ -3,6 +3,7 @@ behind every figure of the paper's evaluation (section 6)."""
 
 from repro.harness.experiment import (
     AdviceSizes,
+    ContinuousAuditComparison,
     ExperimentConfig,
     ParallelAuditComparison,
     ServerComparison,
@@ -10,6 +11,7 @@ from repro.harness.experiment import (
     make_app,
     make_store,
     measure_advice_sizes,
+    measure_continuous_audit,
     measure_parallel_audit,
     measure_server_overhead,
     measure_verification,
@@ -18,6 +20,7 @@ from repro.harness.reporting import format_series, print_series
 
 __all__ = [
     "AdviceSizes",
+    "ContinuousAuditComparison",
     "ExperimentConfig",
     "ParallelAuditComparison",
     "ServerComparison",
@@ -25,6 +28,7 @@ __all__ = [
     "make_app",
     "make_store",
     "measure_advice_sizes",
+    "measure_continuous_audit",
     "measure_parallel_audit",
     "measure_server_overhead",
     "measure_verification",

@@ -256,6 +256,90 @@ def measure_parallel_audit(
     )
 
 
+# -- continuous auditing (DESIGN.md §6) ---------------------------------------
+
+
+@dataclass
+class ContinuousAuditComparison:
+    """Epoch-sealed streaming audit vs the monolithic audit of one run."""
+
+    seal_every: int
+    epochs: int
+    monolithic_seconds: float
+    continuous_seconds: float  # sum of per-epoch audit times
+    first_verdict_seconds: float  # time from first submit to first verdict
+    peak_pending: int
+    backpressure_events: int
+    monolithic_accepted: bool
+    continuous_accepted: bool
+    handlers_match: bool  # per-epoch handler executions sum to monolithic
+
+    @property
+    def verdicts_match(self) -> bool:
+        return self.monolithic_accepted == self.continuous_accepted
+
+
+def measure_continuous_audit(
+    cfg: ExperimentConfig,
+    seal_every: int,
+    max_pending: int = 4,
+    repeats: int = 1,
+) -> ContinuousAuditComparison:
+    """Serve once with an epoch sealer, then audit the sealed stream
+    continuously (checkpoint hand-off between epochs) and monolithically;
+    minimum audit time over ``repeats`` for both sides."""
+    from repro.continuous import ContinuousAuditor, EpochSealer
+    from repro.server.run import run_server
+
+    app_fn = _APPS[cfg.app_name][0]
+    sealer = EpochSealer(seal_every)
+    run = run_server(
+        app_fn(),
+        _workload(cfg),
+        KarousosPolicy(),
+        store=make_store(cfg),
+        scheduler=RandomScheduler(cfg.seed),
+        concurrency=cfg.concurrency,
+        sealer=sealer,
+    )
+
+    mono_seconds = []
+    mono_result = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        mono_result = audit(app_fn(), run.trace, run.advice, parallelism=cfg.jobs)
+        mono_seconds.append(time.perf_counter() - started)
+
+    cont_seconds = []
+    auditor = None
+    for _ in range(max(1, repeats)):
+        auditor = ContinuousAuditor(
+            app_fn(), parallelism=cfg.jobs, max_pending=max_pending
+        )
+        started = time.perf_counter()
+        for epoch in sealer.epochs:
+            auditor.submit(epoch)
+        auditor.drain()
+        cont_seconds.append(time.perf_counter() - started)
+
+    stats = auditor.stats()
+    handlers_match = stats["handlers_executed"] == mono_result.stats.get(
+        "handlers_executed", -1
+    )
+    return ContinuousAuditComparison(
+        seal_every=seal_every,
+        epochs=len(sealer.epochs),
+        monolithic_seconds=min(mono_seconds),
+        continuous_seconds=min(cont_seconds),
+        first_verdict_seconds=stats.get("first_verdict_seconds", 0.0),
+        peak_pending=int(stats["peak_pending"]),
+        backpressure_events=int(stats["backpressure_events"]),
+        monolithic_accepted=mono_result.accepted,
+        continuous_accepted=auditor.accepted,
+        handlers_match=handlers_match,
+    )
+
+
 # -- Figure 8 ---------------------------------------------------------------------
 
 

@@ -14,8 +14,12 @@ def format_series(
     rows: List[Dict[str, object]],
     columns: Sequence[str],
 ) -> str:
-    """A fixed-width table: one row per sweep point."""
-    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) for c in columns}
+    """A fixed-width table: one row per sweep point.  With no rows the
+    header alone is returned (``max`` needs the header width seeded as a
+    list element -- a bare ``*()`` unpacking would raise)."""
+    widths = {
+        c: max([len(c)] + [len(_fmt(r.get(c))) for r in rows]) for c in columns
+    }
     lines = [title, "-" * len(title)]
     lines.append("  ".join(c.ljust(widths[c]) for c in columns))
     for row in rows:

@@ -138,15 +138,34 @@ class Runtime:
         self._requests: Dict[str, _RequestState] = {}
         self._in_flight = 0
         self._txs: Dict[Tuple[str, TxId], Transaction] = {}
+        # Optional epoch sealer (repro.continuous): when attached, the
+        # serve loop stops admitting once a seal is due, drains to
+        # quiescence, and cuts an epoch before resuming admission.
+        self.sealer = None
 
     # -- main loop -------------------------------------------------------
+
+    def quiescent(self) -> bool:
+        """True when nothing spans this instant: no in-flight request, no
+        pending activation, and no open store transaction.  The epoch
+        sealer only cuts at quiescent points (DESIGN.md §6)."""
+        if self._in_flight or self._pending:
+            return False
+        if self.store is not None and self.store.active_transactions():
+            return False
+        return True
 
     def serve(self, requests: List[Request]) -> Trace:
         incoming = deque(requests)
         while incoming or self._pending:
-            while incoming and self._in_flight < self.concurrency:
-                self._admit(incoming.popleft())
+            sealing = self.sealer is not None and self.sealer.seal_due()
+            if not sealing:
+                while incoming and self._in_flight < self.concurrency:
+                    self._admit(incoming.popleft())
             if not self._pending:
+                if sealing and self.quiescent():
+                    self.sealer.seal()
+                    continue
                 raise ProgramError(
                     "requests in flight but no pending activations: "
                     "some handler failed to respond"

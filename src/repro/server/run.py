@@ -35,8 +35,13 @@ def run_server(
     store: Optional[KVStore] = None,
     scheduler: Optional[Scheduler] = None,
     concurrency: int = 1,
+    sealer: Optional[object] = None,
 ) -> ServerRun:
-    """Serve ``requests`` and return the trace, advice, and wall-clock time."""
+    """Serve ``requests`` and return the trace, advice, and wall-clock time.
+
+    ``sealer`` (an :class:`repro.continuous.sealer.EpochSealer`) attaches
+    to the runtime before serving and flushes the tail epoch after, so the
+    returned run's stream has been fully sealed."""
     runtime = Runtime(
         app,
         policy,
@@ -46,8 +51,12 @@ def run_server(
     )
     # Give advice-collecting policies access to the store's binlog.
     policy.runtime = runtime
+    if sealer is not None:
+        sealer.attach(runtime)
     start = time.perf_counter()
     trace = runtime.serve(requests)
+    if sealer is not None:
+        sealer.flush()
     elapsed = time.perf_counter() - start
     return ServerRun(
         trace=trace,

@@ -38,7 +38,14 @@ class Collector:
     def in_flight(self) -> int:
         return len(self._open)
 
-    def trace(self) -> Trace:
+    def trace(self, live: bool = False) -> Trace:
         """The trace collected so far.  Callers should only audit balanced
-        traces (all requests answered); :meth:`Trace.is_balanced` checks."""
-        return self._trace
+        traces (all requests answered); :meth:`Trace.is_balanced` checks.
+
+        By default this is a *frozen snapshot*: later collection cannot
+        mutate a trace already handed to an auditor.  ``live=True`` returns
+        the growing trace itself -- the epoch sealer's escape hatch for
+        watching the stream without copying it on every poll."""
+        if live:
+            return self._trace
+        return self._trace.freeze()

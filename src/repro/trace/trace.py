@@ -46,12 +46,32 @@ class TraceEvent:
 
 @dataclass
 class Trace:
-    """Chronological list of trace events plus request lookup helpers."""
+    """Chronological list of trace events plus request lookup helpers.
+
+    A *frozen* trace is an immutable snapshot: appends raise.  The
+    collector hands frozen snapshots to auditors so later serving cannot
+    mutate a trace already under audit; the epoch sealer uses the live
+    view (``Collector.trace(live=True)``) to watch the stream grow.
+    """
 
     events: List[TraceEvent] = field(default_factory=list)
+    frozen: bool = field(default=False, compare=False)
 
     def append(self, event: TraceEvent) -> None:
+        if self.frozen:
+            raise TypeError("cannot append to a frozen trace snapshot")
         self.events.append(event)
+
+    def freeze(self) -> "Trace":
+        """An immutable snapshot of the current events (self, if already
+        frozen)."""
+        if self.frozen:
+            return self
+        return Trace(list(self.events), frozen=True)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A frozen sub-trace of events ``[start:stop)`` (epoch segment)."""
+        return Trace(self.events[start:stop], frozen=True)
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)

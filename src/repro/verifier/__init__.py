@@ -7,11 +7,13 @@ REJECTs with a machine-readable reason.
 """
 
 from repro.verifier.audit import AuditResult, Auditor, audit
+from repro.verifier.carry import CarryIn
 from repro.verifier.parallel import ParallelAuditor, compute_waves, parallel_audit
 
 __all__ = [
     "AuditResult",
     "Auditor",
+    "CarryIn",
     "ParallelAuditor",
     "audit",
     "compute_waves",

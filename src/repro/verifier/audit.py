@@ -17,6 +17,7 @@ from repro.advice.records import Advice
 from repro.errors import AuditRejected
 from repro.kem.program import AppSpec
 from repro.trace.trace import Trace
+from repro.verifier.carry import CarryIn
 from repro.verifier.isolation import verify_isolation_level
 from repro.verifier.postprocess import postprocess
 from repro.verifier.preprocess import AuditState, preprocess
@@ -75,6 +76,7 @@ class Auditor:
         reverse_groups: bool = False,
         parallelism: int = 1,
         parallel_mode: str = "auto",
+        carry: Optional[CarryIn] = None,
     ):
         self.app = app
         self.trace = trace
@@ -83,6 +85,7 @@ class Auditor:
         self.reverse_groups = reverse_groups
         self.parallelism = parallelism
         self.parallel_mode = parallel_mode
+        self.carry = carry
         self.state: Optional[AuditState] = None
         self.re_exec: Optional[ReExecutor] = None
         self.parallel = None  # the ParallelAuditor, when one ran
@@ -92,7 +95,7 @@ class Auditor:
             return self._run_parallel()
         started = time.perf_counter()
         try:
-            self.state = preprocess(self.app, self.trace, self.advice)
+            self.state = preprocess(self.app, self.trace, self.advice, self.carry)
             verify_isolation_level(self.state)
             self.re_exec = ReExecutor(
                 self.state,
@@ -128,6 +131,7 @@ class Auditor:
             jobs=self.parallelism,
             mode=self.parallel_mode,
             singleton_groups=self.singleton_groups,
+            carry=self.carry,
         )
         result = pipeline.run()
         self.parallel = pipeline
@@ -140,7 +144,11 @@ class Auditor:
 
 
 def audit(
-    app: AppSpec, trace: Trace, advice: Advice, parallelism: int = 1
+    app: AppSpec,
+    trace: Trace,
+    advice: Advice,
+    parallelism: int = 1,
+    carry: Optional[CarryIn] = None,
 ) -> AuditResult:
     """Audit a served trace against the server's advice."""
-    return Auditor(app, trace, advice, parallelism=parallelism).run()
+    return Auditor(app, trace, advice, parallelism=parallelism, carry=carry).run()

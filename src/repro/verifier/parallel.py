@@ -65,6 +65,7 @@ from repro.kem.program import AppSpec
 from repro.server.variables import INIT_RID
 from repro.trace.trace import Trace
 from repro.verifier.audit import AuditResult, collect_stats
+from repro.verifier.carry import CarryIn
 from repro.verifier.isolation import verify_isolation_level
 from repro.verifier.postprocess import postprocess
 from repro.verifier.preprocess import AuditState, preprocess
@@ -256,8 +257,8 @@ def _worker_init(payload: bytes) -> None:
     its own preprocess succeeded, so this cannot newly reject.
     """
     global _WORKER_STATE
-    app, trace, advice = pickle.loads(payload)
-    _WORKER_STATE = preprocess(app, trace, advice)
+    app, trace, advice, carry = pickle.loads(payload)
+    _WORKER_STATE = preprocess(app, trace, advice, carry)
 
 
 def _worker_run_group(tag: str, rids: List[str]) -> GroupDelta:
@@ -298,12 +299,14 @@ class ParallelAuditor:
         partition: str = PARTITION_STRUCTURAL,
         singleton_groups: bool = False,
         waves: Optional[Sequence[Sequence[str]]] = None,
+        carry: Optional[CarryIn] = None,
     ):
         if mode not in MODES:
             raise ValueError(f"unknown parallel mode {mode!r}")
         self.app = app
         self.trace = trace
         self.advice = advice
+        self.carry = carry
         self.jobs = max(1, int(jobs if jobs is not None else (os.cpu_count() or 1)))
         self.mode = mode
         self.partition = partition
@@ -322,7 +325,7 @@ class ParallelAuditor:
     def run(self) -> AuditResult:
         started = time.perf_counter()
         try:
-            self.state = preprocess(self.app, self.trace, self.advice)
+            self.state = preprocess(self.app, self.trace, self.advice, self.carry)
             verify_isolation_level(self.state)
             self.re_exec = ReExecutor(self.state)  # the merge target
             if self.singleton_groups:
@@ -380,7 +383,9 @@ class ParallelAuditor:
         if self.jobs <= 1:
             return MODE_SERIAL
         try:
-            self._payload = pickle.dumps((self.app, self.trace, self.advice))
+            self._payload = pickle.dumps(
+                (self.app, self.trace, self.advice, self.carry)
+            )
         except Exception:
             # Closure-based apps (tests) cannot cross a process boundary.
             return MODE_THREAD
@@ -404,7 +409,9 @@ class ParallelAuditor:
                 groups, ThreadPoolExecutor(max_workers=workers), execute_group
             )
         if self._payload is None:
-            self._payload = pickle.dumps((self.app, self.trace, self.advice))
+            self._payload = pickle.dumps(
+                (self.app, self.trace, self.advice, self.carry)
+            )
         pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
@@ -508,8 +515,9 @@ def parallel_audit(
     jobs: Optional[int] = None,
     mode: str = MODE_AUTO,
     partition: str = PARTITION_STRUCTURAL,
+    carry: Optional[CarryIn] = None,
 ) -> AuditResult:
     """Audit with re-execution groups sharded across ``jobs`` workers."""
     return ParallelAuditor(
-        app, trace, advice, jobs=jobs, mode=mode, partition=partition
+        app, trace, advice, jobs=jobs, mode=mode, partition=partition, carry=carry
     ).run()

@@ -19,7 +19,10 @@ Every REJECT in the figures maps to an :class:`AuditRejected` raise here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.verifier.carry import CarryIn
 
 from repro.advice.records import (
     Advice,
@@ -65,14 +68,32 @@ class AuditState:
     initial_readers: Dict[str, List[Tuple[str, TxId, int]]] = field(default_factory=dict)
     last_modification: Dict[Tuple[str, TxId, str], int] = field(default_factory=dict)
     trace_rids: Set[str] = field(default_factory=set)
+    # Committed KV state carried in from the previous epoch's verified
+    # checkpoint (continuous auditing); empty for a genesis audit, where a
+    # GET of "initial state" means the never-written store.
+    initial_kv: Dict[str, object] = field(default_factory=dict)
 
 
-def preprocess(app: AppSpec, trace: Trace, advice: Advice) -> AuditState:
+def preprocess(
+    app: AppSpec,
+    trace: Trace,
+    advice: Advice,
+    carry: Optional["CarryIn"] = None,
+) -> AuditState:
     if not isinstance(advice, Advice):
         raise AdviceFormatError("advice bundle has wrong type")
     if not trace.is_balanced():
         raise AuditRejected("unbalanced-trace", "trace is not balanced")
     state = AuditState(app, trace, advice, app.run_init())
+    if carry is not None:
+        # The previous epoch's verified end state replaces the genesis
+        # values; only declared variables can be carried (a checkpoint
+        # naming an unknown variable would be a forgery, but it is inert
+        # here because re-execution only consults declared variables).
+        for var_id, value in carry.vars.items():
+            if var_id in state.init_ctx.initial_vars:
+                state.init_ctx.initial_vars[var_id] = value
+        state.initial_kv = dict(carry.kv)
     state.trace_rids = set(trace.request_ids())
     _check_advice_shape(state)
     _create_time_precedence_graph(state)

@@ -442,7 +442,10 @@ class GroupContext:
                 return "ok", None
             if optype == TX_GET:
                 if entry.opcontents is None:
-                    return None, None  # read of the initial store state
+                    # Read of the initial store state: the never-written
+                    # store at genesis, or the carried-in committed state
+                    # of the previous epoch in a continuous audit.
+                    return state.initial_kv.get(entry.key), None
                 rid_w, tid_w, i_w = entry.opcontents
                 dictating = state.advice.tx_logs[(rid_w, tid_w)][i_w]
                 return dictating.opcontents, None

@@ -123,7 +123,23 @@ class VarState:
                     f"{self.var_id!r}: read entry at {key} malformed",
                 )
             dictating = self.log.get(entry.prec)
-            if dictating is None or dictating.access != "write":
+            if dictating is None:
+                if entry.prec == INIT_REF:
+                    # The dictating write is the initializer itself but was
+                    # not logged: this is a cross-epoch read in a continuous
+                    # audit, where advice slicing rewrote the prec of an
+                    # earlier epoch's final write to INIT_REF.  Feed the
+                    # trusted initial value (the carried-in checkpoint state)
+                    # -- simulate-and-check downstream still validates every
+                    # value derived from it.
+                    self.consumed.add(key)
+                    self.read_observers.setdefault(INIT_REF, set()).add(key)
+                    return self.var_dict[(INIT_RID, INIT_HID)][0][1]
+                raise AuditRejected(
+                    "variable-log-invalid",
+                    f"{self.var_id!r}: dictating write missing for read {key}",
+                )
+            if dictating.access != "write":
                 raise AuditRejected(
                     "variable-log-invalid",
                     f"{self.var_id!r}: dictating write missing for read {key}",

@@ -83,3 +83,13 @@ class TestReporting:
         print_series("T", self.ROWS, ["a"])
         out = capsys.readouterr().out
         assert "T" in out and "20" in out
+
+    def test_format_series_empty_rows_returns_header_only(self):
+        # A sweep can legitimately produce zero rows (e.g. every point
+        # skipped); this used to raise TypeError from max() over an empty
+        # unpacking.
+        text = format_series("Empty", [], ["alpha", "b"])
+        lines = text.splitlines()
+        assert lines[0] == "Empty"
+        assert lines[2] == "alpha  b"
+        assert len(lines) == 3

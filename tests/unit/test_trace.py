@@ -96,3 +96,42 @@ class TestTrace:
     def test_missing_lookup_raises(self):
         with pytest.raises(KeyError):
             self.make_balanced().request("nope")
+
+
+class TestFrozenSnapshots:
+    def test_collector_trace_is_immutable_snapshot(self):
+        c = Collector()
+        c.on_request(req("r1"))
+        c.on_response("r1", {"ok": True})
+        snapshot = c.trace()
+        assert snapshot.frozen
+        with pytest.raises(TypeError):
+            snapshot.append(TraceEvent(REQ, "r2", req("r2")))
+        # Later collection must not grow a snapshot already handed out.
+        c.on_request(req("r2"))
+        c.on_response("r2", {"ok": True})
+        assert len(snapshot) == 2
+        assert len(c.trace()) == 4
+
+    def test_live_view_tracks_collection(self):
+        c = Collector()
+        live = c.trace(live=True)
+        c.on_request(req("r1"))
+        assert len(live) == 1
+        assert not live.frozen
+
+    def test_freeze_is_idempotent(self):
+        t = Trace()
+        t.append(TraceEvent(REQ, "r1", req("r1")))
+        frozen = t.freeze()
+        assert frozen.freeze() is frozen
+        assert frozen == t  # equality ignores frozenness
+
+    def test_slice_returns_frozen_subtrace(self):
+        t = Trace()
+        t.append(TraceEvent(REQ, "r1", req("r1")))
+        t.append(TraceEvent(RESP, "r1", {"v": 1}))
+        sub = t.slice(0, 2)
+        assert sub.frozen and len(sub) == 2
+        with pytest.raises(TypeError):
+            sub.append(TraceEvent(REQ, "r2", req("r2")))
