@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.adya.dsg import build_dsg
-from repro.adya.history import History, OpKind
+from repro.adya.history import History
 from repro.store.kv import IsolationLevel
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
-from repro.adya.history import History, OpKind, WriteRef
+from repro.adya.history import History, WriteRef
 from repro.core.graph import Digraph
 
 

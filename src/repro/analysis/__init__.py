@@ -3,7 +3,11 @@
 The paper's implementation requires developers to annotate loggable
 variables by hand and notes the burden "could be lifted by fully
 automating annotation using a static analyzer".  This package provides
-that analyzer for applications written against the handler-context API.
+that analyzer for applications written against the handler-context API,
+plus the instrumentation-completeness linter that verifies an app is
+valid "transpiler output" (rules R1-R5) and the trace-differential
+crosscheck that validates the analyzer itself against an observed
+execution.
 """
 
 from repro.analysis.annotate import (
@@ -12,10 +16,33 @@ from repro.analysis.annotate import (
     analyze_app,
     suggest_annotations,
 )
+from repro.analysis.crosscheck import (
+    CrosscheckResult,
+    ObservedFootprint,
+    crosscheck_app,
+    observed_app,
+)
+from repro.analysis.lint import (
+    HandlerSummary,
+    lint_app,
+    predict_footprints,
+)
+from repro.analysis.report import ERROR, WARN, LintReport, Violation
 
 __all__ = [
     "AnnotationReport",
     "VariableUsage",
     "analyze_app",
     "suggest_annotations",
+    "lint_app",
+    "predict_footprints",
+    "HandlerSummary",
+    "LintReport",
+    "Violation",
+    "ERROR",
+    "WARN",
+    "crosscheck_app",
+    "observed_app",
+    "CrosscheckResult",
+    "ObservedFootprint",
 ]

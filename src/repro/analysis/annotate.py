@@ -24,16 +24,19 @@ declared, and declarations never accessed.
 from __future__ import annotations
 
 import ast
-import inspect
-import textwrap
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.ctxutil import (
+    VAR_READ_METHODS as READ_METHODS,
+    VAR_UPDATE_METHODS as UPDATE_METHODS,
+    VAR_WRITE_METHODS as WRITE_METHODS,
+    collect_helper_calls,
+    context_names,
+    context_params,
+    parse_function,
+)
 from repro.kem.program import AppSpec
-
-READ_METHODS = ("read",)
-WRITE_METHODS = ("write",)
-UPDATE_METHODS = ("update",)  # atomic read-modify-write: counts as both
 
 
 @dataclass
@@ -80,35 +83,27 @@ class AnnotationReport:
 class _AccessCollector(ast.NodeVisitor):
     """Find ``<ctx>.read("v")`` / ``<ctx>.write("v", ...)`` call sites.
 
-    The context parameter is identified positionally (first parameter of
-    the handler function), matching how handlers are written.
+    The context parameter is resolved through the shared helper
+    (``repro.analysis.ctxutil``): by annotation when one parameter names a
+    ``*Context`` type, by position otherwise, plus every local alias
+    (``c = ctx``) -- so renamed or aliased context parameters cannot make
+    accesses invisible to the escape analysis (a Completeness hazard).
     """
 
-    def __init__(self, ctx_name: str, fn_name: str):
-        self.ctx_name = ctx_name
+    def __init__(self, ctx_names: Set[str], fn_name: str):
+        self.ctx_names = ctx_names
         self.fn_name = fn_name
         self.reads: Set[str] = set()
         self.writes: Set[str] = set()
         self.dynamic: List[str] = []
-        # Helper functions invoked with the context as first argument:
-        # the analysis follows them interprocedurally.
-        self.helper_calls: Set[str] = set()
 
     def visit_Call(self, node: ast.Call) -> None:
         self.generic_visit(node)
         fn = node.func
-        if (
-            isinstance(fn, ast.Name)
-            and node.args
-            and isinstance(node.args[0], ast.Name)
-            and node.args[0].id == self.ctx_name
-        ):
-            self.helper_calls.add(fn.id)
-            return
         if not (
             isinstance(fn, ast.Attribute)
             and isinstance(fn.value, ast.Name)
-            and fn.value.id == self.ctx_name
+            and fn.value.id in self.ctx_names
         ):
             return
         if fn.attr not in READ_METHODS + WRITE_METHODS + UPDATE_METHODS:
@@ -127,37 +122,40 @@ class _AccessCollector(ast.NodeVisitor):
 
 
 def _function_accesses(
-    fid: str, fn, _seen: Optional[Set[object]] = None
+    fid: str,
+    fn,
+    _seen: Optional[Set[object]] = None,
+    _ctx_position: int = 0,
 ) -> Optional[Tuple[Set[str], Set[str], List[str]]]:
     """Accesses of ``fn`` plus, recursively, of every helper it calls with
-    the context as first argument (resolved through ``fn.__globals__``)."""
+    the context at any argument position (resolved through
+    ``fn.__globals__``)."""
     if _seen is None:
         _seen = set()
     if fn in _seen:
         return (set(), set(), [])
     _seen.add(fn)
-    try:
-        source = textwrap.dedent(inspect.getsource(fn))
-        tree = ast.parse(source)
-    except (OSError, TypeError, SyntaxError):
+    parsed = parse_function(fn)
+    if parsed is None:
         return None
-    # The handler is the first function definition in the parsed source.
-    func_def = next(
-        (n for n in ast.walk(tree) if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))),
-        None,
-    )
-    if func_def is None or not func_def.args.args:
+    func_def = parsed.func_def
+    ctx_params = context_params(func_def, position=_ctx_position)
+    if not ctx_params:
         return (set(), set(), [])
-    ctx_name = func_def.args.args[0].arg
-    collector = _AccessCollector(ctx_name, fid)
+    ctx_names = context_names(func_def, ctx_params)
+    collector = _AccessCollector(ctx_names, fid)
     collector.visit(func_def)
     reads, writes = set(collector.reads), set(collector.writes)
     dynamic = list(collector.dynamic)
-    for helper_name in sorted(collector.helper_calls):
+    for helper_name, helper_pos in sorted(
+        collect_helper_calls(func_def, ctx_names).items()
+    ):
         helper = getattr(fn, "__globals__", {}).get(helper_name)
         if helper is None or not callable(helper):
             continue
-        nested = _function_accesses(f"{fid}>{helper_name}", helper, _seen)
+        nested = _function_accesses(
+            f"{fid}>{helper_name}", helper, _seen, _ctx_position=helper_pos
+        )
         if nested is None:
             dynamic.append(f"{fid}:{helper_name}:<unparsed helper>")
             continue

@@ -1,0 +1,238 @@
+"""Intra-handler dataflow: taint from logged/replayed values (rule R1).
+
+During grouped re-execution every per-request value is a
+:class:`~repro.core.multivalue.Multivalue`: request payloads, results of
+``ctx.read``/``ctx.update``, transactional statuses, ``ctx.nondet``
+results, and ``ctx.rid``.  Control flow that depends on such a value
+*must* be laundered through ``ctx.branch``/``ctx.control`` -- that is
+what folds the decision into the control-flow digest and what lets the
+verifier detect divergence (Figure 18 line 32).  A raw ``if`` on a
+multivalue would instead branch on the truthiness of the wrapper object:
+silently wrong, and invisible to the audit -- a Completeness failure.
+
+This module computes, per handler function, which local names are
+*tainted* (may hold per-request data at group level).  The analysis is
+
+* **flow-insensitive**: a name tainted by any assignment is treated as
+  tainted everywhere -- sound, and precise enough in practice because the
+  handler style keeps raw data and laundered conditions in separate
+  names;
+* **scope-local**: lambdas and nested ``def``s are opaque -- code inside
+  them runs per request slot (``ctx.apply``/``ctx.update`` semantics) and
+  is exempt from group-level discipline;
+* a **fixpoint** over assignments, tuple unpacking, augmented
+  assignments, ``for`` targets, ``with ... as`` bindings, and walrus
+  expressions.
+
+It also tracks *transaction handles* (names bound to ``ctx.tx_start()``
+results) for rule R4's escape check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from repro.analysis.ctxutil import (
+    ctx_method_call,
+    walk_scoped,
+)
+
+#: Context methods whose results are per-request data (taint sources).
+TAINT_SOURCE_METHODS = frozenset(
+    {"read", "update", "nondet", "tx_put", "tx_commit", "tx_get"}
+)
+#: Context methods that launder a value into the control-flow digest.
+SANITIZER_METHODS = frozenset({"branch", "control"})
+
+
+class TaintEnv:
+    """Taint facts for one function scope.
+
+    ``ctx_names`` are the context parameter and its aliases;
+    ``seed_tainted`` are parameter names assumed tainted on entry (the
+    payload parameter of a handler, every non-context parameter of a
+    helper analysed conservatively).
+    """
+
+    def __init__(
+        self,
+        func_def: ast.FunctionDef,
+        ctx_names: Set[str],
+        seed_tainted: Iterable[str] = (),
+    ):
+        self.func_def = func_def
+        self.ctx_names = set(ctx_names)
+        self.tainted: Set[str] = set(seed_tainted)
+        self.tx_handles: Set[str] = set()
+        self._solve()
+
+    # -- fixpoint ---------------------------------------------------------
+
+    def _solve(self) -> None:
+        for _ in range(len(self.tainted) + sum(1 for _ in walk_scoped(self.func_def)) + 2):
+            if not self._pass():
+                return
+
+    def _pass(self) -> bool:
+        changed = False
+        for node in walk_scoped(self.func_def):
+            if isinstance(node, ast.Assign):
+                if self.is_tainted(node.value):
+                    for target in node.targets:
+                        changed |= self._taint_target(target)
+                if self._is_tx_start(node.value):
+                    for target in node.targets:
+                        changed |= self._mark_handle(target)
+                # Handle aliasing: ``t2 = tid``.
+                if (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in self.tx_handles
+                ):
+                    for target in node.targets:
+                        changed |= self._mark_handle(target)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if self.is_tainted(node.value):
+                    changed |= self._taint_target(node.target)
+                if self._is_tx_start(node.value):
+                    changed |= self._mark_handle(node.target)
+            elif isinstance(node, ast.AugAssign):
+                if self.is_tainted(node.value):
+                    changed |= self._taint_target(node.target)
+            elif isinstance(node, ast.For):
+                if self.is_tainted(node.iter):
+                    changed |= self._taint_target(node.target)
+            elif isinstance(node, ast.withitem):
+                if node.optional_vars is not None and self.is_tainted(
+                    node.context_expr
+                ):
+                    changed |= self._taint_target(node.optional_vars)
+            elif isinstance(node, ast.NamedExpr):
+                if self.is_tainted(node.value):
+                    changed |= self._taint_target(node.target)
+                if self._is_tx_start(node.value):
+                    changed |= self._mark_handle(node.target)
+        return changed
+
+    def _taint_target(self, target: ast.expr) -> bool:
+        changed = False
+        for name_node in ast.walk(target):
+            if isinstance(name_node, ast.Name) and name_node.id not in self.tainted:
+                self.tainted.add(name_node.id)
+                changed = True
+        return changed
+
+    def _mark_handle(self, target: ast.expr) -> bool:
+        if isinstance(target, ast.Name) and target.id not in self.tx_handles:
+            self.tx_handles.add(target.id)
+            return True
+        return False
+
+    def _is_tx_start(self, expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Call)
+            and ctx_method_call(expr, self.ctx_names) == "tx_start"
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    def is_tainted(self, expr: Optional[ast.expr]) -> bool:
+        """Conservative: may ``expr`` evaluate to per-request data?"""
+        if expr is None:
+            return False
+        if isinstance(expr, ast.Constant):
+            return False
+        if isinstance(expr, (ast.Lambda, ast.FunctionDef)):
+            return False
+        if isinstance(expr, ast.Name):
+            return expr.id in self.tainted
+        if isinstance(expr, ast.Attribute):
+            # ctx.rid is per-request; other ctx attributes are API surface.
+            if isinstance(expr.value, ast.Name) and expr.value.id in self.ctx_names:
+                return expr.attr == "rid"
+            return self.is_tainted(expr.value)
+        if isinstance(expr, ast.Call):
+            method = ctx_method_call(expr, self.ctx_names)
+            if method is not None:
+                if method in SANITIZER_METHODS:
+                    return False
+                if method in TAINT_SOURCE_METHODS:
+                    return True
+                if method == "apply":
+                    return any(self.is_tainted(a) for a in expr.args[1:]) or any(
+                        self.is_tainted(kw.value) for kw in expr.keywords
+                    )
+                return False  # tx_start (a structural id), emit, respond, ...
+            tainted_args = any(self.is_tainted(a) for a in expr.args) or any(
+                self.is_tainted(kw.value) for kw in expr.keywords
+            )
+            # A method call on tainted data yields tainted data.
+            return tainted_args or self.is_tainted(
+                expr.func if not isinstance(expr.func, ast.Name) else None
+            )
+        if isinstance(expr, ast.BoolOp):
+            return any(self.is_tainted(v) for v in expr.values)
+        if isinstance(expr, ast.BinOp):
+            return self.is_tainted(expr.left) or self.is_tainted(expr.right)
+        if isinstance(expr, ast.UnaryOp):
+            return self.is_tainted(expr.operand)
+        if isinstance(expr, ast.Compare):
+            return self.is_tainted(expr.left) or any(
+                self.is_tainted(c) for c in expr.comparators
+            )
+        if isinstance(expr, ast.Subscript):
+            return self.is_tainted(expr.value) or self.is_tainted(expr.slice)
+        if isinstance(expr, ast.IfExp):
+            return (
+                self.is_tainted(expr.test)
+                or self.is_tainted(expr.body)
+                or self.is_tainted(expr.orelse)
+            )
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.is_tainted(e) for e in expr.elts)
+        if isinstance(expr, ast.Dict):
+            return any(self.is_tainted(k) for k in expr.keys if k is not None) or any(
+                self.is_tainted(v) for v in expr.values
+            )
+        if isinstance(expr, ast.Starred):
+            return self.is_tainted(expr.value)
+        if isinstance(expr, ast.NamedExpr):
+            return self.is_tainted(expr.value)
+        if isinstance(expr, ast.JoinedStr):
+            return any(self.is_tainted(v) for v in expr.values)
+        if isinstance(expr, ast.FormattedValue):
+            return self.is_tainted(expr.value)
+        if isinstance(expr, ast.Slice):
+            return (
+                self.is_tainted(expr.lower)
+                or self.is_tainted(expr.upper)
+                or self.is_tainted(expr.step)
+            )
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            # Comprehensions close over the enclosing scope: conservative.
+            return any(
+                isinstance(n, ast.Name) and n.id in self.tainted
+                for n in ast.walk(expr)
+            )
+        # Unknown node kinds: conservative over children.
+        return any(
+            self.is_tainted(child)
+            for child in ast.iter_child_nodes(expr)
+            if isinstance(child, ast.expr)
+        )
+
+    def is_tx_handle(self, expr: ast.expr) -> bool:
+        """Is ``expr`` (possibly transitively) a ``ctx.tx_start`` result?"""
+        if isinstance(expr, ast.Name):
+            return expr.id in self.tx_handles
+        if isinstance(expr, ast.Call):
+            return self._is_tx_start(expr)
+        return False
+
+    def contains_tx_handle(self, expr: ast.expr) -> bool:
+        """Does any subexpression of ``expr`` denote a tx handle?"""
+        return any(
+            self.is_tx_handle(node)
+            for node in ast.walk(expr)
+            if isinstance(node, (ast.Name, ast.Call))
+        )

@@ -1,0 +1,510 @@
+"""The instrumentation-contract rule set (R1-R5).
+
+The repo hand-writes the annotated program P_a (Appendix C.1.1) instead
+of generating it with the paper's Babel transpiler, so nothing mechanical
+guarantees the annotation discipline the transpiler would insert.  These
+rules re-impose that contract statically:
+
+=====  ================================================================
+R1     control-flow taint: every ``if``/``while``/ternary/loop/boolean
+       short-circuit whose outcome depends on logged or replayed data
+       (``ctx.read``/``ctx.update``/``ctx.tx_*`` results, payloads,
+       ``ctx.rid``, ``ctx.nondet``) must be laundered through
+       ``ctx.branch``/``ctx.control``
+R2     no side-channel state: no module-level mutable globals, no
+       closure cells mutated across activations, no in-place mutation
+       of payload-carried containers outside ``ctx.write``
+R3     wrapped nondeterminism: ``random``/``time``/``os.urandom``/...
+       only inside ``ctx.nondet``; no iteration over unordered sets
+R4     handler-registration hygiene: literal event names and function
+       ids that exist in the AppSpec; transaction handles must not
+       escape the creating activation through ``emit``/``respond``
+R5     response discipline: every request-handler path responds via
+       ``ctx.respond`` or provably defers to a descendant activation
+       (``ctx.tx_get`` callback / ``ctx.emit``)
+=====  ================================================================
+
+Each checker takes a :class:`HandlerInfo` (one function, already parsed
+and taint-analysed) plus app-wide context and returns
+:class:`~repro.analysis.report.Violation` objects with exact source
+coordinates.
+"""
+
+from __future__ import annotations
+
+import ast
+import types
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.analysis.ctxutil import (
+    ParsedFunction,
+    call_argument,
+    call_target_path,
+    ctx_method_call,
+    helper_ctx_positions,
+    iter_calls,
+    literal_str,
+    resolve_global,
+    walk_scoped,
+)
+from repro.analysis.dataflow import TaintEnv
+from repro.analysis.report import ERROR, WARN, Violation
+
+#: Container types whose module-level instances are shared mutable state.
+MUTABLE_GLOBAL_TYPES = (list, dict, set, bytearray)
+
+#: In-place mutation methods of the builtin containers.
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear",
+        "add", "discard", "update", "setdefault", "popitem",
+        "sort", "reverse",
+    }
+)
+
+#: Modules whose calls are nondeterministic (R3).
+NONDET_MODULES = frozenset({"random", "time", "secrets", "uuid"})
+#: Specific dotted call paths that are nondeterministic.
+NONDET_CALLS = frozenset(
+    {
+        "os.urandom", "os.getrandom", "os.times",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+@dataclass
+class HandlerInfo:
+    """One analysed function: a handler or a context-forwarding helper."""
+
+    fid: str  # "handler" or "handler>helper" for diagnostics
+    fn: object
+    parsed: ParsedFunction
+    ctx_names: Set[str]
+    taint: TaintEnv
+    is_request_handler: bool = False
+
+
+@dataclass
+class AppContext:
+    """App-wide facts every rule may consult."""
+
+    app_name: str
+    known_fids: Set[str]
+    #: Events with at least one (init-time or literal in-handler)
+    #: registration; includes the ``request/*`` route events.
+    known_events: Set[str]
+    #: Helper names (per enclosing module) proven to respond-or-defer on
+    #: every path; filled by the linter before R5 runs.
+    resolving_helpers: Set[str] = field(default_factory=set)
+
+
+def _violation(
+    info: HandlerInfo, rule: str, severity: str, node: ast.AST, message: str
+) -> Violation:
+    return Violation(
+        rule=rule,
+        severity=severity,
+        fid=info.fid,
+        file=info.parsed.filename,
+        line=info.parsed.abs_line(node),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+# -- R1: control-flow taint --------------------------------------------------
+
+
+def check_r1(info: HandlerInfo) -> List[Violation]:
+    out: List[Violation] = []
+    taint = info.taint
+    checked_boolops: Set[int] = set()
+
+    def flag(node: ast.AST, what: str, cond: ast.expr) -> None:
+        try:
+            snippet = ast.unparse(cond)
+        except Exception:  # pragma: no cover
+            snippet = "<condition>"
+        if len(snippet) > 60:
+            snippet = snippet[:57] + "..."
+        out.append(
+            _violation(
+                info, "R1", ERROR, node,
+                f"{what} depends on logged/replayed data without "
+                f"ctx.branch/ctx.control: `{snippet}`",
+            )
+        )
+
+    def check_test(node: ast.AST, what: str, cond: ast.expr) -> None:
+        for sub in ast.walk(cond):
+            if isinstance(sub, ast.BoolOp):
+                checked_boolops.add(id(sub))
+        if taint.is_tainted(cond):
+            flag(node, what, cond)
+
+    for node in walk_scoped(info.parsed.func_def):
+        if isinstance(node, ast.If):
+            check_test(node, "if-condition", node.test)
+        elif isinstance(node, ast.While):
+            check_test(node, "while-condition", node.test)
+        elif isinstance(node, ast.IfExp):
+            check_test(node, "conditional expression", node.test)
+        elif isinstance(node, ast.Assert):
+            check_test(node, "assert condition", node.test)
+        elif isinstance(node, ast.For):
+            if taint.is_tainted(node.iter):
+                flag(node, "loop iterable", node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                if taint.is_tainted(gen.iter):
+                    flag(node, "comprehension iterable", gen.iter)
+                for if_clause in gen.ifs:
+                    if taint.is_tainted(if_clause):
+                        flag(node, "comprehension filter", if_clause)
+    # Boolean short-circuits: a tainted early operand decides whether the
+    # later operands -- and any ctx operations inside them -- execute.
+    for node in walk_scoped(info.parsed.func_def):
+        if not isinstance(node, ast.BoolOp) or id(node) in checked_boolops:
+            continue
+        for i, operand in enumerate(node.values[:-1]):
+            if not taint.is_tainted(operand):
+                continue
+            later_has_op = any(
+                ctx_method_call(call, info.ctx_names) is not None
+                for rest in node.values[i + 1:]
+                for call in ast.walk(rest)
+                if isinstance(call, ast.Call)
+            )
+            if later_has_op:
+                flag(node, "boolean short-circuit", operand)
+                break
+    return out
+
+
+# -- R2: side-channel state --------------------------------------------------
+
+
+def _mutable_global(info: HandlerInfo, name_node: ast.expr) -> Optional[str]:
+    """Name of the module-level mutable container ``name_node`` refers to."""
+    if not isinstance(name_node, ast.Name):
+        return None
+    if name_node.id in info.taint.tainted or name_node.id in info.ctx_names:
+        return None
+    value = getattr(info.fn, "__globals__", {}).get(name_node.id)
+    if isinstance(value, MUTABLE_GLOBAL_TYPES):
+        return name_node.id
+    return None
+
+
+def check_r2(info: HandlerInfo) -> List[Violation]:
+    out: List[Violation] = []
+    handled: Set[int] = set()
+
+    freevars = getattr(getattr(info.fn, "__code__", None), "co_freevars", ())
+    if freevars:
+        out.append(
+            _violation(
+                info, "R2", WARN, info.parsed.func_def,
+                f"handler closes over cells {sorted(freevars)}: closure state "
+                "is shared across activations and invisible to the audit",
+            )
+        )
+
+    def flag_base(node: ast.AST, base: ast.expr, action: str) -> None:
+        gname = _mutable_global(info, base)
+        if gname is not None:
+            handled.add(id(base))
+            out.append(
+                _violation(
+                    info, "R2", ERROR, node,
+                    f"{action} of module-level mutable global {gname!r}: "
+                    "shared state must live in loggable variables "
+                    "(ctx.read/ctx.write)",
+                )
+            )
+        elif info.taint.is_tainted(base):
+            handled.add(id(base))
+            out.append(
+                _violation(
+                    info, "R2", ERROR, node,
+                    f"{action} of a payload/logged-value container in place: "
+                    "the mutation bypasses ctx.write and is invisible to "
+                    "the audit",
+                )
+            )
+
+    for node in walk_scoped(info.parsed.func_def):
+        if isinstance(node, ast.Global):
+            out.append(
+                _violation(
+                    info, "R2", ERROR, node,
+                    f"`global {', '.join(node.names)}`: module-level state "
+                    "is a side channel around the variable log",
+                )
+            )
+        elif isinstance(node, ast.Nonlocal):
+            out.append(
+                _violation(
+                    info, "R2", ERROR, node,
+                    f"`nonlocal {', '.join(node.names)}`: closure cells "
+                    "mutated across activations bypass the variable log",
+                )
+            )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATOR_METHODS and ctx_method_call(
+                node, info.ctx_names
+            ) is None:
+                flag_base(node, node.func.value, f".{node.func.attr}() mutation")
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    flag_base(node, target.value, "item/attribute assignment")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    flag_base(node, target.value, "deletion")
+    # Bare reads of mutable globals: hazard (another activation may have
+    # mutated the object), but not by itself a contract breach.
+    for node in walk_scoped(info.parsed.func_def):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and id(node) not in handled
+        ):
+            gname = _mutable_global(info, node)
+            if gname is not None:
+                out.append(
+                    _violation(
+                        info, "R2", WARN, node,
+                        f"read of module-level mutable global {gname!r}: "
+                        "move it into a loggable variable or freeze it",
+                    )
+                )
+    return out
+
+
+# -- R3: wrapped nondeterminism ----------------------------------------------
+
+
+def _nondet_reason(info: HandlerInfo, call: ast.Call) -> Optional[str]:
+    path = call_target_path(call)
+    if path is None:
+        return None
+    base = path.split(".")[0]
+    base_obj = resolve_global(info.fn, base)
+    if (
+        isinstance(base_obj, types.ModuleType)
+        and base_obj.__name__ in NONDET_MODULES
+        and "." in path
+    ):
+        return f"{path} (from module {base_obj.__name__})"
+    resolved = resolve_global(info.fn, path)
+    if resolved is not None:
+        module = getattr(resolved, "__module__", None)
+        if module in NONDET_MODULES:
+            return f"{path} (from module {module})"
+        qual = f"{module}.{getattr(resolved, '__name__', '')}"
+        if qual in NONDET_CALLS or path in NONDET_CALLS:
+            return path
+        return None
+    if base in NONDET_MODULES or path in NONDET_CALLS:
+        return path
+    return None
+
+
+class _R3Checker(ast.NodeVisitor):
+    """Descends everywhere (lambdas included: per-slot code replays too),
+    but skips the argument subtree of ``ctx.nondet(...)`` -- that is the
+    sanctioned wrapper."""
+
+    def __init__(self, info: HandlerInfo):
+        self.info = info
+        self.out: List[Violation] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if ctx_method_call(node, self.info.ctx_names) == "nondet":
+            return  # wrapped: do not descend into the argument
+        reason = _nondet_reason(self.info, node)
+        if reason is not None:
+            self.out.append(
+                _violation(
+                    self.info, "R3", ERROR, node,
+                    f"call to nondeterministic {reason} outside ctx.nondet: "
+                    "the result cannot be replayed by the verifier",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        it = node.iter
+        is_set = isinstance(it, (ast.Set, ast.SetComp)) or (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id in ("set", "frozenset")
+        )
+        if is_set:
+            self.out.append(
+                _violation(
+                    self.info, "R3", WARN, node,
+                    "iteration over an unordered set: the visit order is "
+                    "not replayable; sort it or wrap in ctx.nondet",
+                )
+            )
+        self.generic_visit(node)
+
+
+def check_r3(info: HandlerInfo) -> List[Violation]:
+    checker = _R3Checker(info)
+    checker.visit(info.parsed.func_def)
+    return checker.out
+
+
+# -- R4: handler-registration hygiene ----------------------------------------
+
+
+def check_r4(info: HandlerInfo, appctx: AppContext) -> List[Violation]:
+    out: List[Violation] = []
+
+    def check_literal(node: ast.Call, arg: Optional[ast.expr], what: str) -> Optional[str]:
+        if arg is None:
+            out.append(
+                _violation(info, "R4", ERROR, node, f"missing {what} argument")
+            )
+            return None
+        value = literal_str(arg)
+        if value is None:
+            try:
+                snippet = ast.unparse(arg)
+            except Exception:  # pragma: no cover
+                snippet = "<expr>"
+            out.append(
+                _violation(
+                    info, "R4", ERROR, node,
+                    f"non-literal {what} `{snippet}`: the verifier cannot "
+                    "bound the handler set statically",
+                )
+            )
+        return value
+
+    def check_fid(node: ast.Call, value: Optional[str], what: str) -> None:
+        if value is not None and value not in appctx.known_fids:
+            out.append(
+                _violation(
+                    info, "R4", ERROR, node,
+                    f"{what} {value!r} is not in the AppSpec function table",
+                )
+            )
+
+    def check_handle_escape(node: ast.Call, arg: Optional[ast.expr], via: str) -> None:
+        if arg is not None and info.taint.contains_tx_handle(arg):
+            out.append(
+                _violation(
+                    info, "R4", ERROR, node,
+                    f"transaction handle escapes the activation through "
+                    f"{via}: tx handles are only meaningful to the "
+                    "creating request's descendants",
+                )
+            )
+
+    for call in iter_calls(info.parsed.func_def):
+        method = ctx_method_call(call, info.ctx_names)
+        if method == "emit":
+            event = check_literal(call, call_argument(call, 0, "event"), "event name")
+            if event is not None and event not in appctx.known_events:
+                out.append(
+                    _violation(
+                        info, "R4", WARN, call,
+                        f"emit of event {event!r} which no registration "
+                        "(init-time or literal ctx.register) ever handles",
+                    )
+                )
+            check_handle_escape(call, call_argument(call, 1, "payload"), "an emit payload")
+        elif method in ("register", "unregister"):
+            check_literal(call, call_argument(call, 0, "event"), "event name")
+            fid = check_literal(call, call_argument(call, 1, "function_id"), "function id")
+            check_fid(call, fid, f"{method}ed function")
+        elif method == "tx_get":
+            fid = check_literal(
+                call, call_argument(call, 2, "callback_fid"), "callback function id"
+            )
+            check_fid(call, fid, "tx_get callback")
+            check_handle_escape(call, call_argument(call, 3, "extra"), "tx_get extra data")
+        elif method == "respond":
+            check_handle_escape(call, call_argument(call, 0, "payload"), "a response")
+    return out
+
+
+# -- R5: response discipline --------------------------------------------------
+
+
+def _statically_nonempty(iter_expr: ast.expr, fn) -> bool:
+    """Can we prove the iterable has at least one element?"""
+    if isinstance(iter_expr, (ast.Tuple, ast.List)) and iter_expr.elts:
+        return True
+    if isinstance(iter_expr, ast.Constant) and iter_expr.value:
+        return True
+    if isinstance(iter_expr, ast.Name):
+        value = getattr(fn, "__globals__", {}).get(iter_expr.id)
+        if isinstance(value, (tuple, list, str)) and len(value) > 0:
+            return True
+    return False
+
+
+def paths_resolve(info: HandlerInfo, appctx: AppContext) -> bool:
+    """True iff every path through the function responds or defers."""
+    ctx_names = info.ctx_names
+
+    def is_resolving_call(expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        method = ctx_method_call(expr, ctx_names)
+        if method in ("respond", "tx_get", "emit"):
+            return True
+        hit = helper_ctx_positions(expr, ctx_names)
+        return hit is not None and hit[0] in appctx.resolving_helpers
+
+    def seq(stmts: List[ast.stmt], cont: List[ast.stmt]) -> bool:
+        if not stmts:
+            return seq(cont, []) if cont else False
+        s, rest = stmts[0], list(stmts[1:])
+        if isinstance(s, ast.Expr) and is_resolving_call(s.value):
+            return True
+        if isinstance(s, ast.Return):
+            return s.value is not None and is_resolving_call(s.value)
+        if isinstance(s, ast.Raise):
+            # The activation aborts loudly; no silent unresponded path.
+            return True
+        if isinstance(s, ast.If):
+            return seq(s.body, rest + cont) and seq(s.orelse, rest + cont)
+        if isinstance(s, ast.For):
+            if _statically_nonempty(s.iter, info.fn) and seq(s.body, []):
+                return True
+            return seq(rest, cont)  # the loop may run zero times
+        if isinstance(s, ast.While):
+            return seq(rest, cont)
+        if isinstance(s, ast.With):
+            return seq(list(s.body) + rest, cont)
+        if isinstance(s, ast.Try):
+            return seq(list(s.body) + rest, cont)
+        return seq(rest, cont)
+
+    return seq(list(info.parsed.func_def.body), [])
+
+
+def check_r5(info: HandlerInfo, appctx: AppContext) -> List[Violation]:
+    if not info.is_request_handler:
+        return []
+    if paths_resolve(info, appctx):
+        return []
+    return [
+        _violation(
+            info, "R5", ERROR, info.parsed.func_def,
+            "a path through this request handler neither responds "
+            "(ctx.respond) nor defers to a descendant activation "
+            "(ctx.tx_get / ctx.emit): the request would hang",
+        )
+    ]

@@ -11,16 +11,9 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
-from repro.advice.records import (
-    Advice,
-    HandlerOpEntry,
-    TxLogEntry,
-    VariableLogEntry,
-    TX_GET,
-    TX_PUT,
-)
+from repro.advice.records import Advice, TxLogEntry, VariableLogEntry, TX_GET, TX_PUT
 from repro.trace.trace import Trace
 
 TamperFn = Callable[[Trace, Advice], Tuple[Trace, Advice]]

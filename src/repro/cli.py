@@ -8,8 +8,10 @@
     python -m repro attack --app wiki --trace t.json --advice a.json \\
                            --name tamper-response
     python -m repro analyze --app wiki
+    python -m repro lint wiki --crosscheck
 
-``audit`` exits 0 on ACCEPT and 3 on REJECT so it can gate deployments.
+``audit`` exits 0 on ACCEPT and 3 on REJECT so it can gate deployments;
+``lint`` exits 0 when clean and 4 on violations so it can gate merges.
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from repro.workload import workload_for
 EXIT_OK = 0
 EXIT_USAGE = 2
 EXIT_REJECTED = 3
+EXIT_LINT = 4
 
 _POLICIES = {
     "karousos": KarousosPolicy,
@@ -108,6 +111,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="loggable-variable analysis")
     analyze.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
+
+    lint = sub.add_parser(
+        "lint",
+        help="instrumentation-completeness linter (is the app valid "
+        "transpiler output?)",
+    )
+    lint.add_argument("app", choices=["motd", "stacks", "wiki"])
+    lint.add_argument("--crosscheck", action="store_true",
+                      help="also serve a workload with recording handlers and "
+                      "diff observed footprints against the static prediction")
+    lint.add_argument("--requests", type=int, default=80,
+                      help="crosscheck workload size (default 80)")
+    lint.add_argument("--seed", type=int, default=0)
+    lint.add_argument("--format", default="text", choices=["text", "json"])
+    lint.add_argument("--fail-on", default="error", choices=["warn", "error"],
+                      help="threshold for exit code 4 (default: error)")
 
     sub.add_parser("list-attacks", help="list the attack library")
     return parser
@@ -295,6 +314,26 @@ def _cmd_analyze(args) -> int:
     return EXIT_OK
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import crosscheck_app, lint_app
+
+    app = make_app(args.app)
+    report = lint_app(app)
+    crosscheck = None
+    if args.crosscheck:
+        crosscheck = crosscheck_app(
+            app, n_requests=args.requests, seed=args.seed
+        )
+    if args.format == "json":
+        print(report.format_json(crosscheck))
+    else:
+        print(report.format_text(crosscheck))
+    failed = report.fails(args.fail_on)
+    if crosscheck is not None and not crosscheck.sound:
+        failed = True
+    return EXIT_LINT if failed else EXIT_OK
+
+
 def _cmd_list_attacks(_args) -> int:
     for attack in ALL_ATTACKS:
         marker = "guaranteed" if attack.guaranteed else "workload-dependent"
@@ -309,6 +348,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "audit": _cmd_audit,
         "attack": _cmd_attack,
         "analyze": _cmd_analyze,
+        "lint": _cmd_lint,
         "list-attacks": _cmd_list_attacks,
     }[args.command]
     return handler(args)

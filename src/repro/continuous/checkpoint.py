@@ -23,7 +23,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.advice.codec import decode_value, encode_value
 from repro.errors import KarousosError

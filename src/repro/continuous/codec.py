@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import os
 import re
-from typing import List, Optional
+from typing import List
 
 from repro.advice.codec import decode_advice, encode_advice
 from repro.continuous.epoch import Epoch

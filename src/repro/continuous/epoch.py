@@ -23,7 +23,7 @@ Epochs come from two places:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from repro.advice.records import Advice

@@ -147,7 +147,6 @@ def measure_verification(cfg: ExperimentConfig, repeats: int = 1) -> VerifierCom
     the minimum time is reported (the standard noise-robust estimator).
     """
     full = ExperimentConfig(**{**cfg.__dict__, "warmup_fraction": 0.0})
-    app = make_app(cfg.app_name)
 
     _, k_trace, k_advice, _ = _serve_with_warmup(full, KarousosPolicy())
     _, o_trace, o_advice, _ = _serve_with_warmup(full, OrochiPolicy())

@@ -15,7 +15,6 @@ its control-flow digest.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.core.digest import ControlFlowDigest
 from repro.core.ids import HandlerId, Label

@@ -32,11 +32,10 @@ in every mode.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.core.ids import TxId
 from repro.core.multivalue import require_scalar
-from repro.errors import ProgramError
 from repro.kem.activation import Activation
 
 

@@ -15,7 +15,7 @@ handlers registered for that event during init are the request handlers
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 

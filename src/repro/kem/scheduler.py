@@ -9,7 +9,7 @@ schedulers; benchmarks use a fixed seed for reproducibility.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import Sequence
 
 
 class Scheduler:

@@ -10,7 +10,8 @@ Three servers run the same application on the same KEM runtime:
 """
 
 from repro.server.unmodified import UnmodifiedPolicy
-from repro.server.karousos import KarousosPolicy, INIT_RID, INIT_HID, INIT_REF
+from repro.server.karousos import KarousosPolicy
+from repro.server.variables import INIT_RID, INIT_HID, INIT_REF
 from repro.server.orochi import OrochiPolicy
 from repro.server.run import ServerRun, run_server
 

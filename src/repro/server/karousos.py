@@ -15,19 +15,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.advice.records import (
-    Advice,
-    HandlerOpEntry,
-    TxLogEntry,
-    TX_GET,
-)
+from repro.advice.records import Advice, HandlerOpEntry, TxLogEntry
 from repro.core.digest import karousos_tag
 from repro.core.ids import HandlerId, TxId
 from repro.errors import ProgramError
 from repro.kem.activation import Activation
 from repro.kem.program import InitContext
 from repro.kem.runtime import Runtime, ServerPolicy
-from repro.server.variables import INIT_HID, INIT_REF, INIT_RID, LoggableCell
+from repro.server.variables import LoggableCell
 
 
 class KarousosPolicy(ServerPolicy):

@@ -10,7 +10,7 @@ the transaction logs, Appendix C.1.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ treats the trace as trusted; everything else (the advice) is not.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 REQ = "REQ"
 RESP = "RESP"

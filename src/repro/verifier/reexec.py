@@ -25,7 +25,6 @@ accounting described in DESIGN.md):
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from typing import Callable, Dict, List, Optional, Set, Tuple
 

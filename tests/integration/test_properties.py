@@ -7,7 +7,6 @@ histories, and R-gated logging must be a strict refinement of
 log-everything.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.adya import History, HOp, HTransaction, OpKind, check_isolation
@@ -17,7 +16,7 @@ from repro.kem.scheduler import RandomScheduler
 from repro.server import KarousosPolicy, OrochiPolicy, run_server
 from repro.store import IsolationLevel, KVStore
 from repro.verifier import audit
-from repro.workload import stacks_workload, workload_for
+from repro.workload import workload_for
 
 APPS = {
     "motd": (motd_app, False),

@@ -19,7 +19,7 @@ from repro.attacks import ALL_ATTACKS
 from repro.kem.scheduler import RandomScheduler
 from repro.server import KarousosPolicy, run_server
 from repro.store import IsolationLevel, KVStore
-from repro.verifier import Auditor, ParallelAuditor, audit
+from repro.verifier import ParallelAuditor, audit
 from repro.workload import motd_workload, stacks_workload
 
 pytestmark = pytest.mark.tier1

@@ -6,7 +6,6 @@ import copy
 import pytest
 
 from repro.apps import stackdump_app, wiki_app
-from repro.errors import AuditRejected
 from repro.kem import AppSpec
 from repro.kem.scheduler import FifoScheduler, RandomScheduler
 from repro.server import KarousosPolicy, run_server

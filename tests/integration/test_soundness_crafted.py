@@ -11,16 +11,14 @@
 
 import copy
 
-import pytest
 
 from repro.advice.records import TxLogEntry, VariableLogEntry, TX_GET
 from repro.core.ids import HandlerId
-from repro.kem import AppSpec, FifoScheduler, Runtime
+from repro.kem import AppSpec, FifoScheduler
 from repro.server import KarousosPolicy, run_server
 from repro.store import IsolationLevel, KVStore
 from repro.trace.trace import Request
 from repro.verifier import audit
-from repro.core.digest import value_digest
 
 
 def serve(app, requests, store=None, concurrency=1):

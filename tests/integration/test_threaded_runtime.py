@@ -9,9 +9,9 @@ replay it (Completeness does not get to pick the schedule).
 import pytest
 
 from repro.apps import motd_app, stackdump_app, wiki_app
-from repro.kem.scheduler import FifoScheduler, RandomScheduler
+from repro.kem.scheduler import RandomScheduler
 from repro.kem.threaded import ThreadedRuntime
-from repro.server import KarousosPolicy, UnmodifiedPolicy
+from repro.server import KarousosPolicy
 from repro.store import IsolationLevel, KVStore
 from repro.trace.trace import Request
 from repro.verifier import audit

@@ -1,6 +1,5 @@
 """Unit tests for the loggable-variable static analyzer."""
 
-import pytest
 
 from repro.analysis import analyze_app, suggest_annotations
 from repro.apps import motd_app, stackdump_app, wiki_app
@@ -137,3 +136,120 @@ class TestOnRealApps:
         suggestions = suggest_annotations(wiki_app())
         assert suggestions["config"] == "can-skip-logging"
         assert suggestions["conn_pool"] == "keep"
+
+
+class TestDynamicClassification:
+    def test_non_literal_var_id_goes_conservative(self):
+        def handle(ctx, req):
+            ctx.write("k" + req["suffix"], 1)
+            ctx.respond({})
+
+        def init(ic):
+            ic.create_var("k1", 0)
+            ic.create_var("quiet", 0)
+            ic.register_route("r", "handle")
+
+        report = analyze_app(make_app({"handle": handle}, init))
+        assert report.dynamic_sites and "handle" in report.dynamic_sites[0]
+        # Every declared variable turns conservatively loggable.
+        assert report.classification("k1") == "dynamic-conservative"
+        assert report.classification("quiet") == "dynamic-conservative"
+        assert report.recommended_loggable("quiet")
+
+    def test_missing_var_id_argument_is_dynamic(self):
+        def handle(ctx, req):
+            getattr(ctx, "read")  # keep the linter honest: no-arg call below
+            ctx.read()
+            ctx.respond({})
+
+        def init(ic):
+            ic.create_var("x", 0)
+            ic.register_route("r", "handle")
+
+        report = analyze_app(make_app({"handle": handle}, init))
+        assert len(report.dynamic_sites) == 1
+
+    def test_dynamic_site_reports_line_number(self):
+        def handle(ctx, req):
+            name = req["name"]
+            ctx.read(name)
+            ctx.respond({})
+
+        def init(ic):
+            ic.create_var("x", 0)
+            ic.register_route("r", "handle")
+
+        report = analyze_app(make_app({"handle": handle}, init))
+        site = report.dynamic_sites[0]
+        fid, lineno = site.rsplit(":", 1)
+        assert fid == "handle" and int(lineno) > 0
+
+
+class TestContextResolution:
+    def test_aliased_context_accesses_counted(self):
+        def handle(ctx, req):
+            c = ctx
+            c.write("x", 1)
+            ctx.respond({})
+
+        def init(ic):
+            ic.create_var("x", 0)
+            ic.register_route("r", "handle")
+
+        report = analyze_app(make_app({"handle": handle}, init))
+        assert report.usage["x"].writers == {"handle"}
+
+    def test_annotated_context_wins_over_position(self):
+        def handle(payload, kem_ctx: "HandlerContext"):  # noqa: F821
+            kem_ctx.write("x", payload["v"])
+            kem_ctx.respond({})
+
+        def init(ic):
+            ic.create_var("x", 0)
+            ic.register_route("r", "handle")
+
+        report = analyze_app(make_app({"handle": handle}, init))
+        assert report.usage["x"].writers == {"handle"}
+
+    def test_helper_with_context_at_second_position(self):
+        def bump(amount, c):
+            c.update("x", lambda v, a: v + a, amount)
+
+        def handle(ctx, req):
+            bump(2, ctx)
+            ctx.respond({})
+
+        handle.__globals__["bump"] = bump
+        try:
+            def init(ic):
+                ic.create_var("x", 0)
+                ic.register_route("r", "handle")
+
+            report = analyze_app(make_app({"handle": handle}, init))
+            assert report.usage["x"].writers == {"handle"}
+            assert report.usage["x"].readers == {"handle"}
+        finally:
+            del handle.__globals__["bump"]
+
+
+class TestDiagnostics:
+    def test_undeclared_and_unused_reported_together(self):
+        def handle(ctx, req):
+            ctx.write("phantom", 1)
+            ctx.respond({})
+
+        def init(ic):
+            ic.create_var("derelict", 0)
+            ic.register_route("r", "handle")
+
+        report = analyze_app(make_app({"handle": handle}, init))
+        assert report.undeclared == {"phantom"}
+        assert report.unused == {"derelict"}
+
+    def test_builtin_handler_reported_unparsed(self):
+        def init(ic):
+            ic.create_var("x", 0)
+            ic.register_route("r", "handle")
+
+        report = analyze_app(make_app({"handle": len}, init))
+        assert report.unparsed == ["handle"]

@@ -1,6 +1,5 @@
 """Behavioural unit tests for the three evaluation applications."""
 
-import pytest
 
 from repro.apps import motd_app, stackdump_app, wiki_app
 from repro.core.digest import value_digest

@@ -1,12 +1,11 @@
 """Unit tests for the sequential baseline and advice sizing."""
 
-import pytest
 
 from repro.advice import advice_breakdown, advice_size_bytes
 from repro.apps import motd_app, stackdump_app
 from repro.baselines import sequential_reexecute
 from repro.kem.scheduler import FifoScheduler, RandomScheduler
-from repro.server import KarousosPolicy, OrochiPolicy, run_server
+from repro.server import KarousosPolicy, run_server
 from repro.store import IsolationLevel, KVStore
 from repro.workload import motd_workload, stacks_workload
 

@@ -15,7 +15,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.advice.codec import decode_advice, encode_advice
 from repro.apps import stackdump_app
-from repro.errors import AdviceFormatError, AuditRejected
+from repro.errors import AdviceFormatError
 from repro.kem.scheduler import RandomScheduler
 from repro.server import KarousosPolicy, run_server
 from repro.store import IsolationLevel, KVStore

@@ -1,6 +1,5 @@
 """Unit tests for handler ids, labels, and operation references."""
 
-import pytest
 
 from repro.core.ids import HandlerId, Label, OpRef, TxId, make_rid
 

@@ -4,7 +4,7 @@ import copy
 
 import pytest
 
-from repro.apps import stackdump_app, wiki_app
+from repro.apps import stackdump_app
 from repro.errors import AuditRejected
 from repro.kem.scheduler import RandomScheduler
 from repro.server import KarousosPolicy, run_server

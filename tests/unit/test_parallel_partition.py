@@ -4,7 +4,7 @@ invariants, plan validation, work scaling."""
 
 import pytest
 
-from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.apps import motd_app, wiki_app
 from repro.core.work import cpu_work, scaled_work, work_scale
 from repro.kem.scheduler import RandomScheduler
 from repro.server import KarousosPolicy, run_server
@@ -17,7 +17,7 @@ from repro.verifier.parallel import (
     group_footprints,
 )
 from repro.verifier.preprocess import preprocess
-from repro.workload import motd_workload, stacks_workload, wiki_workload
+from repro.workload import motd_workload, wiki_workload
 
 pytestmark = pytest.mark.tier1
 

@@ -1,11 +1,8 @@
 """Unit tests for postprocessing (Figure 21 internal-state edges)."""
 
-import pytest
 
-from repro.advice.records import VariableLogEntry
 from repro.core.graph import Digraph
 from repro.core.ids import HandlerId
-from repro.errors import AuditRejected
 from repro.server.variables import INIT_REF
 from repro.verifier.nodes import node_op
 from repro.verifier.postprocess import add_internal_state_edges

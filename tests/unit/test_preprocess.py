@@ -4,14 +4,14 @@ import copy
 
 import pytest
 
-from repro.advice.records import Advice, HandlerOpEntry, TxLogEntry
+from repro.advice.records import HandlerOpEntry, TxLogEntry
 from repro.apps import motd_app, stackdump_app
-from repro.core.ids import HandlerId, TxId
+from repro.core.ids import HandlerId
 from repro.errors import AuditRejected
 from repro.kem.scheduler import FifoScheduler
 from repro.server import KarousosPolicy, run_server
 from repro.store import IsolationLevel, KVStore
-from repro.trace.trace import Request, Trace, TraceEvent, REQ, RESP
+from repro.trace.trace import Request, Trace, TraceEvent, REQ
 from repro.verifier.nodes import node_end, node_op, node_req, node_resp
 from repro.verifier.preprocess import preprocess
 from repro.workload import stacks_workload

@@ -5,8 +5,6 @@ import copy
 import pytest
 
 from repro.apps import motd_app, stackdump_app
-from repro.core.ids import HandlerId
-from repro.errors import AuditRejected
 from repro.kem.scheduler import FifoScheduler, RandomScheduler
 from repro.server import KarousosPolicy, run_server
 from repro.store import IsolationLevel, KVStore

@@ -1,6 +1,5 @@
 """Unit and property tests for the R partial order (Definitions 7-8)."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.ids import HandlerId, Label, OpRef

@@ -6,7 +6,6 @@ from repro.errors import ProgramError
 from repro.kem import AppSpec, FifoScheduler, RandomScheduler, Runtime
 from repro.kem.scheduler import LifoScheduler
 from repro.server import KarousosPolicy, UnmodifiedPolicy
-from repro.store import IsolationLevel, KVStore
 from repro.trace.trace import Request
 
 

@@ -4,8 +4,7 @@ import pytest
 
 from repro.advice.records import TX_ABORT, TX_COMMIT, TX_GET, TX_PUT, TX_START
 from repro.apps import motd_app, stackdump_app
-from repro.core.ids import HandlerId
-from repro.kem import AppSpec, RandomScheduler, Runtime
+from repro.kem import AppSpec, RandomScheduler
 from repro.server import KarousosPolicy, OrochiPolicy, run_server
 from repro.server.variables import INIT_REF
 from repro.store import IsolationLevel, KVStore
