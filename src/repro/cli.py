@@ -76,6 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--out-epochs", metavar="DIR",
                        help="write sealed epochs as epoch-<k>.json files here "
                        "(requires --seal-every)")
+    _add_store_args(serve)
 
     aud = sub.add_parser("audit", help="audit a trace against advice")
     aud.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
@@ -101,6 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
     aud.add_argument("--parallel-mode", default="auto",
                      choices=["auto", "process", "thread", "serial"],
                      help="worker flavour for --jobs > 1 (default: auto)")
+    _add_store_args(aud)
 
     attack = sub.add_parser("attack", help="tamper with advice, then audit")
     attack.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
@@ -132,11 +134,46 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_store_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--store", default="json",
+                     choices=["json", "memory", "file", "gzip"],
+                     help="persistence layer: legacy whole-document JSON "
+                     "(default), or a repro.storage record-stream backend")
+    sub.add_argument("--store-path", metavar="DIR",
+                     help="record-store root directory (required for "
+                     "--store file/gzip)")
+
+
+def _store_usage_error(args) -> Optional[str]:
+    """Flag validation shared by serve and audit; None when consistent."""
+    if args.store in ("file", "gzip") and not args.store_path:
+        return f"--store {args.store} requires --store-path"
+    if args.store in ("json", "memory") and args.store_path:
+        return "--store-path only applies to --store file/gzip"
+    return None
+
+
+def _store_backend(args):
+    """The backend named by --store, or None for the legacy JSON path."""
+    if args.store == "json":
+        return None
+    from repro.storage import backend_for
+
+    return backend_for(args.store, args.store_path)
+
+
 def _cmd_serve(args) -> int:
+    usage = _store_usage_error(args)
+    if usage is not None:
+        print(f"error: {usage}", file=sys.stderr)
+        return EXIT_USAGE
+    backend = _store_backend(args)
     app = make_app(args.app)
     requests = workload_for(args.app, args.requests, mix=args.mix, seed=args.seed)
     store = (
-        KVStore(IsolationLevel(args.isolation)) if app_needs_store(args.app) else None
+        KVStore(IsolationLevel(args.isolation), binlog_backend=backend)
+        if app_needs_store(args.app)
+        else None
     )
     policy = _POLICIES[args.server]()
     if args.seal_every < 0:
@@ -154,13 +191,14 @@ def _cmd_serve(args) -> int:
                   file=sys.stderr)
             return EXIT_USAGE
         from repro.continuous import EpochSealer
-        from repro.continuous.codec import write_epoch
+        from repro.continuous.codec import write_epoch, write_epoch_stored
 
-        sink = (
-            (lambda epoch: write_epoch(args.out_epochs, epoch))
-            if args.out_epochs
-            else None
-        )
+        sinks = []
+        if args.out_epochs:
+            sinks.append(lambda epoch: write_epoch(args.out_epochs, epoch))
+        if backend is not None:
+            sinks.append(lambda epoch: write_epoch_stored(backend, epoch))
+        sink = (lambda epoch: [s(epoch) for s in sinks]) if sinks else None
         sealer = EpochSealer(args.seal_every, sink=sink)
     if args.threads > 0:
         runtime = ThreadedRuntime(
@@ -170,11 +208,18 @@ def _cmd_serve(args) -> int:
         policy.runtime = runtime
         trace = runtime.serve(requests)
         advice = policy.advice()
+        if backend is not None:
+            # The threaded collector is shared across workers; spill the
+            # frozen trace post-hoc instead of spooling live.
+            from repro.trace.codec import write_trace
+
+            write_trace(backend, "trace", trace)
     else:
+        spool = backend.create("trace", "trace") if backend is not None else None
         run = run_server(
             app, requests, policy, store=store,
             scheduler=RandomScheduler(args.seed), concurrency=args.concurrency,
-            sealer=sealer,
+            sealer=sealer, trace_spool=spool,
         )
         trace, advice = run.trace, run.advice
     print(f"served {len(requests)} requests on the {args.server} server")
@@ -195,6 +240,16 @@ def _cmd_serve(args) -> int:
     elif args.out_advice:
         print("error: the unmodified server produces no advice", file=sys.stderr)
         return EXIT_USAGE
+    if backend is not None:
+        if advice is not None:
+            from repro.advice.codec import write_advice
+
+            write_advice(backend, "advice", advice)
+        if store is not None:
+            store.binlog.seal()
+        streams = backend.list_streams()
+        where = args.store_path if args.store_path else "(in-memory, discarded)"
+        print(f"store ({args.store}) -> {where}: {', '.join(streams)}")
     return EXIT_OK
 
 
@@ -211,18 +266,92 @@ def _cmd_audit(args) -> int:
         print("error: --epochs and --epochs-dir are mutually exclusive",
               file=sys.stderr)
         return EXIT_USAGE
-    if args.epochs_dir is None and (args.trace is None or args.advice is None):
-        print("error: --trace and --advice are required unless --epochs-dir "
-              "is given", file=sys.stderr)
+    usage = _store_usage_error(args)
+    if usage is None and args.store in ("file", "gzip"):
+        if args.trace or args.advice or args.epochs_dir:
+            usage = (f"--store {args.store} reads from --store-path; drop "
+                     "--trace/--advice/--epochs-dir")
+    else:
+        if usage is None and args.store == "memory" and args.epochs_dir:
+            usage = "--store memory round-trips --trace/--advice, not --epochs-dir"
+        if usage is None and args.epochs_dir is None and (
+            args.trace is None or args.advice is None
+        ):
+            usage = "--trace and --advice are required unless --epochs-dir is given"
+    if usage is not None:
+        print(f"error: {usage}", file=sys.stderr)
         return EXIT_USAGE
+    from repro.errors import AdviceFormatError
+
+    try:
+        return _dispatch_audit(args)
+    except AdviceFormatError as exc:
+        # Corrupt, truncated, or otherwise malformed input (including a
+        # failed record CRC) is a rejection, never a crash.
+        print("REJECT  reason=input-format")
+        print(f"        {exc}")
+        return EXIT_REJECTED
+
+
+def _dispatch_audit(args) -> int:
+    backend = _store_backend(args)
+    if args.store in ("file", "gzip"):
+        from repro.continuous.codec import list_epoch_streams
+
+        if not args.epochs and list_epoch_streams(backend):
+            # Sealed epoch streams take precedence: audit them lazily,
+            # one epoch resident at a time (O(epoch) memory).
+            return _cmd_audit_continuous(args, backend=backend)
+        if not backend.exists("trace") or not backend.exists("advice"):
+            print(f"error: no trace/advice streams in {args.store_path}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        from repro.advice.codec import read_advice
+
+        advice = read_advice(backend, "advice")
+        if args.epochs:
+            from repro.trace.codec import read_trace
+
+            return _cmd_audit_continuous(
+                args, backend=backend,
+                preloaded=(read_trace(backend, "trace"), advice),
+            )
+        from repro.trace.codec import iter_trace_records
+
+        # The auditor consumes the record stream as an iterator; the
+        # whole-document JSON form never exists in this process.
+        with backend.reader("trace") as reader:
+            auditor = Auditor(
+                make_app(args.app), iter_trace_records(reader), advice,
+                singleton_groups=args.singleton_groups,
+                parallelism=args.jobs, parallel_mode=args.parallel_mode,
+            )
+        return _finish_audit(args, auditor.run())
     if args.epochs or args.epochs_dir:
         return _cmd_audit_continuous(args)
     trace, advice = _load(args)
-    result = Auditor(
+    if args.store == "memory":
+        trace, advice = _memory_roundtrip(backend, trace, advice)
+    auditor = Auditor(
         make_app(args.app), trace, advice,
         singleton_groups=args.singleton_groups,
         parallelism=args.jobs, parallel_mode=args.parallel_mode,
-    ).run()
+    )
+    return _finish_audit(args, auditor.run())
+
+
+def _memory_roundtrip(backend, trace, advice):
+    """Push the decoded inputs through the record layer and back -- the
+    --store memory mode proves the storage path end to end in-process."""
+    from repro.advice.codec import read_advice, write_advice
+    from repro.trace.codec import read_trace, write_trace
+
+    write_trace(backend, "trace", trace)
+    write_advice(backend, "advice", advice)
+    return read_trace(backend, "trace"), read_advice(backend, "advice")
+
+
+def _finish_audit(args, result) -> int:
     if result.accepted:
         workers = f", {args.jobs} workers" if args.jobs > 1 else ""
         print(f"ACCEPT  ({result.stats['elapsed_seconds']:.3f}s, "
@@ -235,16 +364,22 @@ def _cmd_audit(args) -> int:
     return EXIT_REJECTED
 
 
-def _cmd_audit_continuous(args) -> int:
+def _cmd_audit_continuous(args, backend=None, preloaded=None) -> int:
     from repro.continuous import (
         AuditJournal,
         CheckpointStore,
         ContinuousAuditor,
+        iter_epochs_stored,
         read_epochs,
         slice_epochs,
     )
 
-    if args.epochs_dir:
+    if preloaded is not None:
+        trace, advice = preloaded
+        epochs = slice_epochs(trace, advice, args.epochs)
+    elif backend is not None:
+        epochs = iter_epochs_stored(backend)
+    elif args.epochs_dir:
         epochs = read_epochs(args.epochs_dir)
         if not epochs:
             print(f"error: no epoch files in {args.epochs_dir}", file=sys.stderr)
@@ -252,14 +387,29 @@ def _cmd_audit_continuous(args) -> int:
     else:
         trace, advice = _load(args)
         epochs = slice_epochs(trace, advice, args.epochs)
+    if args.checkpoint_dir or backend is None:
+        checkpoints = CheckpointStore(args.checkpoint_dir)
+    else:
+        # Checkpoints and journal live as record streams in the same
+        # store, so a crashed `audit --store file` resumes on re-run.
+        checkpoints = CheckpointStore(backend=backend)
+    journal = (
+        AuditJournal(args.journal)
+        if args.journal or backend is None
+        else AuditJournal(backend=backend)
+    )
     auditor = ContinuousAuditor(
         make_app(args.app),
         parallelism=args.jobs,
         parallel_mode=args.parallel_mode,
-        checkpoints=CheckpointStore(args.checkpoint_dir),
-        journal=AuditJournal(args.journal),
+        checkpoints=checkpoints,
+        journal=journal,
     )
-    verdicts = auditor.run(epochs)
+    try:
+        verdicts = auditor.run(epochs)
+    finally:
+        checkpoints.close()
+        journal.close()
     if auditor.skipped_resumed:
         print(f"resumed: {auditor.skipped_resumed} epochs already verified")
     for verdict in verdicts:

@@ -24,8 +24,12 @@ from repro.continuous.checkpoint import (
 from repro.continuous.codec import (
     decode_epoch,
     encode_epoch,
+    iter_epochs,
+    iter_epochs_stored,
+    read_epoch_stream,
     read_epochs,
     write_epoch,
+    write_epoch_stored,
 )
 from repro.continuous.epoch import Epoch, balanced_cuts, slice_epochs
 from repro.continuous.journal import AuditJournal
@@ -49,7 +53,11 @@ __all__ = [
     "decode_epoch",
     "encode_checkpoint",
     "encode_epoch",
+    "iter_epochs",
+    "iter_epochs_stored",
+    "read_epoch_stream",
     "read_epochs",
     "slice_epochs",
     "write_epoch",
+    "write_epoch_stored",
 ]

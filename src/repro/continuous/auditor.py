@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.continuous.checkpoint import (
     Checkpoint,
@@ -163,9 +163,15 @@ class ContinuousAuditor:
             self.step()
         return [self.verdicts[i] for i in sorted(self.verdicts)]
 
-    def run(self, epochs: List[Epoch]) -> List[EpochVerdict]:
-        """Submit a pre-sealed epoch list and drain (the offline mode used
-        by ``audit --epochs``)."""
+    def run(self, epochs: Iterable[Epoch]) -> List[EpochVerdict]:
+        """Submit a pre-sealed epoch sequence and drain (the offline mode
+        used by ``audit --epochs``).
+
+        ``epochs`` may be a lazy iterator (e.g.
+        :func:`repro.continuous.codec.iter_epochs_stored`): combined with
+        the bounded pending queue, at most ``max_pending + 1`` epochs are
+        ever resident, so auditing a stored stream is O(epoch) in memory,
+        not O(trace)."""
         for epoch in epochs:
             self.submit(epoch)
         return self.drain()

@@ -25,8 +25,9 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.advice.codec import decode_value, encode_value
 from repro.errors import KarousosError
+from repro.storage.backend import StorageBackend
+from repro.storage.values import decode_value, encode_value
 from repro.server.variables import INIT_HID, INIT_RID, INIT_REF
 from repro.verifier.carry import CarryIn
 from repro.verifier.preprocess import AuditState
@@ -210,19 +211,39 @@ def decode_checkpoint(payload: str) -> Checkpoint:
         raise CheckpointError(f"malformed checkpoint: {exc}") from exc
 
 
-class CheckpointStore:
-    """Checkpoints by epoch index, optionally persisted to a directory.
+STREAM_KIND = "checkpoint"
+STREAM_NAME = "checkpoints"
+RT_CHECKPOINT = 1
 
-    With a directory, each checkpoint is written to
-    ``checkpoint-<index>.json`` on :meth:`put` and the store reloads them
-    on construction -- the persistence layer behind crash-resumable
-    audits.  :meth:`verify_chain` recomputes every digest and checks the
-    parent links, so tampering with stored state is detected before any
-    carried value is trusted.
+
+class CheckpointStore:
+    """Checkpoints by epoch index, optionally persisted.
+
+    Two persistence shapes, both behind the same interface:
+
+    * ``directory`` (legacy): one ``checkpoint-<index>.json`` per epoch,
+      rewritten atomically on :meth:`put`;
+    * ``backend`` (a :class:`repro.storage.backend.StorageBackend`): one
+      append-only ``checkpoints`` record stream, one record per
+      :meth:`put`, fsynced per record so a crash can never tear a
+      checkpoint the journal already references.  Reopening replays the
+      stream (later records for an index win) and recovers a torn tail.
+
+    Either way :meth:`verify_chain` recomputes every digest and checks
+    the parent links, so tampering with stored state is detected before
+    any carried value is trusted.
     """
 
-    def __init__(self, directory: Optional[str] = None):
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        backend: Optional[StorageBackend] = None,
+    ):
+        if directory is not None and backend is not None:
+            raise ValueError("pass a directory or a backend, not both")
         self.directory = directory
+        self.backend = backend
+        self._writer = None
         self._by_index: Dict[int, Checkpoint] = {}
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
@@ -232,6 +253,14 @@ class CheckpointStore:
                 path = os.path.join(directory, name)
                 with open(path, "r", encoding="utf-8") as fh:
                     cp = decode_checkpoint(fh.read())
+                self._by_index[cp.epoch] = cp
+        elif backend is not None:
+            for rtype, payload in backend.load_tolerant(STREAM_NAME, STREAM_KIND):
+                if rtype != RT_CHECKPOINT:
+                    raise CheckpointError(
+                        f"unexpected checkpoint record type {rtype}"
+                    )
+                cp = decode_checkpoint(payload.decode("utf-8"))
                 self._by_index[cp.epoch] = cp
 
     def __len__(self) -> int:
@@ -251,6 +280,22 @@ class CheckpointStore:
             with open(tmp, "w", encoding="utf-8") as fh:
                 fh.write(encode_checkpoint(cp))
             os.replace(tmp, path)
+        elif self.backend is not None:
+            if self._writer is None:
+                # fsync_every: a "verified" journal entry must never
+                # reference a checkpoint the store could still lose.
+                self._writer = self.backend.append(
+                    STREAM_NAME, STREAM_KIND, fsync_every=True
+                )
+            self._writer.append(
+                RT_CHECKPOINT, encode_checkpoint(cp).encode("utf-8")
+            )
+
+    def close(self) -> None:
+        """Seal the backend stream (no-op for directory/in-memory stores)."""
+        if self._writer is not None:
+            self._writer.seal()
+            self._writer = None
 
     def latest(self) -> Optional[Checkpoint]:
         if not self._by_index:

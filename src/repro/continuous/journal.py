@@ -1,6 +1,6 @@
 """Crash-resumable audit progress journal (DESIGN.md §6).
 
-One JSONL file, one event per line, appended and flushed as the
+One event per record, appended and made *durable* (flush + fsync) as the
 continuous audit progresses:
 
 * ``{"event": "sealed",   "epoch": k, "requests": n}``
@@ -12,6 +12,16 @@ resumes after it -- re-auditing nothing that already verified, provided
 the checkpoint chain up to that epoch still verifies (a tampered
 checkpoint store invalidates the journal's claim and the resume is
 refused as ``checkpoint-chain-forged``).
+
+Two persistence shapes:
+
+* ``path`` (legacy): one JSONL file.  Each record is fsynced before
+  :meth:`record` returns, and a torn final line (the shape a kill
+  mid-write leaves) is dropped on load -- resume never trusts a partial
+  record, and the next append overwrites the torn bytes.
+* ``backend`` (a :class:`repro.storage.backend.StorageBackend`): a
+  ``journal`` record stream with per-record fsync; the storage layer's
+  CRC + torn-tail recovery provide the same guarantee.
 """
 
 from __future__ import annotations
@@ -20,28 +30,100 @@ import json
 import os
 from typing import Dict, List, Optional
 
+from repro.storage.backend import StorageBackend
+from repro.storage.records import pack_json, unpack_json
+
+STREAM_KIND = "journal"
+STREAM_NAME = "journal"
+RT_JOURNAL_EVENT = 1
+
 
 class AuditJournal:
-    """Append-only JSONL progress log; in-memory when ``path`` is None."""
+    """Append-only, fsync-per-record progress log; in-memory when neither
+    ``path`` nor ``backend`` is given."""
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        backend: Optional[StorageBackend] = None,
+    ):
+        if path is not None and backend is not None:
+            raise ValueError("pass a path or a backend, not both")
         self.path = path
+        self.backend = backend
+        self._writer = None
+        self._resume_offset: Optional[int] = None
         self.events: List[Dict] = []
         if path is not None and os.path.exists(path):
-            with open(path, "r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if line:
-                        self.events.append(json.loads(line))
+            self._load_jsonl(path)
+        elif backend is not None:
+            for rtype, payload in backend.load_tolerant(STREAM_NAME, STREAM_KIND):
+                if rtype == RT_JOURNAL_EVENT:
+                    self.events.append(unpack_json(payload))
+
+    def _load_jsonl(self, path: str) -> None:
+        """Parse the JSONL journal, dropping a torn final line.
+
+        A process killed mid-append leaves a partial last line; trusting
+        it would be resuming from state that was never durably recorded.
+        Damage anywhere *before* the final line is not a torn tail and
+        still raises.
+        """
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        offset = 0
+        lines = raw.split(b"\n")
+        for i, line in enumerate(lines):
+            # Only a newline-terminated line was durably completed; the
+            # final segment of a newline-free tail is suspect even when
+            # it happens to parse.
+            complete = i < len(lines) - 1
+            stripped = line.strip()
+            if stripped:
+                try:
+                    entry = json.loads(stripped.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    if complete:
+                        raise
+                    self._resume_offset = offset
+                    return
+                if not complete:
+                    self._resume_offset = offset
+                    return
+                self.events.append(entry)
+            offset += len(line) + 1
 
     def record(self, event: str, epoch: int, **fields: object) -> None:
         entry: Dict = {"event": event, "epoch": epoch}
         entry.update(fields)
         self.events.append(entry)
         if self.path is not None:
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            mode = "r+b" if self._resume_offset is not None else "ab"
+            with open(self.path, mode) as fh:
+                if self._resume_offset is not None:
+                    fh.truncate(self._resume_offset)
+                    fh.seek(self._resume_offset)
+                    self._resume_offset = None
+                fh.write(
+                    (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+                )
                 fh.flush()
+                # Crash-resume contract: once record() returns, the entry
+                # survives a kill -- flush alone leaves it in the page
+                # cache, where a crash can still tear it.
+                os.fsync(fh.fileno())
+        elif self.backend is not None:
+            if self._writer is None:
+                self._writer = self.backend.append(
+                    STREAM_NAME, STREAM_KIND, fsync_every=True
+                )
+            self._writer.append(RT_JOURNAL_EVENT, pack_json(entry))
+
+    def close(self) -> None:
+        """Seal the backend stream (no-op for path/in-memory journals)."""
+        if self._writer is not None:
+            self._writer.seal()
+            self._writer = None
 
     # -- resume queries ----------------------------------------------------
 

@@ -7,6 +7,8 @@ from repro.harness.experiment import (
     ExperimentConfig,
     ParallelAuditComparison,
     ServerComparison,
+    StorageIoComparison,
+    StreamingMemoryComparison,
     VerifierComparison,
     make_app,
     make_store,
@@ -14,7 +16,10 @@ from repro.harness.experiment import (
     measure_continuous_audit,
     measure_parallel_audit,
     measure_server_overhead,
+    measure_storage_io,
+    measure_streaming_memory,
     measure_verification,
+    serve_to_store,
 )
 from repro.harness.reporting import format_series, print_series
 
@@ -24,6 +29,8 @@ __all__ = [
     "ExperimentConfig",
     "ParallelAuditComparison",
     "ServerComparison",
+    "StorageIoComparison",
+    "StreamingMemoryComparison",
     "VerifierComparison",
     "make_app",
     "make_store",
@@ -31,7 +38,10 @@ __all__ = [
     "measure_continuous_audit",
     "measure_parallel_audit",
     "measure_server_overhead",
+    "measure_storage_io",
+    "measure_streaming_memory",
     "measure_verification",
+    "serve_to_store",
     "format_series",
     "print_series",
 ]

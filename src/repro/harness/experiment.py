@@ -19,6 +19,10 @@ the activation structure, which policies do not affect).
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -365,3 +369,273 @@ def measure_advice_sizes(cfg: ExperimentConfig) -> AdviceSizes:
         karousos_breakdown=advice_breakdown(k_advice),
         orochi_breakdown=advice_breakdown(o_advice),
     )
+
+
+# -- Storage layer (DESIGN.md §8) ----------------------------------------------
+
+STORAGE_SCHEMES = ("json", "memory", "file", "gzip")
+
+
+def _deterministic_stats(result) -> Dict[str, float]:
+    return {k: v for k, v in result.stats.items() if k != "elapsed_seconds"}
+
+
+def _scheme_backend(scheme: str, root: str):
+    from repro.storage import backend_for
+
+    if scheme == "memory":
+        return backend_for("memory")
+    return backend_for(scheme, os.path.join(root, scheme))
+
+
+@dataclass
+class StorageIoComparison:
+    """Round-trip cost of each record-store scheme vs legacy JSON, on one
+    served trace+advice pair; times are minima over ``repeats``."""
+
+    trace_events: int
+    encode_seconds: Dict[str, float] = field(default_factory=dict)
+    decode_seconds: Dict[str, float] = field(default_factory=dict)
+    stored_bytes: Dict[str, int] = field(default_factory=dict)
+    verdict_matches: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def all_verdicts_match(self) -> bool:
+        return all(self.verdict_matches.values())
+
+
+def measure_storage_io(
+    cfg: ExperimentConfig, root: str, repeats: int = 1
+) -> StorageIoComparison:
+    """Serve once, then push the trace+advice through every storage scheme:
+    encode time, decode time, bytes at rest, and whether the audit of the
+    decoded copy matches the audit of the original."""
+    from repro.advice.codec import (
+        decode_advice,
+        encode_advice,
+        read_advice,
+        write_advice,
+    )
+    from repro.trace.codec import decode_trace, encode_trace, read_trace, write_trace
+
+    full = ExperimentConfig(**{**cfg.__dict__, "warmup_fraction": 0.0})
+    _, trace, advice, _ = _serve_with_warmup(full, KarousosPolicy())
+    app_fn = _APPS[cfg.app_name][0]
+    baseline = audit(app_fn(), trace, advice)
+    base_key = (
+        baseline.accepted, baseline.reason, _deterministic_stats(baseline)
+    )
+    out = StorageIoComparison(trace_events=len(trace))
+    for scheme in STORAGE_SCHEMES:
+        enc, dec = [], []
+        decoded = None
+        for _ in range(max(1, repeats)):
+            if scheme == "json":
+                started = time.perf_counter()
+                trace_doc = encode_trace(trace)
+                advice_doc = encode_advice(advice)
+                enc.append(time.perf_counter() - started)
+                out.stored_bytes[scheme] = len(trace_doc.encode()) + len(
+                    advice_doc.encode()
+                )
+                started = time.perf_counter()
+                decoded = (decode_trace(trace_doc), decode_advice(advice_doc))
+                dec.append(time.perf_counter() - started)
+            else:
+                backend = _scheme_backend(scheme, root)
+                started = time.perf_counter()
+                write_trace(backend, "trace", trace)
+                write_advice(backend, "advice", advice)
+                enc.append(time.perf_counter() - started)
+                out.stored_bytes[scheme] = _stored_bytes(scheme, backend, root)
+                started = time.perf_counter()
+                decoded = (
+                    read_trace(backend, "trace"),
+                    read_advice(backend, "advice"),
+                )
+                dec.append(time.perf_counter() - started)
+        result = audit(app_fn(), decoded[0], decoded[1])
+        out.encode_seconds[scheme] = min(enc)
+        out.decode_seconds[scheme] = min(dec)
+        out.verdict_matches[scheme] = base_key == (
+            result.accepted, result.reason, _deterministic_stats(result)
+        )
+    return out
+
+
+def _stored_bytes(scheme: str, backend, root: str) -> int:
+    if scheme == "memory":
+        return sum(len(backend.raw(n)) for n in backend.list_streams())
+    suffix = backend.suffix
+    directory = os.path.join(root, scheme)
+    return sum(
+        os.path.getsize(os.path.join(directory, f))
+        for f in os.listdir(directory)
+        if f.endswith(suffix)
+    )
+
+
+@dataclass
+class StreamingMemoryComparison:
+    """Continuous audit over stored epoch streams vs a monolithic audit of
+    the same run, with peak-memory measurements of the audit phase.
+
+    ``*_peak_bytes`` are tracemalloc peaks (deterministic, interpreter
+    baseline excluded) -- the quantity the O(epoch) claim is asserted on.
+    ``*_peak_rss_kib`` are each side's true peak RSS (``ru_maxrss``)
+    measured in a fresh subprocess, when ``measure_rss`` is set."""
+
+    seal_every: int
+    epochs: int
+    trace_events: int
+    streamed_peak_bytes: int
+    monolithic_peak_bytes: int
+    streamed_accepted: bool
+    monolithic_accepted: bool
+    streamed_peak_rss_kib: Optional[int] = None
+    monolithic_peak_rss_kib: Optional[int] = None
+
+    @property
+    def verdicts_match(self) -> bool:
+        return self.streamed_accepted == self.monolithic_accepted
+
+
+def serve_to_store(cfg: ExperimentConfig, seal_every: int, root: str) -> int:
+    """Serve once, persisting trace, advice, and sealed epoch streams to a
+    file backend at ``root``; returns the epoch count."""
+    from repro.advice.codec import write_advice
+    from repro.continuous import EpochSealer
+    from repro.continuous.codec import write_epoch_stored
+    from repro.server.run import run_server
+    from repro.storage import FileBackend
+
+    backend = FileBackend(root)
+    sealer = EpochSealer(seal_every, sink=lambda e: write_epoch_stored(backend, e))
+    spool = backend.create("trace", "trace")
+    run = run_server(
+        _APPS[cfg.app_name][0](),
+        _workload(cfg),
+        KarousosPolicy(),
+        store=make_store(cfg),
+        scheduler=RandomScheduler(cfg.seed),
+        concurrency=cfg.concurrency,
+        sealer=sealer,
+        trace_spool=spool,
+    )
+    write_advice(backend, "advice", run.advice)
+    return len(sealer.epochs)
+
+
+def _audit_streamed(app_name: str, root: str) -> bool:
+    from repro.continuous import ContinuousAuditor, iter_epochs_stored
+    from repro.storage import FileBackend
+
+    auditor = ContinuousAuditor(_APPS[app_name][0]())
+    auditor.run(iter_epochs_stored(FileBackend(root)))
+    return auditor.accepted
+
+
+def _audit_monolithic(app_name: str, root: str) -> bool:
+    from repro.advice.codec import read_advice
+    from repro.trace.codec import read_trace
+    from repro.storage import FileBackend
+
+    backend = FileBackend(root)
+    return audit(
+        _APPS[app_name][0](),
+        read_trace(backend, "trace"),
+        read_advice(backend, "advice"),
+    ).accepted
+
+
+def _traced_peak(fn) -> Tuple[int, bool]:
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        accepted = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak, accepted
+
+
+def _subprocess_peak_rss(mode: str, app_name: str, root: str) -> Tuple[int, bool]:
+    """Run one audit mode in a fresh interpreter; its ru_maxrss is a true
+    whole-process peak-RSS for that mode alone."""
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    code = (
+        "import sys; from repro.harness.experiment import storage_child_main; "
+        "sys.exit(storage_child_main(sys.argv[1:]))"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code, mode, app_name, root],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    doc = json.loads(proc.stdout.strip().splitlines()[-1])
+    return int(doc["peak_rss_kib"]), bool(doc["accepted"])
+
+
+def _own_peak_rss_kib() -> int:
+    """This process's peak RSS.  Prefers /proc VmHWM, which execve resets,
+    over ru_maxrss, which a forked child inherits from its parent -- a fat
+    parent would otherwise floor the measurement."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    import resource
+
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def storage_child_main(argv: List[str]) -> int:
+    """Subprocess entry point for :func:`_subprocess_peak_rss`."""
+    mode, app_name, root = argv
+    runner = _audit_streamed if mode == "streamed" else _audit_monolithic
+    accepted = runner(app_name, root)
+    print(json.dumps({"peak_rss_kib": _own_peak_rss_kib(), "accepted": accepted}))
+    return 0
+
+
+def measure_streaming_memory(
+    cfg: ExperimentConfig,
+    seal_every: int,
+    root: str,
+    measure_rss: bool = False,
+) -> StreamingMemoryComparison:
+    """Serve to a file store once, then audit it both ways and measure the
+    audit phase's peak memory.  The streamed side consumes
+    ``iter_epochs_stored`` lazily, so its peak tracks the epoch size; the
+    monolithic side must hold the whole decoded trace+advice."""
+    epochs = serve_to_store(cfg, seal_every, root)
+    streamed_peak, streamed_ok = _traced_peak(
+        lambda: _audit_streamed(cfg.app_name, root)
+    )
+    mono_peak, mono_ok = _traced_peak(
+        lambda: _audit_monolithic(cfg.app_name, root)
+    )
+    out = StreamingMemoryComparison(
+        seal_every=seal_every,
+        epochs=epochs,
+        trace_events=2 * cfg.n_requests,
+        streamed_peak_bytes=streamed_peak,
+        monolithic_peak_bytes=mono_peak,
+        streamed_accepted=streamed_ok,
+        monolithic_accepted=mono_ok,
+    )
+    if measure_rss:
+        out.streamed_peak_rss_kib, _ = _subprocess_peak_rss(
+            "streamed", cfg.app_name, root
+        )
+        out.monolithic_peak_rss_kib, _ = _subprocess_peak_rss(
+            "monolithic", cfg.app_name, root
+        )
+    return out

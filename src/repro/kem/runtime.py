@@ -123,6 +123,7 @@ class Runtime:
         store: Optional[KVStore] = None,
         scheduler: Optional[Scheduler] = None,
         concurrency: int = 1,
+        trace_spool: Optional[object] = None,
     ):
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
@@ -131,7 +132,9 @@ class Runtime:
         self.store = store
         self.scheduler = scheduler or FifoScheduler()
         self.concurrency = concurrency
-        self.collector = Collector()
+        # ``trace_spool`` (a repro.storage RecordWriter) makes the
+        # collector spill each trace event to a backend as it logs.
+        self.collector = Collector(spool=trace_spool)
         self.init_ctx = app.run_init()
         self.policy.setup(self.init_ctx)
         self._pending: List[Activation] = []

@@ -5,12 +5,26 @@ in which committed writes were applied.  Our store appends one entry per
 installed version at commit time, in commit order; the Karousos server
 post-processes this into the ``writeOrder`` advice (a list of positions in
 the transaction logs, Appendix C.1.3).
+
+With a storage ``backend`` (:mod:`repro.storage`), the binlog is also
+*durable*: each entry is appended to a ``binlog`` record stream as it is
+installed (per-record flush), construction replays whatever a previous
+process persisted (recovering a torn tail, like MySQL's own crash
+recovery trims a half-written event), and :meth:`seal` fsyncs the stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Optional
+
+from repro.storage.backend import StorageBackend
+from repro.storage.records import RecordFormatError, pack_json, unpack_json
+from repro.storage.values import decode_value, encode_value
+
+STREAM_KIND = "binlog"
+STREAM_NAME = "binlog"
+RT_BINLOG_ENTRY = 1
 
 
 @dataclass(frozen=True)
@@ -23,14 +37,52 @@ class BinlogEntry:
     writer_token: object
 
 
+def _encode_entry(entry: BinlogEntry) -> bytes:
+    return pack_json({"key": entry.key, "token": encode_value(entry.writer_token)})
+
+
+def _decode_entry(payload: bytes) -> BinlogEntry:
+    doc = unpack_json(payload)
+    if not isinstance(doc, dict) or "key" not in doc or "token" not in doc:
+        raise RecordFormatError(f"bad binlog record {doc!r}")
+    if not isinstance(doc["key"], str):
+        raise RecordFormatError("binlog key must be a string")
+    return BinlogEntry(doc["key"], decode_value(doc["token"]))
+
+
 class Binlog:
     """Append-only log of installed versions, in global commit order."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        backend: Optional[StorageBackend] = None,
+        stream: str = STREAM_NAME,
+    ) -> None:
         self._entries: List[BinlogEntry] = []
+        self._backend = backend
+        self._stream = stream
+        self._writer = None
+        if backend is not None:
+            for rtype, payload in backend.load_tolerant(stream, STREAM_KIND):
+                if rtype != RT_BINLOG_ENTRY:
+                    raise RecordFormatError(
+                        f"unexpected binlog record type {rtype}"
+                    )
+                self._entries.append(_decode_entry(payload))
 
     def append(self, key: str, writer_token: object) -> None:
-        self._entries.append(BinlogEntry(key, writer_token))
+        entry = BinlogEntry(key, writer_token)
+        self._entries.append(entry)
+        if self._backend is not None:
+            if self._writer is None:
+                self._writer = self._backend.append(self._stream, STREAM_KIND)
+            self._writer.append(RT_BINLOG_ENTRY, _encode_entry(entry))
+
+    def seal(self) -> None:
+        """Durably finish the persisted stream (no-op when in-memory)."""
+        if self._writer is not None:
+            self._writer.seal()
+            self._writer = None
 
     def entries(self) -> List[BinlogEntry]:
         return list(self._entries)

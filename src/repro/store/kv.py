@@ -90,6 +90,7 @@ class KVStore:
         self,
         isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
         actual_level: Optional[IsolationLevel] = None,
+        binlog_backend: Optional[object] = None,
     ):
         self.isolation = isolation
         # The level the store *really* enforces; defaults to the declared
@@ -105,7 +106,9 @@ class KVStore:
         self._write_locks: Dict[str, int] = {}
         self._txs: Dict[int, Transaction] = {}
         self._serials = itertools.count(1)
-        self.binlog = Binlog()
+        # ``binlog_backend`` (a repro.storage StorageBackend) makes the
+        # binlog durable: entries stream to storage as they install.
+        self.binlog = Binlog(backend=binlog_backend)
         # Dirty (uncommitted) versions visible under READ_UNCOMMITTED:
         # key -> (value, writer_token, tx serial), most recent write wins.
         self._dirty: Dict[str, Tuple[object, object, int]] = {}

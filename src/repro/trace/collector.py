@@ -12,27 +12,59 @@ never as corrupting the collector's record of what was actually sent.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.trace.trace import REQ, RESP, Request, Trace, TraceEvent
 
 
 class Collector:
-    """Appends REQ/RESP events in observation order."""
+    """Appends REQ/RESP events in observation order.
 
-    def __init__(self) -> None:
+    With a ``spool`` (a :class:`repro.storage.backend.RecordWriter`), every
+    event is additionally spilled to the storage backend *as it is
+    observed* -- the trace never needs to be re-serialised from memory,
+    and a crash leaves at most one torn record (which the storage layer's
+    tail recovery drops).  Call :meth:`seal_spool` once serving ends.
+    """
+
+    def __init__(self, spool: Optional[object] = None) -> None:
         self._trace = Trace()
         self._open = set()
+        self._spool = spool
+        if spool is not None:
+            from repro.storage.records import pack_json
+            from repro.trace.codec import RT_META, trace_meta_record
+
+            spool.append(RT_META, trace_meta_record())
+            self._pack_json = pack_json
+
+    def _spill(self, event: TraceEvent) -> None:
+        if self._spool is not None:
+            from repro.trace.codec import RT_EVENT, encode_trace_event
+
+            self._spool.append(RT_EVENT, self._pack_json(encode_trace_event(event)))
 
     def on_request(self, request: Request) -> None:
         if request.rid in self._open:
             raise ValueError(f"duplicate request id {request.rid}")
         self._open.add(request.rid)
-        self._trace.append(TraceEvent(REQ, request.rid, request))
+        event = TraceEvent(REQ, request.rid, request)
+        self._trace.append(event)
+        self._spill(event)
 
     def on_response(self, rid: str, data: object) -> None:
         if rid not in self._open:
             raise ValueError(f"response for unknown/finished request {rid}")
         self._open.remove(rid)
-        self._trace.append(TraceEvent(RESP, rid, data))
+        event = TraceEvent(RESP, rid, data)
+        self._trace.append(event)
+        self._spill(event)
+
+    def seal_spool(self) -> None:
+        """Durably finish the spilled trace stream (no-op without one)."""
+        if self._spool is not None:
+            self._spool.seal()
+            self._spool = None
 
     @property
     def in_flight(self) -> int:

@@ -9,7 +9,7 @@ treats the trace as trusted; everything else (the advice) is not.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
 REQ = "REQ"
 RESP = "RESP"
@@ -118,6 +118,17 @@ class Trace:
                 return False
         return len(pending) == len(seen_resp)
 
+    @classmethod
+    def from_events(cls, events: "TraceLike") -> "Trace":
+        """Normalise a trace-like input: a :class:`Trace` passes through,
+        any iterable of :class:`TraceEvent` (e.g. the storage layer's
+        :func:`~repro.trace.codec.iter_trace_records` generator) is
+        drained into a frozen trace.  This is how the verifier consumes a
+        record stream without the codec materialising a list first."""
+        if isinstance(events, Trace):
+            return events
+        return cls(list(events), frozen=True)
+
     def with_response(self, rid: str, data: object) -> "Trace":
         """A copy with ``rid``'s response replaced -- models a server that
         sent a different (bogus) response, for soundness tests."""
@@ -128,3 +139,8 @@ class Trace:
             else:
                 out.append(e)
         return out
+
+
+# Anything the verifier accepts where a trace is expected: a Trace, or a
+# (possibly lazy) iterable of events.  Normalised via Trace.from_events.
+TraceLike = Union[Trace, Iterable[TraceEvent]]

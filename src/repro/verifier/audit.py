@@ -16,7 +16,7 @@ from typing import Dict, Optional
 from repro.advice.records import Advice
 from repro.errors import AuditRejected
 from repro.kem.program import AppSpec
-from repro.trace.trace import Trace
+from repro.trace.trace import Trace, TraceLike
 from repro.verifier.carry import CarryIn
 from repro.verifier.isolation import verify_isolation_level
 from repro.verifier.postprocess import postprocess
@@ -70,7 +70,7 @@ class Auditor:
     def __init__(
         self,
         app: AppSpec,
-        trace: Trace,
+        trace: TraceLike,
         advice: Advice,
         singleton_groups: bool = False,
         reverse_groups: bool = False,
@@ -79,7 +79,9 @@ class Auditor:
         carry: Optional[CarryIn] = None,
     ):
         self.app = app
-        self.trace = trace
+        # ``trace`` may be a lazy event iterator (a storage-layer record
+        # stream): drain it exactly once into a frozen snapshot here.
+        self.trace = Trace.from_events(trace)
         self.advice = advice
         self.singleton_groups = singleton_groups
         self.reverse_groups = reverse_groups
@@ -145,7 +147,7 @@ class Auditor:
 
 def audit(
     app: AppSpec,
-    trace: Trace,
+    trace: TraceLike,
     advice: Advice,
     parallelism: int = 1,
     carry: Optional[CarryIn] = None,

@@ -39,7 +39,7 @@ from repro.core.graph import Digraph
 from repro.core.ids import HandlerId, TxId
 from repro.errors import AdviceFormatError, AuditRejected
 from repro.kem.program import AppSpec, InitContext
-from repro.trace.trace import REQ, RESP, Trace
+from repro.trace.trace import REQ, RESP, Trace, TraceLike
 from repro.verifier.nodes import node_end, node_op, node_req, node_resp
 
 # OpMap values: ("handler_log", rid, index) or ("tx_log", rid, tid, index).
@@ -76,12 +76,15 @@ class AuditState:
 
 def preprocess(
     app: AppSpec,
-    trace: Trace,
+    trace: "TraceLike",
     advice: Advice,
     carry: Optional["CarryIn"] = None,
 ) -> AuditState:
     if not isinstance(advice, Advice):
         raise AdviceFormatError("advice bundle has wrong type")
+    # Accept a lazy event iterator (storage record stream) anywhere a
+    # Trace is expected; drained once into a frozen snapshot.
+    trace = Trace.from_events(trace)
     if not trace.is_balanced():
         raise AuditRejected("unbalanced-trace", "trace is not balanced")
     state = AuditState(app, trace, advice, app.run_init())
