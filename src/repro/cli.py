@@ -17,6 +17,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -77,6 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write sealed epochs as epoch-<k>.json files here "
                        "(requires --seal-every)")
     _add_store_args(serve)
+    _add_obs_args(serve)
 
     aud = sub.add_parser("audit", help="audit a trace against advice")
     aud.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
@@ -102,7 +104,11 @@ def _build_parser() -> argparse.ArgumentParser:
     aud.add_argument("--parallel-mode", default="auto",
                      choices=["auto", "process", "thread", "serial"],
                      help="worker flavour for --jobs > 1 (default: auto)")
+    aud.add_argument("--format", default="text", choices=["text", "json"],
+                     help="verdict output: human text (default) or one "
+                     "machine-readable JSON object on stdout")
     _add_store_args(aud)
+    _add_obs_args(aud)
 
     attack = sub.add_parser("attack", help="tamper with advice, then audit")
     attack.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
@@ -144,6 +150,45 @@ def _add_store_args(sub: argparse.ArgumentParser) -> None:
                      "--store file/gzip)")
 
 
+def _add_obs_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--metrics-out", metavar="FILE",
+                     help="write the run's metrics registry here as JSON "
+                     "(schema repro.metrics/1; enables metrics collection)")
+    sub.add_argument("--progress", action="store_true",
+                     help="report per-stage (audit) / per-epoch (serve) "
+                     "progress on stderr")
+
+
+def _make_metrics(args):
+    """A live registry when --metrics-out asked for one, else None (the
+    instrumented layers then run on the no-op NullMetrics)."""
+    if not getattr(args, "metrics_out", None):
+        return None
+    from repro.obs import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _write_metrics(args, metrics) -> None:
+    if metrics is None or not getattr(args, "metrics_out", None):
+        return
+    with open(args.metrics_out, "w") as fh:
+        fh.write(metrics.to_json())
+        fh.write("\n")
+    print(f"metrics -> {args.metrics_out}", file=sys.stderr)
+
+
+def _progress_hook(args):
+    """The audit pipeline's per-stage hook behind --progress."""
+    if not getattr(args, "progress", False):
+        return None
+
+    def hook(stage: str, seconds: float) -> None:
+        print(f"progress: {stage} {seconds:.3f}s", file=sys.stderr)
+
+    return hook
+
+
 def _store_usage_error(args) -> Optional[str]:
     """Flag validation shared by serve and audit; None when consistent."""
     if args.store in ("file", "gzip") and not args.store_path:
@@ -153,13 +198,13 @@ def _store_usage_error(args) -> Optional[str]:
     return None
 
 
-def _store_backend(args):
+def _store_backend(args, metrics=None):
     """The backend named by --store, or None for the legacy JSON path."""
     if args.store == "json":
         return None
     from repro.storage import backend_for
 
-    return backend_for(args.store, args.store_path)
+    return backend_for(args.store, args.store_path, metrics=metrics)
 
 
 def _cmd_serve(args) -> int:
@@ -167,11 +212,13 @@ def _cmd_serve(args) -> int:
     if usage is not None:
         print(f"error: {usage}", file=sys.stderr)
         return EXIT_USAGE
-    backend = _store_backend(args)
+    metrics = _make_metrics(args)
+    backend = _store_backend(args, metrics=metrics)
     app = make_app(args.app)
     requests = workload_for(args.app, args.requests, mix=args.mix, seed=args.seed)
     store = (
-        KVStore(IsolationLevel(args.isolation), binlog_backend=backend)
+        KVStore(IsolationLevel(args.isolation), binlog_backend=backend,
+                metrics=metrics)
         if app_needs_store(args.app)
         else None
     )
@@ -198,12 +245,17 @@ def _cmd_serve(args) -> int:
             sinks.append(lambda epoch: write_epoch(args.out_epochs, epoch))
         if backend is not None:
             sinks.append(lambda epoch: write_epoch_stored(backend, epoch))
+        if args.progress:
+            sinks.append(lambda epoch: print(
+                f"progress: sealed epoch {epoch.index} "
+                f"({epoch.request_count} requests)", file=sys.stderr))
         sink = (lambda epoch: [s(epoch) for s in sinks]) if sinks else None
         sealer = EpochSealer(args.seal_every, sink=sink)
     if args.threads > 0:
         runtime = ThreadedRuntime(
             app, policy, store=store, scheduler=RandomScheduler(args.seed),
             concurrency=args.concurrency, parallelism=args.threads,
+            metrics=metrics,
         )
         policy.runtime = runtime
         trace = runtime.serve(requests)
@@ -219,7 +271,7 @@ def _cmd_serve(args) -> int:
         run = run_server(
             app, requests, policy, store=store,
             scheduler=RandomScheduler(args.seed), concurrency=args.concurrency,
-            sealer=sealer, trace_spool=spool,
+            sealer=sealer, trace_spool=spool, metrics=metrics,
         )
         trace, advice = run.trace, run.advice
     print(f"served {len(requests)} requests on the {args.server} server")
@@ -250,6 +302,7 @@ def _cmd_serve(args) -> int:
         streams = backend.list_streams()
         where = args.store_path if args.store_path else "(in-memory, discarded)"
         print(f"store ({args.store}) -> {where}: {', '.join(streams)}")
+    _write_metrics(args, metrics)
     return EXIT_OK
 
 
@@ -288,20 +341,30 @@ def _cmd_audit(args) -> int:
     except AdviceFormatError as exc:
         # Corrupt, truncated, or otherwise malformed input (including a
         # failed record CRC) is a rejection, never a crash.
-        print("REJECT  reason=input-format")
-        print(f"        {exc}")
+        if args.format == "json":
+            print(json.dumps({
+                "accepted": False, "reason": "input-format",
+                "detail": str(exc), "stats": {},
+            }, sort_keys=True))
+        else:
+            print("REJECT  reason=input-format")
+            print(f"        {exc}")
         return EXIT_REJECTED
 
 
 def _dispatch_audit(args) -> int:
-    backend = _store_backend(args)
+    metrics = _make_metrics(args)
+    progress = _progress_hook(args)
+    backend = _store_backend(args, metrics=metrics)
     if args.store in ("file", "gzip"):
         from repro.continuous.codec import list_epoch_streams
 
         if not args.epochs and list_epoch_streams(backend):
             # Sealed epoch streams take precedence: audit them lazily,
             # one epoch resident at a time (O(epoch) memory).
-            return _cmd_audit_continuous(args, backend=backend)
+            return _cmd_audit_continuous(
+                args, backend=backend, metrics=metrics, progress=progress
+            )
         if not backend.exists("trace") or not backend.exists("advice"):
             print(f"error: no trace/advice streams in {args.store_path}",
                   file=sys.stderr)
@@ -315,20 +378,25 @@ def _dispatch_audit(args) -> int:
             return _cmd_audit_continuous(
                 args, backend=backend,
                 preloaded=(read_trace(backend, "trace"), advice),
+                metrics=metrics, progress=progress,
             )
         from repro.trace.codec import iter_trace_records
 
         # The auditor consumes the record stream as an iterator; the
-        # whole-document JSON form never exists in this process.
+        # whole-document JSON form never exists in this process.  run()
+        # stays inside the reader scope so the decode stage's timings
+        # cover the streamed read.
         with backend.reader("trace") as reader:
             auditor = Auditor(
                 make_app(args.app), iter_trace_records(reader), advice,
                 singleton_groups=args.singleton_groups,
                 parallelism=args.jobs, parallel_mode=args.parallel_mode,
+                metrics=metrics, progress=progress,
             )
-        return _finish_audit(args, auditor.run())
+            result = auditor.run()
+        return _finish_audit(args, result, metrics)
     if args.epochs or args.epochs_dir:
-        return _cmd_audit_continuous(args)
+        return _cmd_audit_continuous(args, metrics=metrics, progress=progress)
     trace, advice = _load(args)
     if args.store == "memory":
         trace, advice = _memory_roundtrip(backend, trace, advice)
@@ -336,8 +404,9 @@ def _dispatch_audit(args) -> int:
         make_app(args.app), trace, advice,
         singleton_groups=args.singleton_groups,
         parallelism=args.jobs, parallel_mode=args.parallel_mode,
+        metrics=metrics, progress=progress,
     )
-    return _finish_audit(args, auditor.run())
+    return _finish_audit(args, auditor.run(), metrics)
 
 
 def _memory_roundtrip(backend, trace, advice):
@@ -351,7 +420,16 @@ def _memory_roundtrip(backend, trace, advice):
     return read_trace(backend, "trace"), read_advice(backend, "advice")
 
 
-def _finish_audit(args, result) -> int:
+def _finish_audit(args, result, metrics=None) -> int:
+    _write_metrics(args, metrics)
+    if args.format == "json":
+        print(json.dumps({
+            "accepted": result.accepted,
+            "reason": result.reason,
+            "detail": result.detail,
+            "stats": result.stats,
+        }, sort_keys=True))
+        return EXIT_OK if result.accepted else EXIT_REJECTED
     if result.accepted:
         workers = f", {args.jobs} workers" if args.jobs > 1 else ""
         print(f"ACCEPT  ({result.stats['elapsed_seconds']:.3f}s, "
@@ -364,7 +442,9 @@ def _finish_audit(args, result) -> int:
     return EXIT_REJECTED
 
 
-def _cmd_audit_continuous(args, backend=None, preloaded=None) -> int:
+def _cmd_audit_continuous(
+    args, backend=None, preloaded=None, metrics=None, progress=None
+) -> int:
     from repro.continuous import (
         AuditJournal,
         CheckpointStore,
@@ -404,12 +484,37 @@ def _cmd_audit_continuous(args, backend=None, preloaded=None) -> int:
         parallel_mode=args.parallel_mode,
         checkpoints=checkpoints,
         journal=journal,
+        metrics=metrics,
+        progress=progress,
     )
     try:
         verdicts = auditor.run(epochs)
     finally:
         checkpoints.close()
         journal.close()
+    _write_metrics(args, metrics)
+    stats = auditor.stats()
+    rejection = auditor.first_rejection
+    accepted = rejection is None and all(v.accepted for v in verdicts)
+    if args.format == "json":
+        print(json.dumps({
+            "accepted": accepted,
+            "reason": "accepted" if rejection is None else rejection.result.reason,
+            "detail": "" if rejection is None else rejection.result.detail,
+            "stats": stats,
+            "resumed_epochs": auditor.skipped_resumed,
+            "epochs": [
+                {
+                    "epoch": v.epoch,
+                    "accepted": v.accepted,
+                    "reason": v.result.reason,
+                    "detail": v.result.detail,
+                    "checkpoint_digest": v.checkpoint_digest,
+                }
+                for v in verdicts
+            ],
+        }, sort_keys=True))
+        return EXIT_OK if accepted else EXIT_REJECTED
     if auditor.skipped_resumed:
         print(f"resumed: {auditor.skipped_resumed} epochs already verified")
     for verdict in verdicts:
@@ -420,12 +525,10 @@ def _cmd_audit_continuous(args, backend=None, preloaded=None) -> int:
             print(f"epoch {verdict.epoch}: REJECT  reason={verdict.result.reason}")
             if verdict.result.detail:
                 print(f"        {verdict.result.detail}")
-    stats = auditor.stats()
     print(f"{stats['epochs']:.0f} epochs, "
           f"{stats['epochs_accepted']:.0f} accepted "
           f"({stats['elapsed_seconds']:.3f}s audit time)")
-    rejection = auditor.first_rejection
-    if rejection is not None or not all(v.accepted for v in verdicts):
+    if not accepted:
         return EXIT_REJECTED
     return EXIT_OK
 

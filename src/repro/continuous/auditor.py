@@ -26,19 +26,19 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional, Union
 
 from repro.continuous.checkpoint import (
     Checkpoint,
     CheckpointChainError,
-    CheckpointError,
     CheckpointStore,
-    checkpoint_from_audit,
 )
 from repro.continuous.epoch import Epoch
 from repro.continuous.journal import AuditJournal
 from repro.kem.program import AppSpec
+from repro.obs import MetricsRegistry, ensure_metrics
 from repro.verifier.audit import Auditor, AuditResult
+from repro.verifier.pipeline import StageHook
 
 
 @dataclass
@@ -71,6 +71,8 @@ class ContinuousAuditor:
         max_pending: int = 4,
         checkpoints: Optional[CheckpointStore] = None,
         journal: Optional[AuditJournal] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[StageHook] = None,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -78,6 +80,8 @@ class ContinuousAuditor:
         self.parallelism = parallelism
         self.parallel_mode = parallel_mode
         self.max_pending = max_pending
+        self.metrics = ensure_metrics(metrics)
+        self.progress = progress
         self.checkpoints = checkpoints if checkpoints is not None else CheckpointStore()
         self.journal = journal if journal is not None else AuditJournal()
         self.verdicts: Dict[int, EpochVerdict] = {}
@@ -155,6 +159,17 @@ class ContinuousAuditor:
         self.verdicts[epoch.index] = verdict
         if self.first_verdict_seconds is None and self._t0 is not None:
             self.first_verdict_seconds = time.perf_counter() - self._t0
+        self.metrics.counter("continuous.epochs").inc()
+        if verdict.accepted:
+            self.metrics.counter("continuous.epochs_accepted").inc()
+        stats = verdict.result.stats
+        self.metrics.series("continuous.epoch_seconds").point(
+            epoch.index, stats.get("elapsed_seconds", 0.0)
+        )
+        self.metrics.series("continuous.epoch_handlers").point(
+            epoch.index, stats.get("handlers_executed", 0)
+        )
+        self.metrics.gauge("continuous.peak_pending").set_max(self.peak_pending)
         return verdict
 
     def drain(self) -> List[EpochVerdict]:
@@ -199,6 +214,16 @@ class ContinuousAuditor:
                     "missing-checkpoint",
                     f"no verified checkpoint for epoch {epoch.index - 1}",
                 )
+        progress = None
+        if self.progress is not None:
+            outer, index = self.progress, epoch.index
+            progress = lambda stage, secs: outer(  # noqa: E731
+                f"epoch[{index}].{stage}", secs
+            )
+        # The pipeline's checkpoint stage is armed with this epoch's index
+        # and parent: an accepted run leaves the digest-chained checkpoint
+        # in ``auditor.checkpoint``; an unextractable one rejects as
+        # ``checkpoint-unextractable`` through the shared verdict mapping.
         auditor = Auditor(
             self.app,
             epoch.trace,
@@ -206,6 +231,10 @@ class ContinuousAuditor:
             parallelism=self.parallelism,
             parallel_mode=self.parallel_mode,
             carry=parent.carry_in() if parent is not None else None,
+            metrics=self.metrics,
+            progress=progress,
+            checkpoint_index=epoch.index,
+            checkpoint_parent=parent,
         )
         result = auditor.run()
         if not result.accepted:
@@ -215,26 +244,7 @@ class ContinuousAuditor:
                 "rejected", epoch.index, reason=result.reason, detail=result.detail
             )
             return verdict
-        try:
-            cp = checkpoint_from_audit(
-                epoch.index, parent, auditor.state, auditor.re_exec
-            )
-        except CheckpointError as exc:
-            verdict = EpochVerdict(
-                epoch.index,
-                AuditResult(
-                    accepted=False,
-                    reason="checkpoint-unextractable",
-                    detail=str(exc),
-                    stats=result.stats,
-                ),
-            )
-            self._failed = verdict
-            self.journal.record(
-                "rejected", epoch.index, reason="checkpoint-unextractable",
-                detail=str(exc),
-            )
-            return verdict
+        cp = auditor.checkpoint
         self.checkpoints.put(cp)
         self.journal.record("verified", epoch.index, digest=cp.digest)
         return EpochVerdict(epoch.index, result, checkpoint_digest=cp.digest)
@@ -250,18 +260,31 @@ class ContinuousAuditor:
 
     # -- aggregation ---------------------------------------------------------
 
-    def stats(self) -> Dict[str, float]:
-        """Aggregate statistics across audited epochs."""
-        out: Dict[str, float] = {
-            "epochs": float(len(self.verdicts)),
-            "epochs_accepted": float(
-                sum(1 for v in self.verdicts.values() if v.accepted)
+    def stats(self) -> Dict[str, Union[int, float]]:
+        """Aggregate statistics across audited epochs.
+
+        Count-valued keys share their names (and int-ness) with
+        :func:`~repro.verifier.pipeline.collect_stats`, so per-epoch and
+        stream-level statistics line up key-for-key;
+        ``first_verdict_seconds`` (time to the first verdict, the
+        continuous-audit latency metric) is reported *alongside* the
+        summed ``elapsed_seconds``, not instead of it."""
+        out: Dict[str, Union[int, float]] = {
+            "epochs": len(self.verdicts),
+            "epochs_accepted": sum(
+                1 for v in self.verdicts.values() if v.accepted
             ),
-            "peak_pending": float(self.peak_pending),
-            "backpressure_events": float(self.backpressure_events),
+            "peak_pending": self.peak_pending,
+            "backpressure_events": self.backpressure_events,
+            "elapsed_seconds": float(
+                sum(
+                    v.result.stats.get("elapsed_seconds", 0.0)
+                    for v in self.verdicts.values()
+                )
+            ),
         }
-        for key in ("elapsed_seconds", "handlers_executed", "groups"):
-            out[key] = float(
+        for key in ("graph_nodes", "graph_edges", "groups", "handlers_executed"):
+            out[key] = int(
                 sum(v.result.stats.get(key, 0) for v in self.verdicts.values())
             )
         if self.first_verdict_seconds is not None:

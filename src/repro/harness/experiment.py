@@ -259,6 +259,54 @@ def measure_parallel_audit(
     )
 
 
+# -- audit phase breakdown (DESIGN.md §9) --------------------------------------
+
+
+@dataclass
+class AuditPhaseBreakdown:
+    """Where one audit's wall-clock went, stage by stage.
+
+    ``stage_seconds`` follows the pipeline's stage order (decode,
+    preprocess, isolation, reexec, postprocess, checkpoint);
+    ``metrics`` is the full registry snapshot of the run."""
+
+    accepted: bool
+    elapsed_seconds: float
+    stage_seconds: Dict[str, float]
+    metrics: Dict[str, object]
+
+    @property
+    def stage_total(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.stage_total or 1.0
+        return {name: sec / total for name, sec in self.stage_seconds.items()}
+
+
+def measure_audit_phases(cfg: ExperimentConfig) -> AuditPhaseBreakdown:
+    """Serve once on the Karousos server, then audit with the staged
+    pipeline's per-stage timers on; reports the phase breakdown the paper
+    discusses qualitatively (preprocess vs re-execution vs postprocess)."""
+    from repro.obs import MetricsRegistry
+    from repro.verifier import Auditor
+
+    full = ExperimentConfig(**{**cfg.__dict__, "warmup_fraction": 0.0})
+    _, trace, advice, _ = _serve_with_warmup(full, KarousosPolicy())
+    metrics = MetricsRegistry()
+    auditor = Auditor(
+        make_app(cfg.app_name), trace, advice,
+        parallelism=cfg.jobs, metrics=metrics,
+    )
+    result = auditor.run()
+    return AuditPhaseBreakdown(
+        accepted=result.accepted,
+        elapsed_seconds=result.stats["elapsed_seconds"],
+        stage_seconds=dict(auditor.stage_seconds),
+        metrics=metrics.snapshot(),
+    )
+
+
 # -- continuous auditing (DESIGN.md §6) ---------------------------------------
 
 

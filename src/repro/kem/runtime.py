@@ -36,6 +36,7 @@ from repro.kem.activation import Activation
 from repro.kem.context import HandlerContext
 from repro.kem.program import AppSpec, InitContext, request_event
 from repro.kem.scheduler import FifoScheduler, Scheduler
+from repro.obs import MetricsRegistry, ensure_metrics
 from repro.store.kv import KVStore, Transaction
 from repro.trace.collector import Collector
 from repro.trace.trace import Request, Trace
@@ -124,6 +125,7 @@ class Runtime:
         scheduler: Optional[Scheduler] = None,
         concurrency: int = 1,
         trace_spool: Optional[object] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
@@ -132,6 +134,10 @@ class Runtime:
         self.store = store
         self.scheduler = scheduler or FifoScheduler()
         self.concurrency = concurrency
+        # Observe-only (DESIGN.md §9): the serve loop reports into the
+        # registry but never reads it back, so enabling metrics cannot
+        # perturb scheduling, the trace, or the advice.
+        self.metrics = ensure_metrics(metrics)
         # ``trace_spool`` (a repro.storage RecordWriter) makes the
         # collector spill each trace event to a backend as it logs.
         self.collector = Collector(spool=trace_spool)
@@ -168,11 +174,13 @@ class Runtime:
             if not self._pending:
                 if sealing and self.quiescent():
                     self.sealer.seal()
+                    self.metrics.counter("kem.seals").inc()
                     continue
                 raise ProgramError(
                     "requests in flight but no pending activations: "
                     "some handler failed to respond"
                 )
+            self.metrics.gauge("kem.pending_peak").set_max(len(self._pending))
             idx = self.scheduler.pick(self._pending)
             if not 0 <= idx < len(self._pending):
                 raise SchedulerError(f"scheduler picked invalid index {idx}")
@@ -189,7 +197,9 @@ class Runtime:
         if not fids:
             raise ProgramError(f"no request handler for route {request.route!r}")
         self.collector.on_request(request)
+        self.metrics.counter("kem.requests").inc()
         self._in_flight += 1
+        self.metrics.gauge("kem.in_flight_peak").set_max(self._in_flight)
         state = _RequestState()
         self._requests[request.rid] = state
         for fid in fids:
@@ -204,7 +214,9 @@ class Runtime:
     def _run(self, act: Activation) -> None:
         fn = self.app.function(act.function_id)
         ctx = HandlerContext(self, act)
-        fn(ctx, act.payload)
+        self.metrics.counter("kem.activations").inc()
+        with self.metrics.span("kem.activation.seconds"):
+            fn(ctx, act.payload)
         self.policy.on_activation_end(act)
         state = self._requests[act.rid]
         state.outstanding -= 1
@@ -351,5 +363,6 @@ class Runtime:
             raise ProgramError(f"request {act.rid} responded twice")
         state.responded = True
         self._in_flight -= 1
+        self.metrics.counter("kem.responses").inc()
         self.policy.on_respond(act)
         self.collector.on_response(act.rid, payload)

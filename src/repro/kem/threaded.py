@@ -108,12 +108,13 @@ class ThreadedRuntime(Runtime):
         scheduler: Optional[Scheduler] = None,
         concurrency: int = 1,
         parallelism: int = 4,
+        metrics=None,
     ):
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         self._lock = threading.RLock()
         super().__init__(app, policy, store=store, scheduler=scheduler,
-                         concurrency=concurrency)
+                         concurrency=concurrency, metrics=metrics)
         self.policy = _LockedPolicy(self.policy, self._lock)
         self.parallelism = parallelism
         self._dispatch = threading.Condition(self._lock)

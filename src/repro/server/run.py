@@ -15,6 +15,7 @@ from repro.advice.records import Advice
 from repro.kem.program import AppSpec
 from repro.kem.runtime import Runtime, ServerPolicy
 from repro.kem.scheduler import RandomScheduler, Scheduler
+from repro.obs import MetricsRegistry
 from repro.store.kv import KVStore
 from repro.trace.trace import Request, Trace
 
@@ -37,6 +38,7 @@ def run_server(
     concurrency: int = 1,
     sealer: Optional[object] = None,
     trace_spool: Optional[object] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ServerRun:
     """Serve ``requests`` and return the trace, advice, and wall-clock time.
 
@@ -45,7 +47,8 @@ def run_server(
     returned run's stream has been fully sealed.  ``trace_spool`` (a
     :class:`repro.storage.backend.RecordWriter`) makes the collector spill
     trace events to a storage backend as it logs; it is sealed before
-    returning."""
+    returning.  ``metrics`` (a :class:`repro.obs.MetricsRegistry`) is
+    handed to the runtime's dispatch loop (observe-only)."""
     runtime = Runtime(
         app,
         policy,
@@ -53,6 +56,7 @@ def run_server(
         scheduler=scheduler or RandomScheduler(seed=0),
         concurrency=concurrency,
         trace_spool=trace_spool,
+        metrics=metrics,
     )
     # Give advice-collecting policies access to the store's binlog.
     policy.runtime = runtime

@@ -28,6 +28,7 @@ import os
 import zlib
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.obs import MetricsRegistry, NULL_METRICS, ensure_metrics
 from repro.storage.records import (
     RecordFormatError,
     RecordTruncatedError,
@@ -83,9 +84,16 @@ class RecordReader:
 
 
 class StorageBackend:
-    """A namespace of named record streams."""
+    """A namespace of named record streams.
+
+    ``metrics`` (DESIGN.md §9) is observe-only: writers and readers report
+    ``storage.<scheme>.records_written`` / ``bytes_written`` / ``fsyncs``
+    / ``records_read`` / ``bytes_read`` into it, and nothing in the
+    storage layer ever reads a metric back.
+    """
 
     scheme = "abstract"
+    metrics: MetricsRegistry = NULL_METRICS
 
     def create(self, name: str, kind: str) -> RecordWriter:
         """A fresh stream (truncates any existing one)."""
@@ -186,30 +194,37 @@ def _read_file_header(fh, where: str) -> str:
 
 
 class _MemoryWriter(RecordWriter):
-    def __init__(self, buf: bytearray, kind: str):
+    def __init__(self, buf: bytearray, kind: str, metrics: MetricsRegistry = NULL_METRICS):
         self._buf = buf
         self.kind = kind
         self.records_written = 0
+        self._metrics = metrics
 
     def append(self, rtype: int, payload: bytes) -> None:
         if self._buf is None:
             raise ValueError("writer is sealed")
-        self._buf += encode_record(rtype, payload)
+        encoded = encode_record(rtype, payload)
+        self._buf += encoded
         self.records_written += 1
+        self._metrics.counter("storage.memory.records_written").inc()
+        self._metrics.counter("storage.memory.bytes_written").inc(len(encoded))
 
     def seal(self) -> None:
         self._buf = None
 
 
 class _MemoryReader(RecordReader):
-    def __init__(self, buf: bytes):
+    def __init__(self, buf: bytes, metrics: MetricsRegistry = NULL_METRICS):
         self._buf = buf
         self.kind, self._start = decode_stream_header(buf)
+        self._metrics = metrics
 
     def __iter__(self) -> Iterator[Tuple[int, bytes]]:
         from repro.storage.records import scan_records
 
         for rtype, payload, _ in scan_records(self._buf, self._start):
+            self._metrics.counter("storage.memory.records_read").inc()
+            self._metrics.counter("storage.memory.bytes_read").inc(len(payload))
             yield rtype, payload
 
 
@@ -218,13 +233,14 @@ class MemoryBackend(StorageBackend):
 
     scheme = "memory"
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._streams: Dict[str, bytearray] = {}
+        self.metrics = ensure_metrics(metrics)
 
     def create(self, name: str, kind: str) -> RecordWriter:
         buf = bytearray(encode_stream_header(kind))
         self._streams[name] = buf
-        return _MemoryWriter(buf, kind)
+        return _MemoryWriter(buf, kind, metrics=self.metrics)
 
     def append(self, name: str, kind: str, fsync_every: bool = False) -> RecordWriter:
         buf = self._streams.get(name)
@@ -236,12 +252,12 @@ class MemoryBackend(StorageBackend):
                 f"stream {name!r} holds {got_kind!r} records, wanted {kind!r}"
             )
         del buf[good:]
-        return _MemoryWriter(buf, kind)
+        return _MemoryWriter(buf, kind, metrics=self.metrics)
 
     def reader(self, name: str) -> RecordReader:
         if name not in self._streams:
             raise FileNotFoundError(name)
-        return _MemoryReader(bytes(self._streams[name]))
+        return _MemoryReader(bytes(self._streams[name]), metrics=self.metrics)
 
     def exists(self, name: str) -> bool:
         return name in self._streams
@@ -261,35 +277,45 @@ class MemoryBackend(StorageBackend):
 
 
 class _FileWriter(RecordWriter):
-    def __init__(self, fh, kind: str, fsync_every: bool = False):
+    scheme = "file"
+
+    def __init__(self, fh, kind: str, fsync_every: bool = False,
+                 metrics: MetricsRegistry = NULL_METRICS):
         self._fh = fh
         self.kind = kind
         self._fsync_every = fsync_every
         self.records_written = 0
+        self._metrics = metrics
 
     def append(self, rtype: int, payload: bytes) -> None:
         if self._fh is None:
             raise ValueError("writer is sealed")
-        self._fh.write(encode_record(rtype, payload))
+        encoded = encode_record(rtype, payload)
+        self._fh.write(encoded)
         # Per-record flush: a crash loses at most the record being
         # written, and torn-tail recovery drops that one cleanly.
         self._fh.flush()
         if self._fsync_every:
             os.fsync(self._fh.fileno())
+            self._metrics.counter(f"storage.{self.scheme}.fsyncs").inc()
         self.records_written += 1
+        self._metrics.counter(f"storage.{self.scheme}.records_written").inc()
+        self._metrics.counter(f"storage.{self.scheme}.bytes_written").inc(len(encoded))
 
     def seal(self) -> None:
         if self._fh is None:
             return
         self._fh.flush()
         os.fsync(self._fh.fileno())
+        self._metrics.counter(f"storage.{self.scheme}.fsyncs").inc()
         self._fh.close()
         self._fh = None
 
 
 class _FileReader(RecordReader):
-    def __init__(self, path: str):
+    def __init__(self, path: str, metrics: MetricsRegistry = NULL_METRICS):
         self._fh = open(path, "rb")
+        self._metrics = metrics
         try:
             self.kind = _read_file_header(self._fh, os.path.basename(path))
         except Exception:
@@ -297,7 +323,10 @@ class _FileReader(RecordReader):
             raise
 
     def __iter__(self) -> Iterator[Tuple[int, bytes]]:
-        return _iter_file_records(self._fh)
+        for rtype, payload in _iter_file_records(self._fh):
+            self._metrics.counter("storage.file.records_read").inc()
+            self._metrics.counter("storage.file.bytes_read").inc(len(payload))
+            yield rtype, payload
 
     def close(self) -> None:
         if self._fh is not None:
@@ -311,8 +340,9 @@ class FileBackend(StorageBackend):
     scheme = "file"
     suffix = ".rec"
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, metrics: Optional[MetricsRegistry] = None):
         self.root = root
+        self.metrics = ensure_metrics(metrics)
         os.makedirs(root, exist_ok=True)
 
     def _path(self, name: str) -> str:
@@ -322,7 +352,7 @@ class FileBackend(StorageBackend):
         fh = open(self._path(name), "wb")
         fh.write(encode_stream_header(kind))
         fh.flush()
-        return _FileWriter(fh, kind)
+        return _FileWriter(fh, kind, metrics=self.metrics)
 
     def append(self, name: str, kind: str, fsync_every: bool = False) -> RecordWriter:
         path = self._path(name)
@@ -340,10 +370,10 @@ class FileBackend(StorageBackend):
         fh = open(path, "r+b")
         fh.truncate(good)
         fh.seek(good)
-        return _FileWriter(fh, kind, fsync_every=fsync_every)
+        return _FileWriter(fh, kind, fsync_every=fsync_every, metrics=self.metrics)
 
     def reader(self, name: str) -> RecordReader:
-        return _FileReader(self._path(name))
+        return _FileReader(self._path(name), metrics=self.metrics)
 
     def exists(self, name: str) -> bool:
         return os.path.exists(self._path(name))
@@ -368,24 +398,30 @@ class FileBackend(StorageBackend):
 
 
 class _GzipWriter(RecordWriter):
-    def __init__(self, raw, gz, kind: str, fsync_every: bool = False):
+    def __init__(self, raw, gz, kind: str, fsync_every: bool = False,
+                 metrics: MetricsRegistry = NULL_METRICS):
         self._raw = raw
         self._gz = gz
         self.kind = kind
         self._fsync_every = fsync_every
         self.records_written = 0
+        self._metrics = metrics
 
     def append(self, rtype: int, payload: bytes) -> None:
         if self._gz is None:
             raise ValueError("writer is sealed")
-        self._gz.write(encode_record(rtype, payload))
+        encoded = encode_record(rtype, payload)
+        self._gz.write(encoded)
         # SYNC_FLUSH emits a deflate block boundary: everything written so
         # far decompresses without the stream trailer.
         self._gz.flush(zlib.Z_SYNC_FLUSH)
         self._raw.flush()
         if self._fsync_every:
             os.fsync(self._raw.fileno())
+            self._metrics.counter("storage.gzip.fsyncs").inc()
         self.records_written += 1
+        self._metrics.counter("storage.gzip.records_written").inc()
+        self._metrics.counter("storage.gzip.bytes_written").inc(len(encoded))
 
     def seal(self) -> None:
         if self._gz is None:
@@ -393,13 +429,15 @@ class _GzipWriter(RecordWriter):
         self._gz.close()
         self._raw.flush()
         os.fsync(self._raw.fileno())
+        self._metrics.counter("storage.gzip.fsyncs").inc()
         self._raw.close()
         self._gz = None
         self._raw = None
 
 
 class _GzipReader(RecordReader):
-    def __init__(self, path: str):
+    def __init__(self, path: str, metrics: MetricsRegistry = NULL_METRICS):
+        self._metrics = metrics
         # Decompression tolerates a missing gzip trailer (unsealed or
         # torn stream); frame CRCs are the integrity check that matters.
         with open(path, "rb") as fh:
@@ -413,7 +451,10 @@ class _GzipReader(RecordReader):
         self._fh = fh
 
     def __iter__(self) -> Iterator[Tuple[int, bytes]]:
-        return _iter_file_records(self._fh)
+        for rtype, payload in _iter_file_records(self._fh):
+            self._metrics.counter("storage.gzip.records_read").inc()
+            self._metrics.counter("storage.gzip.bytes_read").inc(len(payload))
+            yield rtype, payload
 
 
 def _decompress_tolerant(raw: bytes) -> bytes:
@@ -446,7 +487,7 @@ class GzipBackend(FileBackend):
         gz.write(encode_stream_header(kind))
         gz.flush(zlib.Z_SYNC_FLUSH)
         raw.flush()
-        return _GzipWriter(raw, gz, kind)
+        return _GzipWriter(raw, gz, kind, metrics=self.metrics)
 
     def append(self, name: str, kind: str, fsync_every: bool = False) -> RecordWriter:
         path = self._path(name)
@@ -475,13 +516,14 @@ class GzipBackend(FileBackend):
             gz.write(encode_record(rtype, payload))
         gz.flush(zlib.Z_SYNC_FLUSH)
         raw.flush()
-        writer = _GzipWriter(raw, gz, kind, fsync_every=fsync_every)
+        writer = _GzipWriter(raw, gz, kind, fsync_every=fsync_every,
+                             metrics=self.metrics)
         writer.records_written = len(records)
         os.replace(tmp, path)
         return writer
 
     def reader(self, name: str) -> RecordReader:
-        return _GzipReader(self._path(name))
+        return _GzipReader(self._path(name), metrics=self.metrics)
 
 
 # -- selection ------------------------------------------------------------------
@@ -489,14 +531,18 @@ class GzipBackend(FileBackend):
 SCHEMES = ("memory", "file", "gzip")
 
 
-def backend_for(scheme: str, path: Optional[str] = None) -> StorageBackend:
+def backend_for(
+    scheme: str,
+    path: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> StorageBackend:
     """The backend named by a CLI ``--store`` choice."""
     if scheme == "memory":
-        return MemoryBackend()
+        return MemoryBackend(metrics=metrics)
     if path is None:
         raise ValueError(f"the {scheme!r} store needs a path")
     if scheme == "file":
-        return FileBackend(path)
+        return FileBackend(path, metrics=metrics)
     if scheme == "gzip":
-        return GzipBackend(path)
+        return GzipBackend(path, metrics=metrics)
     raise ValueError(f"unknown storage scheme {scheme!r}")

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from repro.obs import MetricsRegistry, ensure_metrics
 from repro.storage.backend import StorageBackend
 from repro.storage.records import RecordFormatError, pack_json, unpack_json
 from repro.storage.values import decode_value, encode_value
@@ -57,7 +58,9 @@ class Binlog:
         self,
         backend: Optional[StorageBackend] = None,
         stream: str = STREAM_NAME,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
+        self.metrics = ensure_metrics(metrics)
         self._entries: List[BinlogEntry] = []
         self._backend = backend
         self._stream = stream
@@ -73,10 +76,13 @@ class Binlog:
     def append(self, key: str, writer_token: object) -> None:
         entry = BinlogEntry(key, writer_token)
         self._entries.append(entry)
+        self.metrics.counter("binlog.entries").inc()
         if self._backend is not None:
             if self._writer is None:
                 self._writer = self._backend.append(self._stream, STREAM_KIND)
-            self._writer.append(RT_BINLOG_ENTRY, _encode_entry(entry))
+            payload = _encode_entry(entry)
+            self.metrics.counter("binlog.bytes").inc(len(payload))
+            self._writer.append(RT_BINLOG_ENTRY, payload)
 
     def seal(self) -> None:
         """Durably finish the persisted stream (no-op when in-memory)."""

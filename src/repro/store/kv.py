@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import TransactionAborted, TransactionRetry
+from repro.obs import MetricsRegistry, ensure_metrics
 from repro.store.binlog import Binlog
 
 
@@ -91,8 +92,13 @@ class KVStore:
         isolation: IsolationLevel = IsolationLevel.SERIALIZABLE,
         actual_level: Optional[IsolationLevel] = None,
         binlog_backend: Optional[object] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.isolation = isolation
+        # Observe-only (DESIGN.md §9): duplicates of ``self.stats`` plus
+        # lock-conflict and version-chain detail; never read back by any
+        # store decision.
+        self.metrics = ensure_metrics(metrics)
         # The level the store *really* enforces; defaults to the declared
         # one.  A weaker actual level models a misbehaving/misconfigured
         # database for soundness tests.
@@ -108,7 +114,7 @@ class KVStore:
         self._serials = itertools.count(1)
         # ``binlog_backend`` (a repro.storage StorageBackend) makes the
         # binlog durable: entries stream to storage as they install.
-        self.binlog = Binlog(backend=binlog_backend)
+        self.binlog = Binlog(backend=binlog_backend, metrics=self.metrics)
         # Dirty (uncommitted) versions visible under READ_UNCOMMITTED:
         # key -> (value, writer_token, tx serial), most recent write wins.
         self._dirty: Dict[str, Tuple[object, object, int]] = {}
@@ -145,8 +151,13 @@ class KVStore:
         self._write_locks[key] = tx.serial
 
     def _fail(self, tx: Transaction, key: str) -> None:
-        """Immediate-fail locking: abort the acquiring tx and raise."""
+        """Immediate-fail locking: abort the acquiring tx and raise.
+
+        The store never blocks, so the observable contention signal is
+        the conflict count, not a wait time."""
         self.stats["retries"] += 1
+        self.metrics.counter("store.retries").inc()
+        self.metrics.counter("store.lock_conflicts").inc()
         self.abort(tx)
         raise TransactionRetry(key)
 
@@ -170,6 +181,7 @@ class KVStore:
         """
         self._require_active(tx)
         self.stats["gets"] += 1
+        self.metrics.counter("store.gets").inc()
         if key in tx.writes:
             value, token = tx.writes[key]
             return value, token
@@ -195,6 +207,7 @@ class KVStore:
         """Write ``key``; buffered until commit, dirty-visible meanwhile."""
         self._require_active(tx)
         self.stats["puts"] += 1
+        self.metrics.counter("store.puts").inc()
         if self.actual is not IsolationLevel.SNAPSHOT:
             # Snapshot isolation detects write conflicts at commit time
             # (first-committer-wins); the locking levels fail fast here.
@@ -219,12 +232,15 @@ class KVStore:
                 if versions and versions[-1][0] > tx.start_seq:
                     self._fail(tx, key)
         self.stats["commits"] += 1
+        self.metrics.counter("store.commits").inc()
         self._commit_seq += 1
         tx.commit_seq = self._commit_seq
         for key in tx.write_order:
             value, token = tx.writes[key]
             self._rows[key] = _Row(value, token)
-            self._versions.setdefault(key, []).append((self._commit_seq, value, token))
+            chain = self._versions.setdefault(key, [])
+            chain.append((self._commit_seq, value, token))
+            self.metrics.histogram("store.version_chain").observe(len(chain))
             self.binlog.append(key, token)
             if self._dirty.get(key, (None, None, None))[2] == tx.serial:
                 del self._dirty[key]
@@ -235,6 +251,7 @@ class KVStore:
         if not tx.is_active:
             return
         self.stats["aborts"] += 1
+        self.metrics.counter("store.aborts").inc()
         for key in tx.write_order:
             if self._dirty.get(key, (None, None, None))[2] == tx.serial:
                 del self._dirty[key]

@@ -9,13 +9,25 @@ REJECTs with a machine-readable reason.
 from repro.verifier.audit import AuditResult, Auditor, audit
 from repro.verifier.carry import CarryIn
 from repro.verifier.parallel import ParallelAuditor, compute_waves, parallel_audit
+from repro.verifier.pipeline import (
+    STAGES,
+    AuditPipeline,
+    AuditStage,
+    PipelineContext,
+    build_pipeline,
+)
 
 __all__ = [
+    "STAGES",
+    "AuditPipeline",
     "AuditResult",
+    "AuditStage",
     "Auditor",
     "CarryIn",
     "ParallelAuditor",
+    "PipelineContext",
     "audit",
+    "build_pipeline",
     "compute_waves",
     "parallel_audit",
 ]

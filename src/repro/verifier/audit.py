@@ -5,56 +5,34 @@ Postprocess).
 statistics, or REJECT with the machine-readable reason raised by whichever
 check failed.  Any structural error in the untrusted advice is likewise a
 rejection, never a crash.
+
+:class:`Auditor` is a thin driver over the staged pipeline
+(:mod:`repro.verifier.pipeline`): decode -> preprocess -> isolation ->
+reexec -> postprocess -> checkpoint, with the exception-to-REJECT mapping
+living in :class:`~repro.verifier.pipeline.AuditPipeline` (shared with the
+parallel and continuous drivers, so the three cannot drift).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.advice.records import Advice
-from repro.errors import AuditRejected
 from repro.kem.program import AppSpec
+from repro.obs import MetricsRegistry, ensure_metrics
 from repro.trace.trace import Trace, TraceLike
 from repro.verifier.carry import CarryIn
-from repro.verifier.isolation import verify_isolation_level
-from repro.verifier.postprocess import postprocess
-from repro.verifier.preprocess import AuditState, preprocess
+from repro.verifier.pipeline import (
+    AuditResult,
+    PipelineContext,
+    StageHook,
+    build_pipeline,
+    collect_stats,
+)
+from repro.verifier.preprocess import AuditState
 from repro.verifier.reexec import ReExecutor
 
-
-@dataclass
-class AuditResult:
-    accepted: bool
-    reason: str = "accepted"
-    detail: str = ""
-    stats: Dict[str, float] = field(default_factory=dict)
-
-    def __bool__(self) -> bool:
-        return self.accepted
-
-    def __repr__(self) -> str:
-        verdict = "ACCEPT" if self.accepted else f"REJECT({self.reason})"
-        return f"<AuditResult {verdict}>"
-
-
-def collect_stats(
-    started: float, state: Optional[AuditState], re_exec: Optional[ReExecutor]
-) -> Dict[str, float]:
-    """AuditResult statistics; shared by the sequential and parallel audits
-    so their stats are identical key-for-key (only elapsed_seconds, being
-    wall-clock, can differ)."""
-    stats: Dict[str, float] = {
-        "elapsed_seconds": time.perf_counter() - started,
-    }
-    if state is not None:
-        stats["graph_nodes"] = state.graph.node_count
-        stats["graph_edges"] = state.graph.edge_count
-    if re_exec is not None:
-        stats["groups"] = re_exec.groups_executed
-        stats["handlers_executed"] = re_exec.handlers_executed
-    return stats
+__all__ = ["AuditResult", "Auditor", "audit", "collect_stats"]
 
 
 class Auditor:
@@ -65,6 +43,13 @@ class Auditor:
     over worker processes (or threads, per ``parallel_mode``) and reduced
     in canonical group order, so the verdict and deterministic statistics
     are identical to the sequential audit.
+
+    ``checkpoint_index``/``checkpoint_parent`` arm the pipeline's
+    checkpoint stage (continuous auditing): an accepted run leaves the
+    extracted :class:`~repro.continuous.checkpoint.Checkpoint` in
+    ``self.checkpoint``.  ``metrics`` (a
+    :class:`~repro.obs.MetricsRegistry`) turns on the observability
+    spine; ``progress`` is a per-stage hook ``(stage_name, seconds)``.
     """
 
     def __init__(
@@ -77,10 +62,16 @@ class Auditor:
         parallelism: int = 1,
         parallel_mode: str = "auto",
         carry: Optional[CarryIn] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[StageHook] = None,
+        checkpoint_index: Optional[int] = None,
+        checkpoint_parent: Optional[object] = None,
     ):
         self.app = app
         # ``trace`` may be a lazy event iterator (a storage-layer record
-        # stream): drain it exactly once into a frozen snapshot here.
+        # stream): drain it exactly once into a frozen snapshot here, while
+        # the caller's reader is still open.  The pipeline's decode stage
+        # is idempotent on the frozen form.
         self.trace = Trace.from_events(trace)
         self.advice = advice
         self.singleton_groups = singleton_groups
@@ -88,42 +79,45 @@ class Auditor:
         self.parallelism = parallelism
         self.parallel_mode = parallel_mode
         self.carry = carry
+        self.metrics = ensure_metrics(metrics)
+        self.progress = progress
+        self.checkpoint_index = checkpoint_index
+        self.checkpoint_parent = checkpoint_parent
         self.state: Optional[AuditState] = None
         self.re_exec: Optional[ReExecutor] = None
+        self.checkpoint = None  # set by the checkpoint stage when armed
+        self.stage_seconds: Dict[str, float] = {}
         self.parallel = None  # the ParallelAuditor, when one ran
 
     def run(self) -> AuditResult:
         if self.parallelism and self.parallelism > 1:
             return self._run_parallel()
-        started = time.perf_counter()
-        try:
-            self.state = preprocess(self.app, self.trace, self.advice, self.carry)
-            verify_isolation_level(self.state)
-            self.re_exec = ReExecutor(
-                self.state,
-                singleton_groups=self.singleton_groups,
-                reverse_groups=self.reverse_groups,
-            )
-            self.re_exec.run()
-            postprocess(self.state, self.re_exec)
-        except AuditRejected as rejection:
-            return AuditResult(
-                accepted=False,
-                reason=rejection.reason,
-                detail=rejection.detail,
-                stats=self._stats(started),
-            )
-        except Exception as exc:  # malformed advice can crash any phase
-            return AuditResult(
-                accepted=False,
-                reason="audit-crash",
-                detail=f"{type(exc).__name__}: {exc}",
-                stats=self._stats(started),
-            )
-        return AuditResult(accepted=True, stats=self._stats(started))
+        ctx = self._context()
+        result = build_pipeline(on_stage=self.progress).run(ctx)
+        self._absorb(ctx)
+        return result
+
+    def _context(self) -> PipelineContext:
+        return PipelineContext(
+            app=self.app,
+            trace_input=self.trace,
+            advice=self.advice,
+            carry=self.carry,
+            singleton_groups=self.singleton_groups,
+            reverse_groups=self.reverse_groups,
+            metrics=self.metrics,
+            checkpoint_index=self.checkpoint_index,
+            checkpoint_parent=self.checkpoint_parent,
+        )
+
+    def _absorb(self, ctx: PipelineContext) -> None:
+        self.state = ctx.state
+        self.re_exec = ctx.re_exec
+        self.checkpoint = ctx.checkpoint
+        self.stage_seconds = ctx.stage_seconds
 
     def _run_parallel(self) -> AuditResult:
-        # Imported lazily: parallel imports AuditResult from this module.
+        # Imported lazily: parallel imports the pipeline from this package.
         from repro.verifier.parallel import ParallelAuditor
 
         pipeline = ParallelAuditor(
@@ -134,14 +128,20 @@ class Auditor:
             mode=self.parallel_mode,
             singleton_groups=self.singleton_groups,
             carry=self.carry,
+            metrics=self.metrics,
+            progress=self.progress,
+            checkpoint_index=self.checkpoint_index,
+            checkpoint_parent=self.checkpoint_parent,
         )
         result = pipeline.run()
         self.parallel = pipeline
         self.state = pipeline.state
         self.re_exec = pipeline.re_exec
+        self.checkpoint = pipeline.checkpoint
+        self.stage_seconds = pipeline.stage_seconds
         return result
 
-    def _stats(self, started: float) -> Dict[str, float]:
+    def _stats(self, started: float) -> Dict[str, Union[int, float]]:
         return collect_stats(started, self.state, self.re_exec)
 
 
@@ -151,6 +151,9 @@ def audit(
     advice: Advice,
     parallelism: int = 1,
     carry: Optional[CarryIn] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> AuditResult:
     """Audit a served trace against the server's advice."""
-    return Auditor(app, trace, advice, parallelism=parallelism, carry=carry).run()
+    return Auditor(
+        app, trace, advice, parallelism=parallelism, carry=carry, metrics=metrics
+    ).run()

@@ -31,6 +31,15 @@ merging the group's bulk state.  Consequences:
   (advice is untrusted and may lie about footprints) surfaces as the same
   deterministic REJECT the sequential audit raises -- never a race.
 
+:class:`ParallelAuditor` is a thin driver over the staged pipeline
+(:mod:`repro.verifier.pipeline`): it supplies only the ``reexec`` stage
+(fan-out + canonical-order merge); decode, preprocess, isolation,
+postprocess, checkpoint, and the exception-to-REJECT mapping are the
+shared pipeline's.  When metrics are enabled, each group's execution
+produces a per-worker metrics snapshot that the parent merges in
+canonical group order -- deterministic no matter which worker finished
+first.
+
 Waves: :func:`compute_waves` stages groups into topological waves from
 the advice's read/write sets.  Under the ``structural`` policy (default)
 every cross-group coupling found in the advice is value-carrying (per the
@@ -54,20 +63,23 @@ from __future__ import annotations
 
 import os
 import pickle
-import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.advice.records import Advice, TX_GET, TX_PUT
 from repro.errors import AuditRejected
 from repro.kem.program import AppSpec
+from repro.obs import MetricsRegistry, ensure_metrics
 from repro.server.variables import INIT_RID
-from repro.trace.trace import Trace
-from repro.verifier.audit import AuditResult, collect_stats
+from repro.trace.trace import TraceLike
 from repro.verifier.carry import CarryIn
-from repro.verifier.isolation import verify_isolation_level
-from repro.verifier.postprocess import postprocess
+from repro.verifier.pipeline import (
+    AuditResult,
+    PipelineContext,
+    StageHook,
+    build_pipeline,
+)
 from repro.verifier.preprocess import AuditState, preprocess
 from repro.verifier.reexec import ReExecutor
 from repro.verifier.state import VarState
@@ -192,7 +204,8 @@ class GroupDelta:
     completions) in execution order; the parent replays it in canonical
     group order.  Bulk state (outputs, var dictionaries, observers) is
     disjoint across groups and merged wholesale after a group's journal
-    replays cleanly.
+    replays cleanly.  ``metrics`` is the worker's metrics snapshot for
+    this group (None when metrics are disabled).
     """
 
     tag: str
@@ -203,23 +216,39 @@ class GroupDelta:
     read_observers: Dict[str, Dict] = field(default_factory=dict)
     consumed: Dict[str, Set] = field(default_factory=dict)
     plain_values: Dict[str, Dict] = field(default_factory=dict)
+    metrics: Optional[Dict[str, object]] = None
     # (kind, reason, detail); kind is "rejected" (AuditRejected) or
     # "crash" (any other exception, the sequential audit's audit-crash).
     rejection: Optional[Tuple[str, str, str]] = None
 
 
-def execute_group(state: AuditState, tag: str, rids: List[str]) -> GroupDelta:
+def execute_group(
+    state: AuditState, tag: str, rids: List[str], collect_metrics: bool = False
+) -> GroupDelta:
     """Re-execute one group in isolation and package its delta."""
     journal: List[Tuple] = []
     delta = GroupDelta(tag=tag, journal=journal)
+    worker_metrics: Optional[MetricsRegistry] = None
+    if collect_metrics:
+        worker_metrics = MetricsRegistry()
+        span = worker_metrics.span("worker.group.seconds")
     re_exec = None
     try:
         re_exec = ReExecutor(state, journal=journal)
-        re_exec.execute_group(rids)
+        if worker_metrics is not None:
+            with span:
+                re_exec.execute_group(rids)
+        else:
+            re_exec.execute_group(rids)
     except AuditRejected as rejection:
         delta.rejection = ("rejected", rejection.reason, rejection.detail)
-    except Exception as exc:  # mirrors Auditor.run's audit-crash clause
+    except Exception as exc:  # mirrors the pipeline's audit-crash clause
         delta.rejection = ("crash", "audit-crash", f"{type(exc).__name__}: {exc}")
+    if worker_metrics is not None:
+        worker_metrics.counter("worker.groups").inc()
+        if re_exec is not None:
+            worker_metrics.counter("worker.handlers").inc(re_exec.handlers_executed)
+        delta.metrics = worker_metrics.snapshot()
     if re_exec is None or delta.rejection is not None:
         # A rejected group contributes only its journal (for stats and the
         # rejection's canonical position); the audit stops before its bulk
@@ -261,28 +290,20 @@ def _worker_init(payload: bytes) -> None:
     _WORKER_STATE = preprocess(app, trace, advice, carry)
 
 
-def _worker_run_group(tag: str, rids: List[str]) -> GroupDelta:
+def _worker_run_group(tag: str, rids: List[str], collect_metrics: bool) -> GroupDelta:
     if os.environ.get(CRASH_ENV) == tag:
         os._exit(17)  # simulated hard crash (test hook, see CRASH_ENV)
-    return execute_group(_WORKER_STATE, tag, rids)
-
-
-class _WorkerCrash:
-    """Sentinel for a group whose delta reported kind == "crash"."""
-
-    __slots__ = ("reason", "detail")
-
-    def __init__(self, reason: str, detail: str):
-        self.reason = reason
-        self.detail = detail
+    return execute_group(_WORKER_STATE, tag, rids, collect_metrics)
 
 
 # -- the pipeline ----------------------------------------------------------------
 
 
 class ParallelAuditor:
-    """The parallel audit: Preprocess, sharded ReExec, canonical merge,
-    Postprocess.  Verdict-equivalent to :class:`Auditor` by construction.
+    """The parallel audit: the staged pipeline with the ``reexec`` stage
+    fanned out over workers and reduced in canonical order.
+    Verdict-equivalent to :class:`~repro.verifier.audit.Auditor` by
+    construction.
 
     ``waves`` injects an explicit wave plan (a list of tag lists covering
     every group exactly once) -- used by the schedule-fuzz tests to check
@@ -292,7 +313,7 @@ class ParallelAuditor:
     def __init__(
         self,
         app: AppSpec,
-        trace: Trace,
+        trace: TraceLike,
         advice: Advice,
         jobs: Optional[int] = None,
         mode: str = MODE_AUTO,
@@ -300,6 +321,10 @@ class ParallelAuditor:
         singleton_groups: bool = False,
         waves: Optional[Sequence[Sequence[str]]] = None,
         carry: Optional[CarryIn] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[StageHook] = None,
+        checkpoint_index: Optional[int] = None,
+        checkpoint_parent: Optional[object] = None,
     ):
         if mode not in MODES:
             raise ValueError(f"unknown parallel mode {mode!r}")
@@ -311,10 +336,16 @@ class ParallelAuditor:
         self.mode = mode
         self.partition = partition
         self.singleton_groups = singleton_groups
+        self.metrics = ensure_metrics(metrics)
+        self.progress = progress
+        self.checkpoint_index = checkpoint_index
+        self.checkpoint_parent = checkpoint_parent
         self._forced_waves = waves
         self._payload: Optional[bytes] = None
         self.state: Optional[AuditState] = None
         self.re_exec: Optional[ReExecutor] = None
+        self.checkpoint = None
+        self.stage_seconds: Dict[str, float] = {}
         self.plan: Optional[List[List[str]]] = None
         self.mode_used: Optional[str] = None
         # Tags recovered in-process after a hard worker failure.
@@ -323,45 +354,45 @@ class ParallelAuditor:
     # -- entry point -------------------------------------------------------
 
     def run(self) -> AuditResult:
-        started = time.perf_counter()
-        try:
-            self.state = preprocess(self.app, self.trace, self.advice, self.carry)
-            verify_isolation_level(self.state)
-            self.re_exec = ReExecutor(self.state)  # the merge target
-            if self.singleton_groups:
-                groups = {rid: [rid] for rid in self.advice.tags}
-            else:
-                groups = self.advice.groups()
-            self.plan = self._plan(groups)
-            deltas = self._execute_waves(groups)
-            crash = self._merge(groups, deltas)
-            if crash is not None:
-                return AuditResult(
-                    accepted=False,
-                    reason=crash.reason,
-                    detail=crash.detail,
-                    stats=self._stats(started),
-                )
-            self.re_exec._final_checks()
-            postprocess(self.state, self.re_exec)
-        except AuditRejected as rejection:
-            return AuditResult(
-                accepted=False,
-                reason=rejection.reason,
-                detail=rejection.detail,
-                stats=self._stats(started),
-            )
-        except Exception as exc:  # malformed advice can crash any phase
-            return AuditResult(
-                accepted=False,
-                reason="audit-crash",
-                detail=f"{type(exc).__name__}: {exc}",
-                stats=self._stats(started),
-            )
-        return AuditResult(accepted=True, stats=self._stats(started))
+        ctx = PipelineContext(
+            app=self.app,
+            trace_input=self.trace,
+            advice=self.advice,
+            carry=self.carry,
+            singleton_groups=self.singleton_groups,
+            metrics=self.metrics,
+            checkpoint_index=self.checkpoint_index,
+            checkpoint_parent=self.checkpoint_parent,
+        )
+        pipeline = build_pipeline(
+            reexec_stage=self._stage_reexec, on_stage=self.progress
+        )
+        result = pipeline.run(ctx)
+        self.state = ctx.state
+        self.re_exec = ctx.re_exec
+        self.checkpoint = ctx.checkpoint
+        self.stage_seconds = ctx.stage_seconds
+        return result
 
-    def _stats(self, started: float) -> Dict[str, float]:
-        return collect_stats(started, self.state, self.re_exec)
+    def _stage_reexec(self, ctx: PipelineContext) -> None:
+        """The fan-out reexec stage: plan waves, execute groups on
+        workers, reduce deltas in canonical order, run the sequential
+        audit's final checks."""
+        self.state = ctx.state
+        ctx.re_exec = self.re_exec = ReExecutor(ctx.state)  # the merge target
+        if self.singleton_groups:
+            groups = {rid: [rid] for rid in self.advice.tags}
+        else:
+            groups = self.advice.groups()
+        self.plan = self._plan(groups)
+        deltas = self._execute_waves(groups)
+        self._merge(groups, deltas)
+        self.re_exec._final_checks()
+        ctx.metrics.counter("reexec.groups").inc(self.re_exec.groups_executed)
+        ctx.metrics.counter("reexec.handlers").inc(self.re_exec.handlers_executed)
+        ctx.metrics.gauge("parallel.jobs").set(self.jobs)
+        ctx.metrics.gauge("parallel.waves").set(len(self.plan))
+        ctx.metrics.counter("parallel.fallback_groups").inc(len(self.fallback_tags))
 
     # -- planning -----------------------------------------------------------
 
@@ -384,7 +415,7 @@ class ParallelAuditor:
             return MODE_SERIAL
         try:
             self._payload = pickle.dumps(
-                (self.app, self.trace, self.advice, self.carry)
+                (self.app, self.state.trace, self.advice, self.carry)
             )
         except Exception:
             # Closure-based apps (tests) cannot cross a process boundary.
@@ -395,9 +426,10 @@ class ParallelAuditor:
 
     def _execute_waves(self, groups: Dict[str, List[str]]) -> Dict[str, GroupDelta]:
         self.mode_used = self._resolve_mode()
+        collect = self.metrics.enabled
         if self.mode_used == MODE_SERIAL:
             return {
-                tag: execute_group(self.state, tag, groups[tag])
+                tag: execute_group(self.state, tag, groups[tag], collect)
                 for wave in self.plan
                 for tag in wave
             }
@@ -410,7 +442,7 @@ class ParallelAuditor:
             )
         if self._payload is None:
             self._payload = pickle.dumps(
-                (self.app, self.trace, self.advice, self.carry)
+                (self.app, self.state.trace, self.advice, self.carry)
             )
         pool = ProcessPoolExecutor(
             max_workers=workers,
@@ -420,6 +452,7 @@ class ParallelAuditor:
         return self._execute_pooled(groups, pool, None)
 
     def _execute_pooled(self, groups, pool, thread_fn) -> Dict[str, GroupDelta]:
+        collect = self.metrics.enabled
         deltas: Dict[str, GroupDelta] = {}
         try:
             for wave in self.plan:
@@ -428,15 +461,17 @@ class ParallelAuditor:
                     try:
                         if thread_fn is not None:
                             futures[tag] = pool.submit(
-                                thread_fn, self.state, tag, groups[tag]
+                                thread_fn, self.state, tag, groups[tag], collect
                             )
                         else:
                             futures[tag] = pool.submit(
-                                _worker_run_group, tag, groups[tag]
+                                _worker_run_group, tag, groups[tag], collect
                             )
                     except Exception:  # pool already broken by a dead worker
                         self.fallback_tags.append(tag)
-                        deltas[tag] = execute_group(self.state, tag, groups[tag])
+                        deltas[tag] = execute_group(
+                            self.state, tag, groups[tag], collect
+                        )
                 for tag in wave:
                     if tag not in futures:
                         continue
@@ -448,7 +483,9 @@ class ParallelAuditor:
                         # Recover deterministically in-process so the
                         # verdict never depends on worker health.
                         self.fallback_tags.append(tag)
-                        deltas[tag] = execute_group(self.state, tag, groups[tag])
+                        deltas[tag] = execute_group(
+                            self.state, tag, groups[tag], collect
+                        )
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
         return deltas
@@ -457,17 +494,23 @@ class ParallelAuditor:
 
     def _merge(
         self, groups: Dict[str, List[str]], deltas: Dict[str, GroupDelta]
-    ) -> Optional[_WorkerCrash]:
+    ) -> None:
         """Reduce group deltas in canonical (sorted-tag) order.
 
         Raises :class:`AuditRejected` at exactly the point the sequential
         audit would have: journals replay the order-sensitive write-history
         bookkeeping, including the ``double-overwrite`` conflict check, and
-        a group's own rejection fires at its recorded position.
+        a group's own rejection fires at its recorded position.  A worker
+        delta of kind "crash" raises with reason ``audit-crash`` -- the
+        same verdict the sequential audit's crashed phase produces.
+        Worker metrics snapshots merge here, in the same canonical order,
+        so the parent registry is deterministic regardless of worker
+        completion order.
         """
         re_exec = self.re_exec
         for tag in sorted(groups):
             delta = deltas[tag]
+            self.metrics.merge(delta.metrics)
             re_exec.groups_executed += 1
             for event in delta.journal:
                 kind = event[0]
@@ -489,9 +532,7 @@ class ParallelAuditor:
                     _, var_id, key = event
                     re_exec.vars[var_id].initializer = key
             if delta.rejection is not None:
-                kind, reason, detail = delta.rejection
-                if kind == "crash":
-                    return _WorkerCrash(reason, detail)
+                _kind, reason, detail = delta.rejection
                 raise AuditRejected(reason, detail)
             re_exec.executed.update(delta.executed)
             re_exec.outputs.update(delta.outputs)
@@ -505,19 +546,20 @@ class ParallelAuditor:
                 re_exec.vars[var_id].consumed.update(consumed)
             for var_id, values in delta.plain_values.items():
                 re_exec.vars[var_id].values.update(values)
-        return None
 
 
 def parallel_audit(
     app: AppSpec,
-    trace: Trace,
+    trace: TraceLike,
     advice: Advice,
     jobs: Optional[int] = None,
     mode: str = MODE_AUTO,
     partition: str = PARTITION_STRUCTURAL,
     carry: Optional[CarryIn] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> AuditResult:
     """Audit with re-execution groups sharded across ``jobs`` workers."""
     return ParallelAuditor(
-        app, trace, advice, jobs=jobs, mode=mode, partition=partition, carry=carry
+        app, trace, advice, jobs=jobs, mode=mode, partition=partition,
+        carry=carry, metrics=metrics,
     ).run()

@@ -1,0 +1,254 @@
+"""The staged audit pipeline (paper Figure 14, DESIGN.md §9).
+
+The paper's Audit is one abstract pipeline -- Preprocess, ReExec,
+Postprocess -- which this module realises as an explicit sequence of
+named stages over a shared :class:`PipelineContext`:
+
+    decode -> preprocess -> isolation -> reexec -> postprocess -> checkpoint
+
+All three drivers (:class:`~repro.verifier.audit.Auditor`,
+:class:`~repro.verifier.parallel.ParallelAuditor`,
+:class:`~repro.continuous.auditor.ContinuousAuditor`) execute through
+:class:`AuditPipeline`; they differ only in the ``reexec`` stage
+implementation (sequential grouped re-execution vs fan-out over workers)
+and in whether the ``checkpoint`` stage is armed (continuous audits
+extract a digest-chained checkpoint from the accepted re-execution).
+The exception-to-verdict mapping lives in exactly one place --
+:meth:`AuditPipeline.run` -- so the three code paths cannot drift:
+
+* :class:`~repro.errors.AuditRejected` becomes ``REJECT(reason)``;
+* any other exception becomes ``REJECT(audit-crash)`` (malformed advice
+  can crash any phase; a crash is evidence against the advice, never an
+  auditor fault).
+
+Every stage runs inside a metrics span
+(``pipeline.stage.<name>.seconds``) and its wall-clock is also recorded
+in ``PipelineContext.stage_seconds`` unconditionally, so the harness can
+report phase breakdowns with metrics disabled.  A rejection is recorded
+as a structured diagnostic naming the stage that raised it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.advice.records import Advice
+from repro.errors import AuditRejected
+from repro.kem.program import AppSpec
+from repro.obs import MetricsRegistry, NULL_METRICS
+from repro.trace.trace import Trace, TraceLike
+from repro.verifier.carry import CarryIn
+from repro.verifier.isolation import verify_isolation_level
+from repro.verifier.postprocess import postprocess
+from repro.verifier.preprocess import AuditState, preprocess
+from repro.verifier.reexec import ReExecutor
+
+STAGE_DECODE = "decode"
+STAGE_PREPROCESS = "preprocess"
+STAGE_ISOLATION = "isolation"
+STAGE_REEXEC = "reexec"
+STAGE_POSTPROCESS = "postprocess"
+STAGE_CHECKPOINT = "checkpoint"
+STAGES = (
+    STAGE_DECODE,
+    STAGE_PREPROCESS,
+    STAGE_ISOLATION,
+    STAGE_REEXEC,
+    STAGE_POSTPROCESS,
+    STAGE_CHECKPOINT,
+)
+
+# A hook called after every stage: (stage_name, seconds).  The CLI's
+# ``--progress`` flag is one of these.
+StageHook = Callable[[str, float], None]
+
+
+@dataclass
+class AuditResult:
+    accepted: bool
+    reason: str = "accepted"
+    detail: str = ""
+    stats: Dict[str, Union[int, float]] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+    def __repr__(self) -> str:
+        verdict = "ACCEPT" if self.accepted else f"REJECT({self.reason})"
+        return f"<AuditResult {verdict}>"
+
+
+def collect_stats(
+    started: float, state: Optional[AuditState], re_exec: Optional[ReExecutor]
+) -> Dict[str, Union[int, float]]:
+    """AuditResult statistics; shared by every driver so their stats are
+    identical key-for-key (only elapsed_seconds, being wall-clock, can
+    differ).  Count-valued entries are honest ints."""
+    stats: Dict[str, Union[int, float]] = {
+        "elapsed_seconds": time.perf_counter() - started,
+    }
+    if state is not None:
+        stats["graph_nodes"] = state.graph.node_count
+        stats["graph_edges"] = state.graph.edge_count
+    if re_exec is not None:
+        stats["groups"] = re_exec.groups_executed
+        stats["handlers_executed"] = re_exec.handlers_executed
+    return stats
+
+
+@dataclass
+class PipelineContext:
+    """Everything the stages share for one audit run."""
+
+    app: AppSpec
+    trace_input: TraceLike
+    advice: Advice
+    carry: Optional[CarryIn] = None
+    singleton_groups: bool = False
+    reverse_groups: bool = False
+    metrics: MetricsRegistry = NULL_METRICS
+    # Armed by continuous drivers: extract epoch ``checkpoint_index``'s
+    # checkpoint (chained to ``checkpoint_parent``) after postprocess.
+    checkpoint_index: Optional[int] = None
+    checkpoint_parent: Optional[object] = None
+    # Stage outputs.
+    trace: Optional[Trace] = None
+    state: Optional[AuditState] = None
+    re_exec: Optional[ReExecutor] = None
+    checkpoint: Optional[object] = None
+    # Per-stage wall-clock, recorded even when metrics are disabled.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AuditStage:
+    """One named stage: a function over the shared context."""
+
+    name: str
+    fn: Callable[[PipelineContext], None]
+
+
+class AuditPipeline:
+    """Runs stages in order; maps failures to verdicts in one place."""
+
+    def __init__(
+        self,
+        stages: Sequence[AuditStage],
+        on_stage: Optional[StageHook] = None,
+    ):
+        self.stages: Tuple[AuditStage, ...] = tuple(stages)
+        self.on_stage = on_stage
+
+    def run(self, ctx: PipelineContext) -> AuditResult:
+        started = time.perf_counter()
+        current = "setup"
+        try:
+            for stage in self.stages:
+                current = stage.name
+                self._run_stage(stage, ctx)
+        except AuditRejected as rejection:
+            ctx.metrics.counter("pipeline.rejects").inc()
+            ctx.metrics.diagnostic(
+                stage=current, reason=rejection.reason, detail=rejection.detail
+            )
+            return AuditResult(
+                accepted=False,
+                reason=rejection.reason,
+                detail=rejection.detail,
+                stats=collect_stats(started, ctx.state, ctx.re_exec),
+            )
+        except Exception as exc:  # malformed advice can crash any phase
+            detail = f"{type(exc).__name__}: {exc}"
+            ctx.metrics.counter("pipeline.rejects").inc()
+            ctx.metrics.diagnostic(stage=current, reason="audit-crash", detail=detail)
+            return AuditResult(
+                accepted=False,
+                reason="audit-crash",
+                detail=detail,
+                stats=collect_stats(started, ctx.state, ctx.re_exec),
+            )
+        ctx.metrics.counter("pipeline.accepts").inc()
+        return AuditResult(
+            accepted=True, stats=collect_stats(started, ctx.state, ctx.re_exec)
+        )
+
+    def _run_stage(self, stage: AuditStage, ctx: PipelineContext) -> None:
+        t0 = time.perf_counter()
+        try:
+            with ctx.metrics.span(f"pipeline.stage.{stage.name}.seconds"):
+                stage.fn(ctx)
+        finally:
+            elapsed = time.perf_counter() - t0
+            ctx.stage_seconds[stage.name] = (
+                ctx.stage_seconds.get(stage.name, 0.0) + elapsed
+            )
+            if self.on_stage is not None:
+                self.on_stage(stage.name, elapsed)
+
+
+# -- the default stage implementations ----------------------------------------
+
+
+def stage_decode(ctx: PipelineContext) -> None:
+    """Freeze the (possibly lazy record-stream) trace input.  Idempotent
+    when the driver already holds a frozen Trace."""
+    ctx.trace = Trace.from_events(ctx.trace_input)
+
+
+def stage_preprocess(ctx: PipelineContext) -> None:
+    ctx.state = preprocess(ctx.app, ctx.trace, ctx.advice, ctx.carry)
+    ctx.metrics.gauge("pipeline.graph_nodes").set(ctx.state.graph.node_count)
+    ctx.metrics.gauge("pipeline.graph_edges").set(ctx.state.graph.edge_count)
+
+
+def stage_isolation(ctx: PipelineContext) -> None:
+    verify_isolation_level(ctx.state)
+
+
+def stage_reexec_sequential(ctx: PipelineContext) -> None:
+    ctx.re_exec = ReExecutor(
+        ctx.state,
+        singleton_groups=ctx.singleton_groups,
+        reverse_groups=ctx.reverse_groups,
+    )
+    ctx.re_exec.run()
+    ctx.metrics.counter("reexec.groups").inc(ctx.re_exec.groups_executed)
+    ctx.metrics.counter("reexec.handlers").inc(ctx.re_exec.handlers_executed)
+
+
+def stage_postprocess(ctx: PipelineContext) -> None:
+    postprocess(ctx.state, ctx.re_exec)
+
+
+def stage_checkpoint(ctx: PipelineContext) -> None:
+    """Extract the epoch checkpoint from the accepted re-execution; armed
+    only when the driver set ``checkpoint_index`` (continuous audits)."""
+    if ctx.checkpoint_index is None:
+        return
+    from repro.continuous.checkpoint import CheckpointError, checkpoint_from_audit
+
+    try:
+        ctx.checkpoint = checkpoint_from_audit(
+            ctx.checkpoint_index, ctx.checkpoint_parent, ctx.state, ctx.re_exec
+        )
+    except CheckpointError as exc:
+        raise AuditRejected("checkpoint-unextractable", str(exc)) from exc
+
+
+def build_pipeline(
+    reexec_stage: Optional[Callable[[PipelineContext], None]] = None,
+    on_stage: Optional[StageHook] = None,
+) -> AuditPipeline:
+    """The canonical six-stage pipeline, with a driver-supplied ``reexec``
+    implementation (defaults to sequential grouped re-execution)."""
+    stages: List[AuditStage] = [
+        AuditStage(STAGE_DECODE, stage_decode),
+        AuditStage(STAGE_PREPROCESS, stage_preprocess),
+        AuditStage(STAGE_ISOLATION, stage_isolation),
+        AuditStage(STAGE_REEXEC, reexec_stage or stage_reexec_sequential),
+        AuditStage(STAGE_POSTPROCESS, stage_postprocess),
+        AuditStage(STAGE_CHECKPOINT, stage_checkpoint),
+    ]
+    return AuditPipeline(stages, on_stage=on_stage)

@@ -81,10 +81,10 @@ def test_exception_in_pipeline_machinery_is_clean_reject(served, monkeypatch):
     real = parallel_mod.execute_group
     victim = sorted(served.advice.groups())[0]
 
-    def sabotaged(state, tag, rids):
+    def sabotaged(state, tag, rids, collect_metrics=False):
         if tag == victim:
             raise RuntimeError("worker machinery failure (injected)")
-        return real(state, tag, rids)
+        return real(state, tag, rids, collect_metrics)
 
     monkeypatch.setattr(parallel_mod, "execute_group", sabotaged)
     par = ParallelAuditor(

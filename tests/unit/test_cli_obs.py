@@ -1,0 +1,129 @@
+"""CLI observability surface: `audit --format json`, `--metrics-out`, and
+`serve --metrics-out` (machine-readable verdicts and schema-valid metrics)."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_OK, EXIT_REJECTED, main
+from repro.obs import validate_metrics_doc
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture()
+def served(tmp_path):
+    trace = tmp_path / "trace.json"
+    advice = tmp_path / "advice.json"
+    code = main(
+        [
+            "serve", "--app", "motd", "--requests", "20", "--seed", "7",
+            "--concurrency", "4",
+            "--out-trace", str(trace), "--out-advice", str(advice),
+        ]
+    )
+    assert code == EXIT_OK
+    return trace, advice
+
+
+def _audit(trace, advice, *extra, app="motd"):
+    return main(["audit", "--app", app, "--trace", str(trace),
+                 "--advice", str(advice), *extra])
+
+
+class TestJsonFormat:
+    def test_accepted_verdict_json(self, served, capsys):
+        trace, advice = served
+        code = _audit(trace, advice, "--format", "json")
+        assert code == EXIT_OK
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["accepted"] is True
+        assert doc["reason"] == "accepted"
+        assert set(doc) == {"accepted", "reason", "detail", "stats"}
+        assert doc["stats"]["handlers_executed"] > 0
+
+    def test_rejected_verdict_json(self, served, capsys):
+        trace, advice = served
+        code = _audit(trace, advice, "--format", "json", app="wiki")
+        assert code == EXIT_REJECTED
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["accepted"] is False
+        assert doc["reason"]
+        assert isinstance(doc["detail"], str)
+
+    def test_input_format_error_json(self, served, tmp_path, capsys):
+        trace, _ = served
+        bad = tmp_path / "advice.json"
+        bad.write_text("{}")
+        code = _audit(trace, bad, "--format", "json")
+        assert code == EXIT_REJECTED
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["accepted"] is False
+        assert doc["reason"] == "input-format"
+
+    def test_continuous_verdict_json(self, served, capsys):
+        trace, advice = served
+        code = _audit(trace, advice, "--format", "json", "--epochs", "3")
+        assert code == EXIT_OK
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["accepted"] is True
+        assert isinstance(doc["epochs"], list) and doc["epochs"]
+        first = doc["epochs"][0]
+        assert set(first) == {
+            "epoch", "accepted", "reason", "detail", "checkpoint_digest",
+        }
+
+
+class TestMetricsOut:
+    def test_audit_metrics_out(self, served, tmp_path):
+        trace, advice = served
+        out = tmp_path / "metrics.json"
+        code = _audit(trace, advice, "--metrics-out", str(out))
+        assert code == EXIT_OK
+        doc = json.loads(out.read_text())
+        validate_metrics_doc(doc)
+        assert doc["counters"]["pipeline.accepts"] == 1
+        assert "pipeline.stage.reexec.seconds" in doc["histograms"]
+
+    def test_parallel_audit_metrics_out(self, served, tmp_path):
+        trace, advice = served
+        out = tmp_path / "metrics.json"
+        code = _audit(trace, advice, "--jobs", "2", "--metrics-out", str(out))
+        assert code == EXIT_OK
+        doc = json.loads(out.read_text())
+        validate_metrics_doc(doc)
+        assert doc["counters"]["worker.groups"] == doc["counters"]["reexec.groups"]
+
+    def test_rejected_audit_records_diagnostic(self, served, tmp_path):
+        trace, advice = served
+        out = tmp_path / "metrics.json"
+        code = _audit(trace, advice, "--metrics-out", str(out), app="wiki")
+        assert code == EXIT_REJECTED
+        doc = json.loads(out.read_text())
+        validate_metrics_doc(doc)
+        assert doc["counters"]["pipeline.rejects"] == 1
+        assert doc["diagnostics"], "rejection must leave a structured diagnostic"
+        assert doc["diagnostics"][0]["reason"]
+
+    def test_serve_metrics_out(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        code = main(
+            [
+                "serve", "--app", "motd", "--requests", "10",
+                "--out-trace", str(tmp_path / "t.json"),
+                "--out-advice", str(tmp_path / "a.json"),
+                "--metrics-out", str(out),
+            ]
+        )
+        assert code == EXIT_OK
+        doc = json.loads(out.read_text())
+        validate_metrics_doc(doc)
+        assert doc["counters"]["kem.requests"] == 10
+        assert doc["counters"]["kem.responses"] == 10
+
+    def test_progress_flag_prints_stages(self, served, capsys):
+        trace, advice = served
+        code = _audit(trace, advice, "--progress")
+        assert code == EXIT_OK
+        err = capsys.readouterr().err
+        assert "progress: reexec" in err
