@@ -6,10 +6,13 @@
   the transactional store, concurrent-duplicate retry errors.
 * :mod:`repro.apps.wiki` -- a wiki (pages, comments, render) standing in
   for Wiki.js: transactional storage plus shared caches.
+* :mod:`repro.apps.feed` -- a social feed: fan-out-on-write timeline
+  delivery plus a cross-user shared cache on the read path.
 """
 
+from repro.apps.feed import feed_app
 from repro.apps.motd import motd_app
 from repro.apps.stackdump import stackdump_app
 from repro.apps.wiki import wiki_app
 
-__all__ = ["motd_app", "stackdump_app", "wiki_app"]
+__all__ = ["feed_app", "motd_app", "stackdump_app", "wiki_app"]

@@ -1,0 +1,276 @@
+"""Social-feed application (fan-out-on-write, a la Twitter timelines).
+
+A qualitatively different workload shape from the other bundled apps:
+*writes* fan out (one post is delivered into every follower's timeline
+row inside a single transaction), while *reads* hit a cross-user shared
+cache and often touch no transaction at all.
+
+Shared loggable variables:
+
+* ``limits`` -- read-mostly configuration (max post length, page size):
+  written only at init and read on every request, so Karousos logs none
+  of its reads (all R-ordered with the init write);
+* ``followers`` -- who follows whom: author -> tuple of follower names,
+  updated on ``follow`` and read on every ``post`` to compute the
+  delivery fan-out;
+* ``hot_cache`` -- the cross-user feed cache: user -> rendered feed.
+  Populated by cache-missing reads, invalidated for every recipient when
+  a post commits and for the follower when a follow changes their feed.
+  Cache-hit reads answer straight from this shared variable (zero store
+  operations), cache-miss reads go to the store -- two request shapes
+  from one route;
+* ``fanout_acc`` -- per-request fan-in state for the delivery siblings;
+* ``post_seq`` / ``post_count`` -- post-id source and an event-driven
+  statistics counter.
+
+Request shapes:
+
+* ``follow``: handler updates shared variables only and responds (no
+  transaction);
+* ``post``: handler -> one *independent transaction* per recipient
+  timeline (author included): GET -> the ``deliver_got`` siblings each
+  PUT the appended timeline, commit their own transaction, and
+  aggregate through ``fanout_acc``; the finisher invalidates the
+  recipients' cache slots and responds.  Per-recipient transactions
+  keep each chain's within-transaction op order deterministic (sibling
+  writes into one shared transaction would interleave
+  scheduler-dependently) -- exactly how real fan-out workers deliver;
+* ``read_feed``: handler reads ``hot_cache``; on a hit it responds
+  immediately, on a miss it GETs the timeline row, renders, populates
+  the cache, commits, and responds (``feed_got``).
+"""
+
+from __future__ import annotations
+
+from repro.core.work import cpu_work
+from repro.kem.program import AppSpec, InitContext
+
+# Application compute: validation is per-post, delivery is per-recipient,
+# rendering depends on the timeline contents, and cache hits pay only a
+# small constant serve cost (prime dedup target across grouped requests).
+VALIDATE_UNITS = 250
+DELIVER_UNITS = 60
+RENDER_UNITS = 500
+CACHE_UNITS = 40
+FOLLOW_UNITS = 80
+
+
+def _init(ctx: InitContext) -> None:
+    ctx.create_var("limits", {"max_post": 280, "page": 20})
+    ctx.create_var("followers", {})
+    ctx.create_var("hot_cache", {})
+    ctx.create_var("fanout_acc", {})
+    ctx.create_var("post_seq", 0)
+    ctx.create_var("post_count", 0)
+    ctx.register_route("follow", "handle_follow")
+    ctx.register_route("post", "handle_post")
+    ctx.register_route("read_feed", "handle_read_feed")
+
+
+def _timeline_key(user: str) -> str:
+    return "timeline:" + user
+
+
+# -- follow ---------------------------------------------------------------
+
+
+def handle_follow(ctx, req):
+    user = req["user"]
+    target = req["target"]
+    ctx.apply(lambda u, t: cpu_work(FOLLOW_UNITS, "follow", u, t), user, target)
+    ctx.update(
+        "followers",
+        lambda f, t, u: {
+            **f,
+            t: ((u,) if u not in f.get(t, ()) else ()) + f.get(t, ()),
+        },
+        target,
+        user,
+    )
+    # The follower's feed composition changed: their next read rebuilds.
+    ctx.update("hot_cache", lambda c, u: {k: v for k, v in c.items() if k != u}, user)
+    ctx.respond({"status": "ok"})
+
+
+# -- post (fan-out-on-write) ------------------------------------------------
+
+
+def handle_post(ctx, req):  # lint: disable=R5 -- the delivery fan-out runs n times and n > 0 is branch-guarded above it (the author always self-delivers); R5's zero-iteration worry cannot occur
+    user = req["user"]
+    text = req["text"]
+    limits = ctx.read("limits")
+    fits = ctx.apply(lambda l, t: len(str(t)) <= l["max_post"], limits, text)
+    if not ctx.branch(fits):
+        ctx.respond({"status": "error", "error": "post too long"})
+        return
+    ctx.apply(lambda t: cpu_work(VALIDATE_UNITS, "validate-post", t), text)
+    seq = ctx.update("post_seq", lambda s: s + 1)
+    # Event-driven statistics: a registered listener bumps the shared
+    # post counter (runs as a sibling of the delivery callbacks).
+    ctx.register("post-created", "notify_posted")
+    ctx.emit("post-created", {"author": user})
+    fans = ctx.apply(
+        lambda f, u: (u,) + tuple(x for x in f.get(u, ()) if x != u),
+        ctx.read("followers"),
+        user,
+    )
+    n = ctx.control(ctx.apply(len, fans))
+    if not ctx.branch(n > 0):
+        ctx.respond({"status": "error", "error": "no recipients"})
+        return
+    ctx.update(
+        "fanout_acc",
+        lambda a, r, k: {**a, r: {"done": False, "finisher": None,
+                                  "pending": k, "failed": False}},
+        ctx.rid,
+        n,
+    )
+    for i in range(n):
+        who = ctx.apply(lambda fs, i=i: fs[i], fans)
+        tid = ctx.tx_start()
+        ctx.tx_get(
+            tid,
+            ctx.apply(_timeline_key, who),
+            "deliver_got",
+            extra={"who": who, "seq": seq, "author": user, "text": text, "fans": fans},
+        )
+
+
+def _fold_delivery(acc, rid, who, err):
+    """Atomically fold one delivery into the request's fan-in slot; the
+    sibling completing (or first failing) the slot is the finisher."""
+    slot = acc.get(rid)
+    if slot is None or slot["done"]:
+        return acc  # already answered; late siblings no-op
+    if err is not None:
+        return {**acc, rid: {**slot, "done": True, "finisher": who, "failed": True}}
+    done = slot["pending"] == 1
+    return {
+        **acc,
+        rid: {
+            "done": done,
+            "finisher": who if done else None,
+            "pending": slot["pending"] - 1,
+            "failed": False,
+        },
+    }
+
+
+def deliver_got(ctx, payload):
+    ctx.read("limits")  # per-delivery quota settings (read-mostly)
+    extra = payload["extra"]
+    who = ctx.apply(lambda e: e["who"], extra)
+    if ctx.branch(ctx.apply(lambda e: e is not None, payload["error"])):
+        # A concurrent delivery holds this timeline: this chain's
+        # transaction was already aborted.
+        _finish_delivery(ctx, extra, who, "get-failed")
+        return
+    item = ctx.apply(lambda e: (e["seq"], e["author"], e["text"]), extra)
+    ctx.apply(lambda i: cpu_work(DELIVER_UNITS, "deliver-post", i[0]), item)
+    row = ctx.apply(
+        lambda r, i: {"items": (() if r is None else r["items"]) + (i,)},
+        payload["value"],
+        item,
+    )
+    put = ctx.tx_put(payload["tid"], payload["key"], row)
+    if not ctx.branch(ctx.apply(lambda s: s == "ok", put)):
+        _finish_delivery(ctx, extra, who, "put-failed")
+        return
+    committed = ctx.tx_commit(payload["tid"])
+    if not ctx.branch(ctx.apply(lambda s: s == "ok", committed)):
+        # First-committer-wins: lost the commit race to a sibling post.
+        _finish_delivery(ctx, extra, who, "commit-failed")
+        return
+    _finish_delivery(ctx, extra, who, None)
+
+
+def _finish_delivery(ctx, extra, who, failure):
+    """Fold one finished delivery into the fan-in slot; the finisher
+    (the sibling completing or first failing the slot) answers."""
+    acc = ctx.update("fanout_acc", _fold_delivery, ctx.rid, who, failure)
+    slot = ctx.apply(lambda a, r: a.get(r), acc, ctx.rid)
+    mine = ctx.apply(
+        lambda s, w: s is not None and s["done"] and s["finisher"] == w, slot, who
+    )
+    if not ctx.branch(mine):
+        return  # not the finisher (or a sibling already answered)
+    ctx.update(
+        "fanout_acc", lambda a, r: {k: v for k, v in a.items() if k != r}, ctx.rid
+    )
+    if ctx.branch(ctx.apply(lambda s: s["failed"], slot)):
+        ctx.respond({"status": "retry"})
+        return
+    # Every recipient's timeline changed: drop their cached feeds.
+    ctx.update(
+        "hot_cache",
+        lambda c, fs: {k: v for k, v in c.items() if k not in fs},
+        ctx.apply(lambda e: e["fans"], extra),
+    )
+    ctx.respond({"status": "ok", "post": ctx.apply(lambda e: e["seq"], extra)})
+
+
+def notify_posted(ctx, payload):
+    ctx.update("post_count", lambda c: c + 1)
+
+
+# -- read feed (shared cache) ------------------------------------------------
+
+
+def handle_read_feed(ctx, req):
+    user = req["user"]
+    limits = ctx.read("limits")
+    cache = ctx.read("hot_cache")
+    hit = ctx.apply(lambda c, u: c.get(u), cache, user)
+    if ctx.branch(ctx.apply(lambda h: h is not None, hit)):
+        ctx.apply(lambda: cpu_work(CACHE_UNITS, "serve-cached"))
+        ctx.respond({"status": "ok", "feed": hit, "cached": True})
+        return
+    tid = ctx.tx_start()
+    ctx.tx_get(
+        tid,
+        ctx.apply(_timeline_key, user),
+        "feed_got",
+        extra={"user": user, "page": ctx.apply(lambda l: l["page"], limits)},
+    )
+
+
+def _render_feed(items, page):
+    """Pure feed rendering, newest first, limited to one page."""
+    cpu_work(RENDER_UNITS, "render-feed", len(items))
+    recent = list(items)[-page:][::-1]
+    return " | ".join("%s#%d: %s" % (author, pid, text) for pid, author, text in recent)
+
+
+def feed_got(ctx, payload):
+    if ctx.branch(ctx.apply(lambda e: e is not None, payload["error"])):
+        ctx.respond({"status": "retry"})
+        return
+    extra = payload["extra"]
+    items = ctx.apply(lambda r: () if r is None else r["items"], payload["value"])
+    feed = ctx.apply(_render_feed, items, ctx.apply(lambda e: e["page"], extra))
+    committed = ctx.tx_commit(payload["tid"])
+    if not ctx.branch(ctx.apply(lambda s: s == "ok", committed)):
+        ctx.respond({"status": "retry"})
+        return
+    ctx.update(
+        "hot_cache",
+        lambda c, u, f: {**c, u: f},
+        ctx.apply(lambda e: e["user"], extra),
+        feed,
+    )
+    ctx.respond({"status": "ok", "feed": feed, "cached": False})
+
+
+def feed_app() -> AppSpec:
+    return AppSpec(
+        name="feed",
+        functions={
+            "handle_follow": handle_follow,
+            "handle_post": handle_post,
+            "deliver_got": deliver_got,
+            "notify_posted": notify_posted,
+            "handle_read_feed": handle_read_feed,
+            "feed_got": feed_got,
+        },
+        init=_init,
+    )

@@ -9,7 +9,8 @@ audit to reject every one of them.
 from repro.attacks.tamper import (
     ALL_ATTACKS,
     Attack,
+    AttackNotApplicable,
     applicable_attacks,
 )
 
-__all__ = ["ALL_ATTACKS", "Attack", "applicable_attacks"]
+__all__ = ["ALL_ATTACKS", "Attack", "AttackNotApplicable", "applicable_attacks"]

@@ -11,12 +11,22 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.advice.records import Advice, TxLogEntry, VariableLogEntry, TX_GET, TX_PUT
 from repro.trace.trace import Trace
 
 TamperFn = Callable[[Trace, Advice], Tuple[Trace, Advice]]
+
+
+class AttackNotApplicable(LookupError):
+    """The honest pair offers no target for this attack.
+
+    Subclasses :class:`LookupError` so existing ``except LookupError``
+    call sites keep working; raised both by the per-attack target lookups
+    and by :meth:`Attack.apply` when a mutation turns out to be a no-op
+    (which would make a soundness assertion vacuous).
+    """
 
 
 @dataclass(frozen=True)
@@ -32,7 +42,12 @@ class Attack:
     guaranteed: bool = True
 
     def apply(self, trace: Trace, advice: Advice) -> Tuple[Trace, Advice]:
-        return self.fn(trace, copy.deepcopy(advice))
+        tampered_trace, tampered_advice = self.fn(trace, copy.deepcopy(advice))
+        if tampered_trace == trace and tampered_advice == advice:
+            raise AttackNotApplicable(
+                f"{self.name}: mutation left the pair unchanged"
+            )
+        return tampered_trace, tampered_advice
 
 
 def _first_write_key(advice: Advice):
@@ -43,7 +58,7 @@ def _first_write_key(advice: Advice):
             entry = advice.variable_logs[var_id][key]
             if entry.access == "write" and key[0] != INIT_RID:
                 return var_id, key
-    raise LookupError("no logged write")
+    raise AttackNotApplicable("no logged write")
 
 
 def _first_read_key(advice: Advice):
@@ -51,7 +66,7 @@ def _first_read_key(advice: Advice):
         for key in sorted(advice.variable_logs[var_id], key=repr):
             if advice.variable_logs[var_id][key].access == "read":
                 return var_id, key
-    raise LookupError("no logged read")
+    raise AttackNotApplicable("no logged read")
 
 
 # -- responses -----------------------------------------------------------
@@ -108,7 +123,7 @@ def flip_entry_kind(trace: Trace, advice: Advice):
 def _rid_with_handler_ops(advice: Advice) -> str:
     rid = next((r for r in sorted(advice.handler_logs) if advice.handler_logs[r]), None)
     if rid is None:
-        raise LookupError("no handler log entries")
+        raise AttackNotApplicable("no handler log entries")
     return rid
 
 
@@ -135,7 +150,12 @@ def inflate_opcounts(trace: Trace, advice: Advice):
 
 
 def deflate_opcounts(trace: Trace, advice: Advice):
-    key = next(k for k in sorted(advice.opcounts, key=repr) if advice.opcounts[k] > 0)
+    key = next(
+        (k for k in sorted(advice.opcounts, key=repr) if advice.opcounts[k] > 0),
+        None,
+    )
+    if key is None:
+        raise AttackNotApplicable("no handler claims any operations")
     advice.opcounts[key] -= 1
     return trace, advice
 
@@ -164,7 +184,7 @@ def lie_response_emitter(trace: Trace, advice: Advice):
         None,
     )
     if rid is None:
-        raise LookupError("all responses emitted before any operation")
+        raise AttackNotApplicable("all responses emitted before any operation")
     hid, opnum = advice.response_emitted_by[rid]
     advice.response_emitted_by[rid] = (hid, opnum - 1)
     return trace, advice
@@ -183,7 +203,7 @@ def merge_tags(trace: Trace, advice: Advice):
     """Force two differently-shaped requests into one group."""
     tags = sorted(set(advice.tags.values()))
     if len(tags) < 2:
-        raise LookupError("only one group")
+        raise AttackNotApplicable("only one group")
     victims = [r for r, t in sorted(advice.tags.items()) if t == tags[1]]
     for rid in victims:
         advice.tags[rid] = tags[0]
@@ -204,7 +224,7 @@ def _first_tx_with(advice: Advice, optype: str):
         for i, entry in enumerate(advice.tx_logs[key]):
             if entry.optype == optype:
                 return key, i
-    raise LookupError(f"no {optype} entry")
+    raise AttackNotApplicable(f"no {optype} entry")
 
 
 def tamper_put_value(trace: Trace, advice: Advice):
@@ -221,7 +241,7 @@ def swap_tx_entries(trace: Trace, advice: Advice):
         if len(log) >= 3:
             log[1], log[2] = log[2], log[1]
             return trace, advice
-    raise LookupError("no tx log with 3 entries")
+    raise AttackNotApplicable("no tx log with 3 entries")
 
 
 def redirect_dictating_put(trace: Trace, advice: Advice):
@@ -248,26 +268,26 @@ def redirect_dictating_put(trace: Trace, advice: Advice):
                             (other[0], other[1], j),
                         )
                         return trace, advice
-    raise LookupError("no alternative dictating PUT")
+    raise AttackNotApplicable("no alternative dictating PUT")
 
 
 def truncate_write_order(trace: Trace, advice: Advice):
     if not advice.write_order:
-        raise LookupError("empty write order")
+        raise AttackNotApplicable("empty write order")
     advice.write_order = advice.write_order[:-1]
     return trace, advice
 
 
 def reverse_write_order(trace: Trace, advice: Advice):
     if len({(r, repr(t)) for r, t, _ in advice.write_order}) < 2:
-        raise LookupError("write order too small to reorder meaningfully")
+        raise AttackNotApplicable("write order too small to reorder meaningfully")
     advice.write_order = list(reversed(advice.write_order))
     return trace, advice
 
 
 def duplicate_write_order_entry(trace: Trace, advice: Advice):
     if not advice.write_order:
-        raise LookupError("empty write order")
+        raise AttackNotApplicable("empty write order")
     advice.write_order = advice.write_order + [advice.write_order[0]]
     return trace, advice
 
@@ -374,17 +394,34 @@ ALL_ATTACKS: List[Attack] = [
 ]
 
 
-def applicable_attacks(advice: Advice) -> List[Attack]:
-    """Attacks with at least one target in this advice bundle."""
+def _passes_field_filter(attack: Attack, advice: Advice) -> bool:
+    if attack.requires == "variable_logs" and not advice.variable_logs:
+        return False
+    if attack.requires == "tx_logs" and not advice.tx_logs:
+        return False
+    if attack.requires == "handler_logs" and not any(advice.handler_logs.values()):
+        return False
+    return True
+
+
+def applicable_attacks(advice: Advice, trace: Optional[Trace] = None) -> List[Attack]:
+    """Attacks with at least one target in this advice bundle.
+
+    With only ``advice``, filters on the coarse ``requires`` field (the
+    historic behaviour: cheap, but an attack may still find no concrete
+    target and raise :class:`AttackNotApplicable` when applied).  Given
+    the ``trace`` as well, each surviving attack is *probed* -- actually
+    applied to a copy -- so the result contains exactly the attacks that
+    produce a real mutation on this pair; preconditions can no longer
+    fail silently."""
     out = []
     for attack in ALL_ATTACKS:
-        if attack.requires == "variable_logs" and not advice.variable_logs:
+        if not _passes_field_filter(attack, advice):
             continue
-        if attack.requires == "tx_logs" and not advice.tx_logs:
-            continue
-        if attack.requires == "handler_logs" and not any(
-            advice.handler_logs.values()
-        ):
-            continue
+        if trace is not None:
+            try:
+                attack.apply(trace, advice)
+            except AttackNotApplicable:
+                continue
         out.append(attack)
     return out

@@ -55,7 +55,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     serve = sub.add_parser("serve", help="serve a synthetic workload")
-    serve.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
+    serve.add_argument("--app", required=True, choices=["motd", "stacks", "wiki", "feed"])
     serve.add_argument("--requests", type=int, default=100)
     serve.add_argument("--mix", default="mixed",
                        choices=["mixed", "read-heavy", "write-heavy"])
@@ -81,7 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_obs_args(serve)
 
     aud = sub.add_parser("audit", help="audit a trace against advice")
-    aud.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
+    aud.add_argument("--app", required=True, choices=["motd", "stacks", "wiki", "feed"])
     aud.add_argument("--trace", help="trace JSON (required unless --epochs-dir)")
     aud.add_argument("--advice", help="advice JSON (required unless --epochs-dir)")
     aud.add_argument("--epochs", type=int, default=0, metavar="N",
@@ -107,25 +107,31 @@ def _build_parser() -> argparse.ArgumentParser:
     aud.add_argument("--format", default="text", choices=["text", "json"],
                      help="verdict output: human text (default) or one "
                      "machine-readable JSON object on stdout")
+    aud.add_argument("--explain", action="store_true",
+                     help="on REJECT, replay with singleton groups and print "
+                     "a divergence report: the first diverging operation "
+                     "(handler, key, expected vs claimed) plus its "
+                     "precedence chain; --format json attaches it under "
+                     "'explain'")
     _add_store_args(aud)
     _add_obs_args(aud)
 
     attack = sub.add_parser("attack", help="tamper with advice, then audit")
-    attack.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
+    attack.add_argument("--app", required=True, choices=["motd", "stacks", "wiki", "feed"])
     attack.add_argument("--trace", required=True)
     attack.add_argument("--advice", required=True)
     attack.add_argument("--name", required=True,
                         choices=[a.name for a in ALL_ATTACKS])
 
     analyze = sub.add_parser("analyze", help="loggable-variable analysis")
-    analyze.add_argument("--app", required=True, choices=["motd", "stacks", "wiki"])
+    analyze.add_argument("--app", required=True, choices=["motd", "stacks", "wiki", "feed"])
 
     lint = sub.add_parser(
         "lint",
         help="instrumentation-completeness linter (is the app valid "
         "transpiler output?)",
     )
-    lint.add_argument("app", choices=["motd", "stacks", "wiki"])
+    lint.add_argument("app", choices=["motd", "stacks", "wiki", "feed"])
     lint.add_argument("--crosscheck", action="store_true",
                       help="also serve a workload with recording handlers and "
                       "diff observed footprints against the static prediction")
@@ -135,6 +141,32 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", default="text", choices=["text", "json"])
     lint.add_argument("--fail-on", default="error", choices=["warn", "error"],
                       help="threshold for exit code 4 (default: error)")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="adversarial-advice fuzzer: property-based soundness/"
+        "completeness campaign over the schema-derived mutation surface",
+    )
+    fuzz.add_argument("--app", action="append",
+                      choices=["motd", "stacks", "wiki", "feed"],
+                      help="restrict to this app (repeatable; default: all)")
+    fuzz.add_argument("--property", default="both",
+                      choices=["soundness", "completeness", "both"],
+                      help="which audit contract to fuzz (default: both)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (deterministic exploration)")
+    fuzz.add_argument("--max-examples", type=int, default=100,
+                      help="hypothesis examples per property (default 100)")
+    fuzz.add_argument("--max-requests", type=int, default=14,
+                      help="largest generated workload (default 14)")
+    fuzz.add_argument("--op", action="append", metavar="NAME",
+                      help="restrict soundness to this mutation operator "
+                      "(repeatable; see repro.fuzz.surface)")
+    fuzz.add_argument("--corpus", metavar="DIR",
+                      help="reproducer corpus: replayed before exploration, "
+                      "and new escapes are persisted here")
+    fuzz.add_argument("--format", default="text", choices=["text", "json"])
+    _add_obs_args(fuzz)
 
     sub.add_parser("list-attacks", help="list the attack library")
     return parser
@@ -394,7 +426,15 @@ def _dispatch_audit(args) -> int:
                 metrics=metrics, progress=progress,
             )
             result = auditor.run()
-        return _finish_audit(args, result, metrics)
+        from repro.trace.codec import read_trace as _read_trace
+
+        # The stream was consumed; a diagnosis replay re-reads it.
+        return _finish_audit(
+            args, result, metrics,
+            explain_ctx=lambda: (
+                make_app(args.app), _read_trace(backend, "trace"), advice
+            ),
+        )
     if args.epochs or args.epochs_dir:
         return _cmd_audit_continuous(args, metrics=metrics, progress=progress)
     trace, advice = _load(args)
@@ -406,7 +446,10 @@ def _dispatch_audit(args) -> int:
         parallelism=args.jobs, parallel_mode=args.parallel_mode,
         metrics=metrics, progress=progress,
     )
-    return _finish_audit(args, auditor.run(), metrics)
+    return _finish_audit(
+        args, auditor.run(), metrics,
+        explain_ctx=lambda: (make_app(args.app), trace, advice),
+    )
 
 
 def _memory_roundtrip(backend, trace, advice):
@@ -420,15 +463,37 @@ def _memory_roundtrip(backend, trace, advice):
     return read_trace(backend, "trace"), read_advice(backend, "advice")
 
 
-def _finish_audit(args, result, metrics=None) -> int:
+def _explain_report(args, result, explain_ctx=None, epoch=None):
+    """A DivergenceReport for a rejecting result, or None when --explain
+    is off.  With an explain_ctx thunk the pair is replayed for first-op
+    localization; without one (continuous epochs) the report degrades to
+    the rejecting check's own site."""
+    if not getattr(args, "explain", False) or result.accepted:
+        return None
+    from repro.verifier.explain import explain_rejection, report_from_result
+
+    if explain_ctx is not None:
+        app, trace, advice = explain_ctx()
+        report = explain_rejection(app, trace, advice, epoch=epoch)
+        if report is not None:
+            return report
+        return report_from_result(result, advice, epoch=epoch)
+    return report_from_result(result, epoch=epoch)
+
+
+def _finish_audit(args, result, metrics=None, explain_ctx=None) -> int:
     _write_metrics(args, metrics)
+    report = _explain_report(args, result, explain_ctx)
     if args.format == "json":
-        print(json.dumps({
+        doc = {
             "accepted": result.accepted,
             "reason": result.reason,
             "detail": result.detail,
             "stats": result.stats,
-        }, sort_keys=True))
+        }
+        if report is not None:
+            doc["explain"] = report.as_json()
+        print(json.dumps(doc, sort_keys=True))
         return EXIT_OK if result.accepted else EXIT_REJECTED
     if result.accepted:
         workers = f", {args.jobs} workers" if args.jobs > 1 else ""
@@ -439,6 +504,8 @@ def _finish_audit(args, result, metrics=None) -> int:
     print(f"REJECT  reason={result.reason}")
     if result.detail:
         print(f"        {result.detail}")
+    if report is not None:
+        print(report.as_text())
     return EXIT_REJECTED
 
 
@@ -496,8 +563,13 @@ def _cmd_audit_continuous(
     stats = auditor.stats()
     rejection = auditor.first_rejection
     accepted = rejection is None and all(v.accepted for v in verdicts)
+    report = (
+        None
+        if rejection is None
+        else _explain_report(args, rejection.result, epoch=rejection.epoch)
+    )
     if args.format == "json":
-        print(json.dumps({
+        doc = {
             "accepted": accepted,
             "reason": "accepted" if rejection is None else rejection.result.reason,
             "detail": "" if rejection is None else rejection.result.detail,
@@ -513,7 +585,10 @@ def _cmd_audit_continuous(
                 }
                 for v in verdicts
             ],
-        }, sort_keys=True))
+        }
+        if report is not None:
+            doc["explain"] = report.as_json()
+        print(json.dumps(doc, sort_keys=True))
         return EXIT_OK if accepted else EXIT_REJECTED
     if auditor.skipped_resumed:
         print(f"resumed: {auditor.skipped_resumed} epochs already verified")
@@ -525,6 +600,10 @@ def _cmd_audit_continuous(
             print(f"epoch {verdict.epoch}: REJECT  reason={verdict.result.reason}")
             if verdict.result.detail:
                 print(f"        {verdict.result.detail}")
+            if report is not None and rejection is not None and (
+                verdict.epoch == rejection.epoch
+            ):
+                print(report.as_text())
     print(f"{stats['epochs']:.0f} epochs, "
           f"{stats['epochs_accepted']:.0f} accepted "
           f"({stats['elapsed_seconds']:.3f}s audit time)")
@@ -587,6 +666,58 @@ def _cmd_lint(args) -> int:
     return EXIT_LINT if failed else EXIT_OK
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import APPS, run_fuzz
+    from repro.obs import NULL_METRICS
+
+    metrics = _make_metrics(args)
+    props = (
+        ["soundness", "completeness"]
+        if args.property == "both"
+        else [args.property]
+    )
+    apps = tuple(dict.fromkeys(args.app)) if args.app else APPS
+    reports = [
+        run_fuzz(
+            prop=prop,
+            apps=apps,
+            seed=args.seed,
+            max_examples=args.max_examples,
+            corpus_dir=args.corpus,
+            metrics=metrics if metrics is not None else NULL_METRICS,
+            max_requests=args.max_requests,
+            ops=args.op,
+        )
+        for prop in props
+    ]
+    if args.format == "json":
+        print(json.dumps(
+            {r.prop: r.as_json() for r in reports}, indent=2, sort_keys=True
+        ))
+    else:
+        for report in reports:
+            verdict = "CLEAN" if report.clean else "ESCAPES FOUND"
+            print(
+                f"{report.prop}: {verdict} "
+                f"({report.stats.examples} examples, "
+                f"{report.stats.applied} applied, "
+                f"{report.stats.skipped} skipped, "
+                f"{report.corpus_replayed} corpus replays, "
+                f"{report.elapsed_seconds:.1f}s)"
+            )
+            for reason, count in sorted(report.stats.rejects.items()):
+                print(f"  reject {reason}: {count}")
+            for finding in report.escapes:
+                print(f"  ESCAPE: {finding['detail']}")
+                print(f"    case: {json.dumps(finding['case'], sort_keys=True)}")
+                if "corpus" in finding:
+                    print(f"    corpus: {finding['corpus']}")
+            for failure in report.corpus_failures:
+                print(f"  CORPUS FAILURE: {failure['detail']} ({failure['path']})")
+    _write_metrics(args, metrics)
+    return EXIT_OK if all(r.clean for r in reports) else EXIT_REJECTED
+
+
 def _cmd_list_attacks(_args) -> int:
     for attack in ALL_ATTACKS:
         marker = "guaranteed" if attack.guaranteed else "workload-dependent"
@@ -602,6 +733,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "attack": _cmd_attack,
         "analyze": _cmd_analyze,
         "lint": _cmd_lint,
+        "fuzz": _cmd_fuzz,
         "list-attacks": _cmd_list_attacks,
     }[args.command]
     return handler(args)

@@ -19,12 +19,17 @@ class AuditRejected(KarousosError):
 
     ``reason`` is a short machine-readable tag (used by the soundness test
     suite to assert *why* an execution was rejected), ``detail`` is a
-    human-readable elaboration.
+    human-readable elaboration.  ``site`` optionally pins the rejection to
+    a concrete operation -- a dict with any of the keys ``rid``,
+    ``handler``, ``opnum``, ``var``, ``key``, ``tx``, ``expected``,
+    ``claimed``, ``prec``, ``cycle`` -- consumed by the divergence
+    reporter (:mod:`repro.verifier.explain`).
     """
 
-    def __init__(self, reason: str, detail: str = ""):
+    def __init__(self, reason: str, detail: str = "", site: "dict | None" = None):
         self.reason = reason
         self.detail = detail
+        self.site = site
         super().__init__(f"{reason}: {detail}" if detail else reason)
 
 

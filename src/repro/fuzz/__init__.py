@@ -1,0 +1,71 @@
+"""Adversarial-advice fuzzer (``repro fuzz``).
+
+Property-based testing of the audit's two contracts: *soundness* (every
+guaranteed semantics-changing mutation of the trace/advice pair is
+REJECTed) and *completeness* (every honest run ACCEPTs under every
+driver and storage backend).  The mutation surface is derived from the
+advice/trace record schemas, not hand-listed; escapes shrink to minimal
+reproducers and persist to a replay-first corpus.
+"""
+
+from repro.fuzz.driver import (
+    EscapeFound,
+    FuzzReport,
+    FuzzStats,
+    read_corpus,
+    run_completeness_case,
+    run_fuzz,
+    run_soundness_case,
+    serve_case,
+    write_corpus_case,
+)
+from repro.fuzz.strategies import (
+    APPS,
+    BACKENDS,
+    DRIVERS,
+    OP_NAMES,
+    CompletenessCase,
+    MutationCase,
+    WorkloadCase,
+    case_from_json,
+    completeness_cases,
+    mutation_cases,
+    workload_cases,
+)
+from repro.fuzz.surface import (
+    MutationNotApplicable,
+    MutationOp,
+    advice_sections,
+    guaranteed_ops,
+    mutation_surface,
+    perturb,
+)
+
+__all__ = [
+    "APPS",
+    "BACKENDS",
+    "DRIVERS",
+    "OP_NAMES",
+    "CompletenessCase",
+    "EscapeFound",
+    "FuzzReport",
+    "FuzzStats",
+    "MutationCase",
+    "MutationNotApplicable",
+    "MutationOp",
+    "WorkloadCase",
+    "advice_sections",
+    "case_from_json",
+    "completeness_cases",
+    "guaranteed_ops",
+    "mutation_cases",
+    "mutation_surface",
+    "perturb",
+    "read_corpus",
+    "run_completeness_case",
+    "run_fuzz",
+    "run_soundness_case",
+    "serve_case",
+    "workload_cases",
+    "write_corpus_case",
+]

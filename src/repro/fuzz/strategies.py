@@ -1,0 +1,143 @@
+"""Hypothesis strategies for the adversarial-advice fuzzer.
+
+Two case shapes, both plain frozen dataclasses so they serialise to the
+corpus and replay deterministically:
+
+* :class:`WorkloadCase` -- which bundled app to serve, how many requests,
+  which mix/seed/schedule/concurrency/isolation.  Exercised directly by
+  the *completeness* property (honest runs must ACCEPT under every
+  driver and storage backend).
+* :class:`MutationCase` -- a workload plus one schema-derived mutation
+  operator and its rng seed.  Exercised by the *soundness* property
+  (guaranteed mutations must REJECT).
+
+Strategies shrink toward the smallest workload (fewest requests, lowest
+concurrency, first app/operator in order), so a fuzzer-found escape
+minimises to a tight reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Optional, Sequence, Tuple
+
+from hypothesis import strategies as st
+
+from repro.fuzz.surface import mutation_surface
+from repro.workload.generator import MIX_MIXED, MIX_READ_HEAVY, MIX_WRITE_HEAVY
+
+APPS: Tuple[str, ...] = ("motd", "stacks", "wiki", "feed")
+MIXES: Tuple[str, ...] = (MIX_MIXED, MIX_READ_HEAVY, MIX_WRITE_HEAVY)
+# motd is store-less; isolation only matters for the store-backed apps.
+ISOLATION_LEVELS: Tuple[str, ...] = ("serializable", "snapshot", "read-committed")
+DRIVERS: Tuple[str, ...] = ("serial", "singleton", "parallel", "continuous")
+BACKENDS: Tuple[str, ...] = ("direct", "memory", "file", "gzip")
+
+OP_NAMES: Tuple[str, ...] = tuple(op.name for op in mutation_surface())
+
+
+@dataclass(frozen=True)
+class WorkloadCase:
+    """One honest serving configuration (fully deterministic)."""
+
+    app: str = "motd"
+    n: int = 4
+    mix: str = MIX_MIXED
+    workload_seed: int = 0
+    schedule_seed: int = 0
+    concurrency: int = 1
+    isolation: str = "serializable"
+
+    def as_json(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class MutationCase:
+    """A workload plus one mutation draw from the schema surface."""
+
+    workload: WorkloadCase = WorkloadCase()
+    op: str = OP_NAMES[0]
+    mutation_seed: int = 0
+
+    def as_json(self) -> Dict[str, object]:
+        doc = asdict(self)
+        doc["workload"] = self.workload.as_json()
+        return doc
+
+
+@dataclass(frozen=True)
+class CompletenessCase:
+    """A workload exercised through one driver/backend combination."""
+
+    workload: WorkloadCase = WorkloadCase()
+    driver: str = "serial"
+    backend: str = "direct"
+
+    def as_json(self) -> Dict[str, object]:
+        doc = asdict(self)
+        doc["workload"] = self.workload.as_json()
+        return doc
+
+
+def case_from_json(doc: Dict[str, object]):
+    """Inverse of ``as_json`` for all three case shapes."""
+    if "op" in doc:
+        return MutationCase(
+            workload=WorkloadCase(**doc["workload"]),
+            op=doc["op"],
+            mutation_seed=doc["mutation_seed"],
+        )
+    if "driver" in doc:
+        return CompletenessCase(
+            workload=WorkloadCase(**doc["workload"]),
+            driver=doc["driver"],
+            backend=doc["backend"],
+        )
+    known = {f.name for f in fields(WorkloadCase)}
+    return WorkloadCase(**{k: v for k, v in doc.items() if k in known})
+
+
+@st.composite
+def workload_cases(
+    draw, apps: Sequence[str] = APPS, max_requests: int = 14
+) -> WorkloadCase:
+    app = draw(st.sampled_from(tuple(apps)))
+    return WorkloadCase(
+        app=app,
+        n=draw(st.integers(min_value=4, max_value=max_requests)),
+        mix=draw(st.sampled_from(MIXES)),
+        workload_seed=draw(st.integers(min_value=0, max_value=7)),
+        schedule_seed=draw(st.integers(min_value=0, max_value=7)),
+        concurrency=draw(st.sampled_from((1, 3, 5))),
+        isolation=(
+            "serializable"
+            if app == "motd"
+            else draw(st.sampled_from(ISOLATION_LEVELS))
+        ),
+    )
+
+
+@st.composite
+def mutation_cases(
+    draw,
+    apps: Sequence[str] = APPS,
+    ops: Optional[Sequence[str]] = None,
+    max_requests: int = 14,
+) -> MutationCase:
+    return MutationCase(
+        workload=draw(workload_cases(apps=apps, max_requests=max_requests)),
+        op=draw(st.sampled_from(tuple(ops if ops is not None else OP_NAMES))),
+        mutation_seed=draw(st.integers(min_value=0, max_value=31)),
+    )
+
+
+@st.composite
+def completeness_cases(
+    draw, apps: Sequence[str] = APPS, max_requests: int = 14
+) -> CompletenessCase:
+    return CompletenessCase(
+        workload=draw(workload_cases(apps=apps, max_requests=max_requests)),
+        driver=draw(st.sampled_from(DRIVERS)),
+        backend=draw(st.sampled_from(BACKENDS)),
+    )

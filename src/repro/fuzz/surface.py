@@ -1,0 +1,515 @@
+"""The adversarial mutation surface, derived from the record schema.
+
+The fuzzer does not hand-list attacks.  Instead it *derives* its
+operators from the same metadata the storage layer uses:
+
+* the advice wire schema -- :data:`repro.advice.codec.ADVICE_RECORD_TYPES`
+  names every record section; each ``RT_<SECTION>`` constant is matched
+  back to its :class:`~repro.advice.records.Advice` field by token
+  overlap (``RT_HANDLER_LOG`` -> ``handler_logs``), so a new advice
+  section automatically joins the surface or fails loudly;
+* the field's *container shape* (``Dict[..., List[entry]]``,
+  ``Dict[..., Dict[...]]``, plain mapping, sequence, scalar), read from
+  the dataclass type hints, selects which generic operator kinds apply:
+  **grow** (duplicate/fabricate an element), **shrink** (drop one),
+  **flip** (perturb one field of one element, chosen from the entry
+  dataclass's own fields), **reorder** (swap two elements), **retarget**
+  (repoint a reference at a different live coordinate);
+* the trace schema (:class:`~repro.trace.trace.TraceEvent`) contributes
+  the trace-side operators the same way.
+
+Each operator is classed **guaranteed** (the audit *must* reject: the
+mutation provably changes what a correct server could have done) or
+**opportunistic** (the mutation may be semantically neutral -- e.g.
+renaming a grouping tag, reordering independent write-order entries --
+so acceptance is not an escape).  The classification is the fuzzer's
+oracle: a guaranteed mutation that ACCEPTs is an audit soundness bug.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import random
+import typing
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.advice import codec as advice_codec
+from repro.advice.records import TX_GET, TX_PUT, Advice
+from repro.core.ids import HandlerId, TxId
+from repro.errors import KarousosError
+from repro.store.kv import IsolationLevel
+from repro.trace.trace import RESP, Trace, TraceEvent
+
+
+class MutationNotApplicable(LookupError):
+    """This operator has no target in the given run (e.g. shrink on an
+    empty section).  Mirrors :class:`repro.attacks.AttackNotApplicable`
+    so drivers can treat both surfaces uniformly."""
+
+
+Pair = Tuple[Trace, Advice]
+MutateFn = Callable[[random.Random, Trace, Advice], Pair]
+
+
+@dataclasses.dataclass(frozen=True)
+class MutationOp:
+    """One schema-derived mutation operator."""
+
+    name: str
+    section: str  # advice field name, or "trace"
+    kind: str  # grow | shrink | flip | reorder | retarget
+    fn: MutateFn
+    # Static soundness class; ``guarantee_if`` refines it per-advice
+    # (e.g. tx_windows mutations only bite under SNAPSHOT isolation).
+    guaranteed: bool = False
+    guarantee_if: Optional[Callable[[Advice], bool]] = None
+
+    def is_guaranteed(self, advice: Advice) -> bool:
+        if self.guarantee_if is not None:
+            return self.guarantee_if(advice)
+        return self.guaranteed
+
+    def apply(self, rng: random.Random, trace: Trace, advice: Advice) -> Pair:
+        """Apply to deep copies; raise :class:`MutationNotApplicable`
+        when the mutation would be a no-op (so every surviving case is a
+        *real* mutation, never a vacuous pass)."""
+        mutated_trace, mutated_advice = self.fn(rng, trace, copy.deepcopy(advice))
+        if mutated_trace == trace and mutated_advice == advice:
+            raise MutationNotApplicable(f"{self.name}: pair unchanged")
+        return mutated_trace, mutated_advice
+
+
+# -- schema reflection ---------------------------------------------------------
+
+
+def advice_sections() -> Dict[int, str]:
+    """Map every advice record type to its Advice field, by reflecting
+    the codec's ``RT_*`` constants against the dataclass schema.  The
+    meta record's one semantic field is the isolation level."""
+    rt_names = {
+        value: name
+        for name, value in vars(advice_codec).items()
+        if name.startswith("RT_") and isinstance(value, int)
+    }
+    fields = [f.name for f in dataclasses.fields(Advice)]
+    sections: Dict[int, str] = {}
+    for rtype in advice_codec.ADVICE_RECORD_TYPES:
+        token = rt_names[rtype][len("RT_"):].lower()
+        if token == "meta":
+            sections[rtype] = "isolation_level"
+            continue
+        sections[rtype] = _match_field(token, fields)
+    return sections
+
+
+def _match_field(token: str, fields: List[str]) -> str:
+    """``handler_log`` -> ``handler_logs``: the record name's tokens must
+    all appear in the field name (singular/plural-insensitive)."""
+    want = {part.rstrip("s") for part in token.split("_")}
+    for name in sorted(fields):
+        have = {part.rstrip("s") for part in name.split("_")}
+        if want <= have:
+            return name
+    raise KarousosError(f"advice record {token!r} matches no Advice field")
+
+
+def _field_shape(field_name: str) -> str:
+    """Container shape from the Advice type hints."""
+    hints = typing.get_type_hints(Advice)
+    hint = hints[field_name]
+    origin = typing.get_origin(hint)
+    if origin is dict:
+        value_type = typing.get_args(hint)[1]
+        value_origin = typing.get_origin(value_type)
+        if value_origin is list:
+            return "keyed-log"
+        if value_origin is dict:
+            return "keyed-map"
+        return "mapping"
+    if origin is list:
+        return "sequence"
+    return "scalar"
+
+
+# -- generic value perturbation ---------------------------------------------
+
+
+def perturb(rng: random.Random, value: object) -> object:
+    """A different value of (roughly) the same shape."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1 + rng.randrange(3)
+    if isinstance(value, float):
+        return value + 1.0
+    if isinstance(value, str):
+        return value + "~"
+    if isinstance(value, IsolationLevel):
+        others = [m for m in IsolationLevel if m is not value]
+        return rng.choice(others)
+    if isinstance(value, HandlerId):
+        return dataclasses.replace(value, function_id=value.function_id + "~")
+    if isinstance(value, TxId):
+        return dataclasses.replace(value, opnum=value.opnum + 1000)
+    if isinstance(value, tuple):
+        if not value:
+            return ("phantom",)
+        i = rng.randrange(len(value))
+        return value[:i] + (perturb(rng, value[i]),) + value[i + 1:]
+    if isinstance(value, dict):
+        if not value:
+            return {"phantom": 1}
+        key = rng.choice(sorted(value, key=repr))
+        return {**value, key: perturb(rng, value[key])}
+    if value is None:
+        return 0
+    return ("mutated", repr(value))
+
+
+def _pick_key(rng: random.Random, mapping: dict, nonempty: bool = False):
+    keys = [
+        k for k in sorted(mapping, key=repr) if not nonempty or len(mapping[k])
+    ]
+    if not keys:
+        raise MutationNotApplicable("section has no (non-empty) keys")
+    return rng.choice(keys)
+
+
+def _flip_entry_field(
+    rng: random.Random, entry: object, allowed: Optional[List[str]] = None
+) -> object:
+    """Perturb one dataclass field of a log entry, chosen from the
+    entry's own schema (restricted to ``allowed`` when given)."""
+    names = [f.name for f in dataclasses.fields(entry)]
+    if allowed is not None:
+        names = [n for n in names if n in allowed]
+    if not names:
+        raise MutationNotApplicable("entry has no mutable fields")
+    name = rng.choice(names)
+    return dataclasses.replace(entry, **{name: perturb(rng, getattr(entry, name))})
+
+
+# -- per-shape operator builders --------------------------------------------
+
+
+def _keyed_log_ops(section: str) -> List[MutationOp]:
+    """Dict-of-list sections: handler_logs, tx_logs."""
+    is_tx = section == "tx_logs"
+
+    def _target(rng, advice):
+        logs = getattr(advice, section)
+        key = _pick_key(rng, logs, nonempty=True)
+        return logs, key, list(logs[key])
+
+    def shrink(rng, trace, advice):
+        logs, key, log = _target(rng, advice)
+        log.pop(rng.randrange(len(log)))
+        logs[key] = log
+        return trace, advice
+
+    def grow(rng, trace, advice):
+        logs, key, log = _target(rng, advice)
+        i = rng.randrange(len(log))
+        log.insert(i, log[i])
+        logs[key] = log
+        return trace, advice
+
+    def flip(rng, trace, advice):
+        logs, key, log = _target(rng, advice)
+        if is_tx:
+            # Only data rows are flipped (start/commit/abort markers carry
+            # no checked payload); a GET's dictating reference is excluded
+            # -- repointing it *can* be value-preserving, which would
+            # break the guarantee (retarget covers it, opportunistically).
+            rows = [
+                i for i, e in enumerate(log) if e.optype in (TX_GET, TX_PUT)
+            ]
+            if not rows:
+                raise MutationNotApplicable("no GET/PUT rows to flip")
+            i = rng.choice(rows)
+            allowed = ["hid", "opnum", "optype", "key"]
+            if log[i].optype == TX_PUT:
+                allowed.append("opcontents")
+            log[i] = _flip_entry_field(rng, log[i], allowed)
+        else:
+            i = rng.randrange(len(log))
+            log[i] = _flip_entry_field(rng, log[i])
+        logs[key] = log
+        return trace, advice
+
+    def reorder(rng, trace, advice):
+        logs, key, log = _target(rng, advice)
+        if len(log) < 2:
+            raise MutationNotApplicable("log too short to reorder")
+        i = rng.randrange(len(log) - 1)
+        log[i], log[i + 1] = log[i + 1], log[i]
+        logs[key] = log
+        return trace, advice
+
+    return [
+        MutationOp(f"shrink:{section}", section, "shrink", shrink, guaranteed=True),
+        MutationOp(f"grow:{section}", section, "grow", grow, guaranteed=True),
+        MutationOp(f"flip:{section}", section, "flip", flip, guaranteed=True),
+        # Reordering sibling tx ops shifts every logged within-transaction
+        # index, which re-execution pins exactly; handler-log order is
+        # merely an alleged schedule, so its reorders may legally accept.
+        MutationOp(
+            f"reorder:{section}", section, "reorder", reorder, guaranteed=is_tx
+        ),
+    ]
+
+
+def _keyed_map_ops(section: str) -> List[MutationOp]:
+    """Dict-of-dict sections: variable_logs."""
+
+    def _target(rng, advice):
+        logs = getattr(advice, section)
+        key = _pick_key(rng, logs, nonempty=True)
+        return logs, key, dict(logs[key])
+
+    def shrink(rng, trace, advice):
+        logs, key, log = _target(rng, advice)
+        victim = rng.choice(sorted(log, key=repr))
+        del log[victim]
+        logs[key] = log
+        return trace, advice
+
+    def grow(rng, trace, advice):
+        # Fabricate an entry at coordinates re-execution never reaches:
+        # it can never be consumed, so it must be flagged as dangling.
+        logs, key, log = _target(rng, advice)
+        src = rng.choice(sorted(log, key=repr))
+        rid, hid, opnum = src
+        log[(rid, hid, opnum + 1000)] = log[src]
+        logs[key] = log
+        return trace, advice
+
+    def flip(rng, trace, advice):
+        # Restricted to write values: simulate-and-check compares every
+        # logged write against re-execution, so this is always caught.
+        # (Read entries carry no checked value; their prec is retarget's
+        # business.)
+        logs, key, log = _target(rng, advice)
+        writes = [
+            k for k in sorted(log, key=repr) if log[k].access == "write"
+        ]
+        if not writes:
+            raise MutationNotApplicable("variable has no logged writes")
+        victim = rng.choice(writes)
+        entry = log[victim]
+        log[victim] = dataclasses.replace(entry, value=perturb(rng, entry.value))
+        logs[key] = log
+        return trace, advice
+
+    def retarget(rng, trace, advice):
+        logs, key, log = _target(rng, advice)
+        reads = [k for k in sorted(log, key=repr) if log[k].access == "read"]
+        if not reads:
+            raise MutationNotApplicable("variable has no logged reads")
+        victim = rng.choice(reads)
+        writes = [
+            k
+            for k in sorted(log, key=repr)
+            if log[k].access == "write" and k != log[victim].prec
+        ]
+        if not writes:
+            raise MutationNotApplicable("no alternative dictating write")
+        log[victim] = dataclasses.replace(log[victim], prec=rng.choice(writes))
+        logs[key] = log
+        return trace, advice
+
+    return [
+        # Dropping a log entry can legally accept: an unlogged read may
+        # still be fed by the R-preceding write the log claimed anyway.
+        MutationOp(f"shrink:{section}", section, "shrink", shrink),
+        MutationOp(f"grow:{section}", section, "grow", grow, guaranteed=True),
+        MutationOp(f"flip:{section}", section, "flip", flip, guaranteed=True),
+        # Repointing a read at a different write may feed the same value.
+        MutationOp(f"retarget:{section}", section, "retarget", retarget),
+    ]
+
+
+def _sequence_ops(section: str) -> List[MutationOp]:
+    """List sections: write_order."""
+
+    def _target(rng, advice):
+        seq = list(getattr(advice, section))
+        if not seq:
+            raise MutationNotApplicable(f"{section} is empty")
+        return seq
+
+    def shrink(rng, trace, advice):
+        seq = _target(rng, advice)
+        seq.pop(rng.randrange(len(seq)))
+        setattr(advice, section, seq)
+        return trace, advice
+
+    def grow(rng, trace, advice):
+        seq = _target(rng, advice)
+        i = rng.randrange(len(seq))
+        seq.insert(i, seq[i])
+        setattr(advice, section, seq)
+        return trace, advice
+
+    def flip(rng, trace, advice):
+        seq = _target(rng, advice)
+        i = rng.randrange(len(seq))
+        seq[i] = perturb(rng, seq[i])
+        setattr(advice, section, seq)
+        return trace, advice
+
+    def reorder(rng, trace, advice):
+        seq = _target(rng, advice)
+        if len(seq) < 2:
+            raise MutationNotApplicable(f"{section} too short to reorder")
+        i = rng.randrange(len(seq) - 1)
+        seq[i], seq[i + 1] = seq[i + 1], seq[i]
+        setattr(advice, section, seq)
+        return trace, advice
+
+    return [
+        MutationOp(f"shrink:{section}", section, "shrink", shrink, guaranteed=True),
+        MutationOp(f"grow:{section}", section, "grow", grow, guaranteed=True),
+        MutationOp(f"flip:{section}", section, "flip", flip, guaranteed=True),
+        # Swapping entries of *different* keys leaves every per-key
+        # order unchanged -- legally acceptable.
+        MutationOp(f"reorder:{section}", section, "reorder", reorder),
+    ]
+
+
+def _mapping_ops(section: str) -> List[MutationOp]:
+    """Flat mapping sections: tags, response_emitted_by, opcounts,
+    nondet, tx_windows."""
+    # Which mutations the audit provably catches varies per section; the
+    # shape is generic, the oracle is not.
+    shrink_guaranteed = section in ("tags", "response_emitted_by", "opcounts",
+                                    "nondet")
+    flip_guaranteed = section in ("response_emitted_by", "opcounts")
+    grow_guaranteed = section in ("tags", "opcounts")
+    retarget_guaranteed = section in ("response_emitted_by", "opcounts")
+    snapshot_only = (
+        (lambda advice: advice.isolation_level is IsolationLevel.SNAPSHOT)
+        if section == "tx_windows"
+        else None
+    )
+
+    def _target(rng, advice):
+        mapping = getattr(advice, section)
+        key = _pick_key(rng, mapping)
+        return mapping, key
+
+    def shrink(rng, trace, advice):
+        mapping, key = _target(rng, advice)
+        del mapping[key]
+        return trace, advice
+
+    def flip(rng, trace, advice):
+        mapping, key = _target(rng, advice)
+        mapping[key] = perturb(rng, mapping[key])
+        return trace, advice
+
+    def grow(rng, trace, advice):
+        mapping, key = _target(rng, advice)
+        mapping[perturb(rng, key)] = mapping[key]
+        return trace, advice
+
+    def retarget(rng, trace, advice):
+        mapping, key = _target(rng, advice)
+        others = [k for k in sorted(mapping, key=repr) if k != key]
+        if not others:
+            raise MutationNotApplicable(f"{section} has a single entry")
+        other = rng.choice(others)
+        mapping[key], mapping[other] = mapping[other], mapping[key]
+        return trace, advice
+
+    return [
+        MutationOp(f"shrink:{section}", section, "shrink", shrink,
+                   guaranteed=shrink_guaranteed, guarantee_if=snapshot_only),
+        MutationOp(f"flip:{section}", section, "flip", flip,
+                   guaranteed=flip_guaranteed),
+        MutationOp(f"grow:{section}", section, "grow", grow,
+                   guaranteed=grow_guaranteed),
+        MutationOp(f"retarget:{section}", section, "retarget", retarget,
+                   guaranteed=retarget_guaranteed),
+    ]
+
+
+def _scalar_ops(section: str) -> List[MutationOp]:
+    """Scalar sections: isolation_level."""
+
+    def flip(rng, trace, advice):
+        setattr(advice, section, perturb(rng, getattr(advice, section)))
+        return trace, advice
+
+    # Claiming a *weaker* level than delivered is not a lie, so flips
+    # may legitimately accept.
+    return [MutationOp(f"flip:{section}", section, "flip", flip)]
+
+
+_SHAPE_BUILDERS = {
+    "keyed-log": _keyed_log_ops,
+    "keyed-map": _keyed_map_ops,
+    "sequence": _sequence_ops,
+    "mapping": _mapping_ops,
+    "scalar": _scalar_ops,
+}
+
+
+# -- trace-side operators ------------------------------------------------------
+
+
+def _trace_ops() -> List[MutationOp]:
+    def _responses(trace):
+        idxs = [i for i, e in enumerate(trace.events) if e.kind == RESP]
+        if not idxs:
+            raise MutationNotApplicable("trace has no responses")
+        return idxs
+
+    def flip(rng, trace, advice):
+        events = list(trace.events)
+        i = rng.choice(_responses(trace))
+        event = events[i]
+        events[i] = TraceEvent(event.kind, event.rid, perturb(rng, event.data))
+        return Trace(events, frozen=True), advice
+
+    def shrink(rng, trace, advice):
+        events = list(trace.events)
+        events.pop(rng.choice(_responses(trace)))
+        return Trace(events, frozen=True), advice
+
+    def grow(rng, trace, advice):
+        events = list(trace.events)
+        i = rng.choice(_responses(trace))
+        events.insert(i, events[i])
+        return Trace(events, frozen=True), advice
+
+    def reorder(rng, trace, advice):
+        events = list(trace.events)
+        if len(events) < 2:
+            raise MutationNotApplicable("trace too short to reorder")
+        i = rng.randrange(len(events) - 1)
+        events[i], events[i + 1] = events[i + 1], events[i]
+        return Trace(events, frozen=True), advice
+
+    return [
+        MutationOp("flip:trace", "trace", "flip", flip, guaranteed=True),
+        MutationOp("shrink:trace", "trace", "shrink", shrink, guaranteed=True),
+        MutationOp("grow:trace", "trace", "grow", grow, guaranteed=True),
+        # The collector's order is ground truth, but a *different* legal
+        # order is still an order some correct server could have served.
+        MutationOp("reorder:trace", "trace", "reorder", reorder),
+    ]
+
+
+def mutation_surface() -> Tuple[MutationOp, ...]:
+    """Every operator, advice sections first (schema order), then trace."""
+    ops: List[MutationOp] = []
+    for rtype, field_name in sorted(advice_sections().items()):
+        ops.extend(_SHAPE_BUILDERS[_field_shape(field_name)](field_name))
+    ops.extend(_trace_ops())
+    return tuple(ops)
+
+
+def guaranteed_ops(advice: Advice) -> Tuple[MutationOp, ...]:
+    return tuple(op for op in mutation_surface() if op.is_guaranteed(advice))

@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.advice.records import Advice
 from repro.advice.sizing import advice_breakdown, advice_size_bytes
-from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.apps import feed_app, motd_app, stackdump_app, wiki_app
 from repro.baselines import sequential_reexecute
 from repro.kem.program import AppSpec
 from repro.kem.runtime import Runtime, ServerPolicy
@@ -44,6 +44,7 @@ _APPS: Dict[str, Tuple[Callable[[], AppSpec], bool]] = {
     "motd": (motd_app, False),
     "stacks": (stackdump_app, True),
     "wiki": (wiki_app, True),
+    "feed": (feed_app, True),
 }
 
 

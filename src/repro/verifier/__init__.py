@@ -8,6 +8,11 @@ REJECTs with a machine-readable reason.
 
 from repro.verifier.audit import AuditResult, Auditor, audit
 from repro.verifier.carry import CarryIn
+from repro.verifier.explain import (
+    DivergenceReport,
+    explain_rejection,
+    report_from_result,
+)
 from repro.verifier.parallel import ParallelAuditor, compute_waves, parallel_audit
 from repro.verifier.pipeline import (
     STAGES,
@@ -24,10 +29,13 @@ __all__ = [
     "AuditStage",
     "Auditor",
     "CarryIn",
+    "DivergenceReport",
     "ParallelAuditor",
     "PipelineContext",
     "audit",
     "build_pipeline",
     "compute_waves",
+    "explain_rejection",
     "parallel_audit",
+    "report_from_result",
 ]

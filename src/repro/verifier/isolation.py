@@ -65,6 +65,7 @@ def verify_isolation_level(state: AuditState) -> Digraph:
         raise AuditRejected(
             "isolation-violated",
             f"dependency cycle under {level.value}: {cycle}",
+            site={"cycle": cycle, "claimed": level.value},
         )
     return dg
 
@@ -72,10 +73,37 @@ def verify_isolation_level(state: AuditState) -> Digraph:
 def _extract_write_order_per_key(state: AuditState) -> Dict[str, List[WritePos]]:
     advice = state.advice
     if len(advice.write_order) != len(state.last_modification):
+        site: Dict[str, object] = {
+            "expected": len(state.last_modification),
+            "claimed": len(advice.write_order),
+        }
+        # Pin a concrete diverging write: a last-modification the order
+        # omits, an entry the re-execution never produced, or (when the
+        # membership matches) a duplicated position.
+        expected_pos = {
+            (rid, tid, i): key
+            for (rid, tid, key), i in state.last_modification.items()
+        }
+        claimed_pos = [
+            pos
+            for pos in advice.write_order
+            if isinstance(pos, tuple) and len(pos) == 3
+        ]
+        missing = sorted(set(expected_pos) - set(claimed_pos), key=repr)
+        extra = sorted(set(claimed_pos) - set(expected_pos), key=repr)
+        dupes = sorted(
+            {p for p in claimed_pos if claimed_pos.count(p) > 1}, key=repr
+        )
+        for pos in missing[:1] + extra[:1] + dupes[:1]:
+            site.update(rid=pos[0], tx=pos)
+            if pos in expected_pos:
+                site["key"] = expected_pos[pos]
+            break
         raise AuditRejected(
             "bad-write-order",
             f"write order has {len(advice.write_order)} entries, expected "
             f"{len(state.last_modification)} last modifications",
+            site=site,
         )
     seen = set()
     per_key: Dict[str, List[WritePos]] = {}
@@ -84,15 +112,30 @@ def _extract_write_order_per_key(state: AuditState) -> Dict[str, List[WritePos]]
             raise AdviceFormatError(f"write order entry malformed: {pos!r}")
         rid, tid, i = pos
         if pos in seen:
-            raise AuditRejected("bad-write-order", f"duplicate entry {pos!r}")
+            raise AuditRejected(
+                "bad-write-order",
+                f"duplicate entry {pos!r}",
+                site={"rid": rid, "tx": pos},
+            )
         seen.add(pos)
         op = _tx_entry(state, rid, tid, i)
         if op.optype != TX_PUT:
-            raise AuditRejected("bad-write-order", f"entry {pos!r} is not a PUT")
+            raise AuditRejected(
+                "bad-write-order",
+                f"entry {pos!r} is not a PUT",
+                site={"rid": rid, "tx": pos, "key": op.key},
+            )
         if state.last_modification.get((rid, tid, op.key)) != i:
             raise AuditRejected(
                 "bad-write-order",
                 f"entry {pos!r} is not the last modification of {op.key!r}",
+                site={
+                    "rid": rid,
+                    "tx": pos,
+                    "key": op.key,
+                    "expected": state.last_modification.get((rid, tid, op.key)),
+                    "claimed": i,
+                },
             )
         per_key.setdefault(op.key, []).append(pos)
     return per_key
@@ -123,6 +166,8 @@ def _add_read_dependency_edges(state: AuditState, dg: Digraph) -> None:
                         "dirty-read",
                         f"committed tx {(rid_r, tid_r)} read non-final write "
                         f"{write_pos!r}",
+                        site={"rid": rid_r, "tx": (rid_r, tid_r),
+                              "prec": write_pos},
                     )
             continue
         for rid_r, tid_r, _i in readers:
@@ -208,6 +253,8 @@ def _verify_snapshot_isolation(
                 raise AuditRejected(
                     "dirty-read",
                     f"{(rid, tid)} read from uncommitted {(rid_w, tid_w)}",
+                    site={"rid": rid, "tx": (rid, tid), "key": entry.key,
+                          "prec": (rid_w, tid_w)},
                 )
             commit_w = commit_seqs[(rid_w, tid_w)]
             if commit_w > start:

@@ -71,6 +71,10 @@ class AuditResult:
     reason: str = "accepted"
     detail: str = ""
     stats: Dict[str, Union[int, float]] = field(default_factory=dict)
+    # On REJECT: which stage raised, and (when the check pinned one) the
+    # structured rejection site carried by the AuditRejected exception.
+    stage: str = ""
+    site: Optional[Dict[str, object]] = None
 
     def __bool__(self) -> bool:
         return self.accepted
@@ -158,6 +162,8 @@ class AuditPipeline:
                 reason=rejection.reason,
                 detail=rejection.detail,
                 stats=collect_stats(started, ctx.state, ctx.re_exec),
+                stage=current,
+                site=getattr(rejection, "site", None),
             )
         except Exception as exc:  # malformed advice can crash any phase
             detail = f"{type(exc).__name__}: {exc}"
@@ -168,6 +174,7 @@ class AuditPipeline:
                 reason="audit-crash",
                 detail=detail,
                 stats=collect_stats(started, ctx.state, ctx.re_exec),
+                stage=current,
             )
         ctx.metrics.counter("pipeline.accepts").inc()
         return AuditResult(

@@ -69,4 +69,5 @@ def postprocess(state: AuditState, re_exec: ReExecutor) -> None:
             "cyclic-execution",
             f"execution graph has a cycle of {len(cycle)} nodes: "
             f"{cycle[:4]}...",
+            site={"cycle": cycle},
         )

@@ -86,7 +86,24 @@ def preprocess(
     # Trace is expected; drained once into a frozen snapshot.
     trace = Trace.from_events(trace)
     if not trace.is_balanced():
-        raise AuditRejected("unbalanced-trace", "trace is not balanced")
+        site = None
+        pending, seen_resp = set(), set()
+        for e in trace.events:
+            if e.kind == REQ:
+                if e.rid in pending or e.rid in seen_resp:
+                    site = {"rid": e.rid}
+                    break
+                pending.add(e.rid)
+            elif e.kind == RESP:
+                if e.rid not in pending or e.rid in seen_resp:
+                    site = {"rid": e.rid}
+                    break
+                seen_resp.add(e.rid)
+            else:
+                break
+        if site is None and pending - seen_resp:
+            site = {"rid": sorted(pending - seen_resp)[0]}
+        raise AuditRejected("unbalanced-trace", "trace is not balanced", site=site)
     state = AuditState(app, trace, advice, app.run_init())
     if carry is not None:
         # The previous epoch's verified end state replaces the genesis
@@ -112,14 +129,22 @@ def _check_advice_shape(state: AuditState) -> None:
     advice = state.advice
     for rid, tag in advice.tags.items():
         if rid not in state.trace_rids:
-            raise AuditRejected("unknown-request", f"tag for unknown request {rid}")
+            raise AuditRejected(
+                "unknown-request",
+                f"tag for unknown request {rid}",
+                site={"rid": rid},
+            )
         if not isinstance(tag, str):
             raise AdviceFormatError(f"tag for {rid} is not a string")
     # Sorted so the rejection witness is deterministic across runs
     # (trace_rids is a set; its raw order varies with hash randomization).
     for rid in sorted(state.trace_rids):
         if rid not in advice.tags:
-            raise AuditRejected("missing-tag", f"request {rid} has no grouping tag")
+            raise AuditRejected(
+                "missing-tag",
+                f"request {rid} has no grouping tag",
+                site={"rid": rid},
+            )
     for key, count in advice.opcounts.items():
         if not (isinstance(key, tuple) and len(key) == 2 and isinstance(key[1], HandlerId)):
             raise AdviceFormatError(f"bad opcounts key {key!r}")
@@ -163,7 +188,9 @@ def _add_program_edges(state: AuditState) -> None:
     for (rid, hid), count in state.advice.opcounts.items():
         if rid not in state.trace_rids:
             raise AuditRejected(
-                "unknown-request", f"opcounts mentions unknown request {rid}"
+                "unknown-request",
+                f"opcounts mentions unknown request {rid}",
+                site={"rid": rid, "handler": hid},
             )
         g.add_node(node_op(rid, hid, 0))
         g.add_node(node_end(rid, hid))
@@ -184,11 +211,14 @@ def _add_program_edges(state: AuditState) -> None:
             raise AuditRejected(
                 "unknown-handler",
                 f"handler {(rid, hid)} has unreported parent {hid.parent!r}",
+                site={"rid": rid, "handler": hid},
             )
         if not 1 <= hid.opnum <= parent_count:
             raise AuditRejected(
                 "bad-opnum",
                 f"handler {(rid, hid)} activated by out-of-range op {hid.opnum}",
+                site={"rid": rid, "handler": hid, "opnum": hid.opnum,
+                      "claimed": parent_count},
             )
         g.add_edge(node_op(rid, hid.parent, hid.opnum), node_op(rid, hid, 0))
 
@@ -212,13 +242,16 @@ def _add_boundary_edges(state: AuditState) -> None:
             or not isinstance(emitted[1], int)
         ):
             raise AuditRejected(
-                "bad-response-emitter", f"responseEmittedBy invalid for {rid}"
+                "bad-response-emitter",
+                f"responseEmittedBy invalid for {rid}",
+                site={"rid": rid, "claimed": emitted},
             )
         hid_r, opnum_r = emitted
         if node_op(rid, hid_r, opnum_r) not in g:
             raise AuditRejected(
                 "bad-response-emitter",
                 f"response emitter op {(rid, hid_r, opnum_r)} not in graph",
+                site={"rid": rid, "handler": hid_r, "opnum": opnum_r},
             )
         g.add_edge(node_op(rid, hid_r, opnum_r), node_resp(rid))
         if opnum_r == advice.opcounts[(rid, hid_r)]:
@@ -235,15 +268,21 @@ def _check_op_is_valid(state: AuditState, rid: str, hid: HandlerId, opnum: int) 
     count = state.advice.opcounts.get((rid, hid))
     if count is None:
         raise AuditRejected(
-            "unknown-handler", f"log entry for handler {(rid, hid)} not in opcounts"
+            "unknown-handler",
+            f"log entry for handler {(rid, hid)} not in opcounts",
+            site={"rid": rid, "handler": hid, "opnum": opnum},
         )
     if opnum < 1 or opnum > count:
         raise AuditRejected(
-            "bad-opnum", f"log entry opnum {opnum} out of range for {(rid, hid)}"
+            "bad-opnum",
+            f"log entry opnum {opnum} out of range for {(rid, hid)}",
+            site={"rid": rid, "handler": hid, "opnum": opnum, "claimed": count},
         )
     if (rid, hid, opnum) in state.op_map:
         raise AuditRejected(
-            "duplicate-op", f"operation {(rid, hid, opnum)} appears twice in logs"
+            "duplicate-op",
+            f"operation {(rid, hid, opnum)} appears twice in logs",
+            site={"rid": rid, "handler": hid, "opnum": opnum},
         )
 
 
@@ -254,7 +293,9 @@ def _add_handler_related_edges(state: AuditState) -> None:
     for rid, log in advice.handler_logs.items():
         if rid not in state.trace_rids:
             raise AuditRejected(
-                "unknown-request", f"handler log for unknown request {rid}"
+                "unknown-request",
+                f"handler log for unknown request {rid}",
+                site={"rid": rid},
             )
         registered: List[Tuple[str, str]] = []
         prev_node = None
@@ -270,6 +311,8 @@ def _add_handler_related_edges(state: AuditState) -> None:
                     raise AuditRejected(
                         "unknown-function",
                         f"register of unknown function {op.function_id!r}",
+                        site={"rid": rid, "handler": op.hid, "opnum": op.opnum,
+                              "claimed": op.function_id},
                     )
                 if (op.event, op.function_id) in registered or (
                     op.event,
@@ -278,6 +321,7 @@ def _add_handler_related_edges(state: AuditState) -> None:
                     raise AuditRejected(
                         "double-register",
                         f"{op.function_id!r} registered twice for {op.event!r}",
+                        site={"rid": rid, "handler": op.hid, "opnum": op.opnum},
                     )
                 registered.append((op.event, op.function_id))
             elif op.optype == UNREGISTER:
@@ -285,6 +329,7 @@ def _add_handler_related_edges(state: AuditState) -> None:
                     raise AuditRejected(
                         "invalid-unregister",
                         f"unregister without register: {op.function_id!r}/{op.event!r}",
+                        site={"rid": rid, "handler": op.hid, "opnum": op.opnum},
                     )
                 registered.remove((op.event, op.function_id))
             elif op.optype == EMIT:
@@ -297,6 +342,7 @@ def _add_handler_related_edges(state: AuditState) -> None:
                         raise AuditRejected(
                             "unreported-handler",
                             f"emit activates {hid_child!r} absent from opcounts",
+                            site={"rid": rid, "handler": hid_child},
                         )
                     activated.append(hid_child)
                     g.add_edge(this_node, node_op(rid, hid_child, 0))
@@ -312,7 +358,9 @@ def _tx_entry(state: AuditState, rid: str, tid: TxId, index: int):
     log = state.advice.tx_logs.get((rid, tid))
     if log is None or not 0 <= index < len(log):
         raise AuditRejected(
-            "bad-tx-reference", f"tx log position {(rid, tid, index)} does not exist"
+            "bad-tx-reference",
+            f"tx log position {(rid, tid, index)} does not exist",
+            site={"rid": rid, "tx": (rid, tid, index)},
         )
     return log[index]
 
@@ -322,7 +370,11 @@ def _add_external_state_edges(state: AuditState) -> None:
     advice = state.advice
     for (rid, tid), log in advice.tx_logs.items():
         if rid not in state.trace_rids:
-            raise AuditRejected("unknown-request", f"tx log for unknown request {rid}")
+            raise AuditRejected(
+                "unknown-request",
+                f"tx log for unknown request {rid}",
+                site={"rid": rid},
+            )
         if not log:
             raise AdviceFormatError(f"empty transaction log for {(rid, tid)}")
         if log[-1].optype == TX_COMMIT:
@@ -338,6 +390,9 @@ def _add_external_state_edges(state: AuditState) -> None:
                         raise AuditRejected(
                             "own-write-skipped",
                             f"tx {(rid, tid)} read initial state after writing {op.key!r}",
+                            site={"rid": rid, "handler": op.hid,
+                                  "opnum": op.opnum, "tx": (rid, tid, i),
+                                  "key": op.key},
                         )
                     state.initial_readers.setdefault(op.key, []).append((rid, tid, i))
                 else:
@@ -354,6 +409,9 @@ def _add_external_state_edges(state: AuditState) -> None:
                             "bad-dictating-write",
                             f"GET at {(rid, tid, i)} reads from a non-PUT or "
                             f"different key",
+                            site={"rid": rid, "handler": op.hid,
+                                  "opnum": op.opnum, "tx": (rid, tid, i),
+                                  "key": op.key, "prec": op.opcontents},
                         )
                     # Read-from edge: the PUT's op precedes the GET's op.
                     g.add_edge(
@@ -369,6 +427,11 @@ def _add_external_state_edges(state: AuditState) -> None:
                             "own-write-skipped",
                             f"tx {(rid, tid)} did not read its own last write "
                             f"of {op.key!r}",
+                            site={"rid": rid, "handler": op.hid,
+                                  "opnum": op.opnum, "tx": (rid, tid, i),
+                                  "key": op.key,
+                                  "expected": my_writes[op.key],
+                                  "claimed": (rid_w, tid_w, i_w)},
                         )
             elif op.optype == TX_PUT:
                 my_writes[op.key] = (rid, tid, i)

@@ -145,17 +145,27 @@ class ReExecutor:
                     "unexecuted-handler",
                     f"advice claims handler {(rid, hid)} but re-execution "
                     "never ran it",
+                    site={"rid": rid, "handler": hid},
                 )
         # Sorted: trace_rids is a set, and the first mismatching rid is
         # the rejection witness -- keep it deterministic across runs.
         for rid in sorted(self.state.trace_rids):
             if rid not in self.outputs:
-                raise AuditRejected("missing-output", f"request {rid} not re-executed")
+                raise AuditRejected(
+                    "missing-output",
+                    f"request {rid} not re-executed",
+                    site={"rid": rid},
+                )
             expected = self.state.trace.response(rid)
             if self.outputs[rid] != expected:
                 raise AuditRejected(
                     "output-mismatch",
                     f"re-executed response for {rid} differs from trace",
+                    site={
+                        "rid": rid,
+                        "expected": self.outputs[rid],
+                        "claimed": expected,
+                    },
                 )
         for var in self.vars.values():
             if isinstance(var, VarState):
@@ -165,6 +175,7 @@ class ReExecutor:
                         "unexecuted-log-entry",
                         f"variable {var.var_id!r} log entries never produced "
                         f"by re-execution: {dangling[:3]}",
+                        site={"var": var.var_id, "prec": dangling[0]},
                     )
 
     # -- group execution --------------------------------------------------------
@@ -175,12 +186,16 @@ class ReExecutor:
         routes = {r.route for r in requests}
         if len(routes) > 1:
             raise AuditRejected(
-                "group-mismatch", f"grouped requests have different routes {routes}"
+                "group-mismatch",
+                f"grouped requests have different routes {routes}",
+                site={"rid": rids[0], "claimed": list(rids)},
             )
         key_sets = {tuple(sorted(r.inputs)) for r in requests}
         if len(key_sets) > 1:
             raise AuditRejected(
-                "group-mismatch", "grouped requests have different input shapes"
+                "group-mismatch",
+                "grouped requests have different input shapes",
+                site={"rid": rids[0], "claimed": list(rids)},
             )
         inputs = {
             k: Multivalue(rids, [r.inputs[k] for r in requests])
@@ -207,6 +222,7 @@ class ReExecutor:
                 raise AuditRejected(
                     "unreported-handler",
                     f"handler {hid!r} of {rid} absent from opcounts",
+                    site={"rid": rid, "handler": hid},
                 )
 
     def _execute_handler(
@@ -224,14 +240,18 @@ class ReExecutor:
             raise
         except DivergenceError as exc:
             raise AuditRejected(
-                "divergence", f"group diverged in {hid!r}: {exc}"
+                "divergence",
+                f"group diverged in {hid!r}: {exc}",
+                site={"rid": rids[0], "handler": hid, "opnum": ctx.idx},
             ) from exc
         except Exception as exc:
             # Adversarial advice can feed values that crash the re-executed
             # application (the honest server would have crashed identically
             # online, so no honest trace reaches this state): reject.
             raise AuditRejected(
-                "reexec-crash", f"{hid!r} raised {type(exc).__name__}: {exc}"
+                "reexec-crash",
+                f"{hid!r} raised {type(exc).__name__}: {exc}",
+                site={"rid": rids[0], "handler": hid, "opnum": ctx.idx},
             ) from exc
         for rid in rids:
             if ctx.idx != self.advice.opcounts[(rid, hid)]:
@@ -239,6 +259,12 @@ class ReExecutor:
                     "opcount-mismatch",
                     f"handler {(rid, hid)} issued {ctx.idx} ops, advice "
                     f"claims {self.advice.opcounts[(rid, hid)]}",
+                    site={
+                        "rid": rid,
+                        "handler": hid,
+                        "expected": ctx.idx,
+                        "claimed": self.advice.opcounts[(rid, hid)],
+                    },
                 )
             self.executed.add((rid, hid))
         self.handlers_executed += len(rids)
@@ -273,6 +299,12 @@ class GroupContext:
                 raise AuditRejected(
                     "opcount-mismatch",
                     f"handler {(rid, self._hid)} issued more ops than advice claims",
+                    site={
+                        "rid": rid,
+                        "handler": self._hid,
+                        "opnum": opnum,
+                        "claimed": self._re.advice.opcounts[(rid, self._hid)],
+                    },
                 )
         return opnum
 
@@ -289,6 +321,7 @@ class GroupContext:
                     "op-kind-mismatch",
                     f"logs claim {(rid, self._hid, opnum)} but re-execution "
                     "performed a variable/nondet operation there",
+                    site={"rid": rid, "handler": self._hid, "opnum": opnum},
                 )
 
     # -- program variables ------------------------------------------------------
@@ -351,6 +384,7 @@ class GroupContext:
                 raise AuditRejected(
                     "missing-log-entry",
                     f"handler op at {(rid, self._hid, opnum)} not in handler log",
+                    site={"rid": rid, "handler": self._hid, "opnum": opnum},
                 )
             entry = self._re.advice.handler_logs[rid][pos[2]]
             if (
@@ -362,6 +396,13 @@ class GroupContext:
                     "handler-op-mismatch",
                     f"advice entry at {(rid, self._hid, opnum)} does not match "
                     f"re-executed {optype} of {event!r}",
+                    site={
+                        "rid": rid,
+                        "handler": self._hid,
+                        "opnum": opnum,
+                        "expected": (optype, event, function_id),
+                        "claimed": (entry.optype, entry.event, entry.function_id),
+                    },
                 )
 
     def emit(self, event: str, payload: object = None) -> None:
@@ -376,7 +417,14 @@ class GroupContext:
         ]
         if len(set(sets)) > 1:
             raise AuditRejected(
-                "group-mismatch", "emit activates different handlers across group"
+                "group-mismatch",
+                "emit activates different handlers across group",
+                site={
+                    "rid": self._rids[0],
+                    "handler": self._hid,
+                    "opnum": opnum,
+                    "claimed": list(self._rids),
+                },
             )
         for child in sets[0]:
             self._active.append((child, payload))
@@ -413,6 +461,7 @@ class GroupContext:
             raise AuditRejected(
                 "missing-log-entry",
                 f"state op at {(rid, self._hid, opnum)} not in a tx log",
+                site={"rid": rid, "handler": self._hid, "opnum": opnum},
             )
         _, _, tid_c, i = pos
         if tid_c != tid or i != txnum:
@@ -420,6 +469,13 @@ class GroupContext:
                 "state-op-mismatch",
                 f"state op at {(rid, self._hid, opnum)} logged under "
                 f"{(tid_c, i)}, re-execution expects {(tid, txnum)}",
+                site={
+                    "rid": rid,
+                    "handler": self._hid,
+                    "opnum": opnum,
+                    "expected": (tid, txnum),
+                    "claimed": (tid_c, i),
+                },
             )
         entry = state.advice.tx_logs[(rid, tid)][i]
         if entry.optype == optype:
@@ -430,6 +486,15 @@ class GroupContext:
                         "state-op-mismatch",
                         f"key mismatch at {(rid, tid, i)}: log has "
                         f"{entry.key!r}, re-execution {actual_key!r}",
+                        site={
+                            "rid": rid,
+                            "handler": self._hid,
+                            "opnum": opnum,
+                            "tx": (rid, tid, i),
+                            "key": actual_key,
+                            "expected": actual_key,
+                            "claimed": entry.key,
+                        },
                     )
             if optype == TX_PUT:
                 actual_value = materialize(value, rid)
@@ -437,6 +502,15 @@ class GroupContext:
                     raise AuditRejected(
                         "state-op-mismatch",
                         f"PUT value mismatch at {(rid, tid, i)}",
+                        site={
+                            "rid": rid,
+                            "handler": self._hid,
+                            "opnum": opnum,
+                            "tx": (rid, tid, i),
+                            "key": entry.key,
+                            "expected": actual_value,
+                            "claimed": entry.opcontents,
+                        },
                     )
                 return "ok", None
             if optype == TX_GET:
@@ -457,6 +531,15 @@ class GroupContext:
             "state-op-mismatch",
             f"op type mismatch at {(rid, tid, i)}: log has {entry.optype}, "
             f"re-execution performed {optype}",
+            site={
+                "rid": rid,
+                "handler": self._hid,
+                "opnum": opnum,
+                "tx": (rid, tid, i),
+                "key": entry.key,
+                "expected": optype,
+                "claimed": entry.optype,
+            },
         )
 
     def tx_start(self) -> TxId:
@@ -466,7 +549,9 @@ class GroupContext:
             result, error = self._check_state_op(rid, opnum, tid, TX_START)
             if error is not None:
                 raise AuditRejected(
-                    "state-op-mismatch", f"tx_start logged as abort for {rid}"
+                    "state-op-mismatch",
+                    f"tx_start logged as abort for {rid}",
+                    site={"rid": rid, "handler": self._hid, "opnum": opnum},
                 )
         return tid
 
@@ -526,7 +611,9 @@ class GroupContext:
             key = (rid, self._hid, opnum)
             if key not in self._re.advice.nondet:
                 raise AuditRejected(
-                    "missing-nondet", f"no recorded value for {key}"
+                    "missing-nondet",
+                    f"no recorded value for {key}",
+                    site={"rid": rid, "handler": self._hid, "opnum": opnum},
                 )
             values.append(self._re.advice.nondet[key])
         return self._lift(values)
@@ -541,8 +628,19 @@ class GroupContext:
                     "bad-response-emitter",
                     f"response for {rid} emitted at {(self._hid, self.idx)}, "
                     f"advice claims {claimed}",
+                    site={
+                        "rid": rid,
+                        "handler": self._hid,
+                        "opnum": self.idx,
+                        "expected": (self._hid, self.idx),
+                        "claimed": claimed,
+                    },
                 )
             if rid in self._re.outputs:
-                raise AuditRejected("double-response", f"{rid} responded twice")
+                raise AuditRejected(
+                    "double-response",
+                    f"{rid} responded twice",
+                    site={"rid": rid, "handler": self._hid, "opnum": self.idx},
+                )
             self._re.outputs[rid] = materialize(payload, rid)
         self._responded = True

@@ -77,6 +77,11 @@ class VarState:
                 raise AuditRejected(
                     "forged-initial-value",
                     f"variable {var_id!r} init entry does not match program",
+                    site={
+                        "var": var_id,
+                        "expected": initial_value,
+                        "claimed": entry.value,
+                    },
                 )
             self.consumed.add(INIT_REF)
 
@@ -121,6 +126,8 @@ class VarState:
                 raise AuditRejected(
                     "variable-log-invalid",
                     f"{self.var_id!r}: read entry at {key} malformed",
+                    site={"var": self.var_id, "rid": rid, "handler": hid,
+                          "opnum": opnum},
                 )
             dictating = self.log.get(entry.prec)
             if dictating is None:
@@ -138,11 +145,15 @@ class VarState:
                 raise AuditRejected(
                     "variable-log-invalid",
                     f"{self.var_id!r}: dictating write missing for read {key}",
+                    site={"var": self.var_id, "rid": rid, "handler": hid,
+                          "opnum": opnum, "prec": entry.prec},
                 )
             if dictating.access != "write":
                 raise AuditRejected(
                     "variable-log-invalid",
                     f"{self.var_id!r}: dictating write missing for read {key}",
+                    site={"var": self.var_id, "rid": rid, "handler": hid,
+                          "opnum": opnum, "prec": entry.prec},
                 )
             self.consumed.add(key)
             self.read_observers.setdefault(entry.prec, set()).add(key)
@@ -152,6 +163,8 @@ class VarState:
             raise AuditRejected(
                 "unfed-read",
                 f"{self.var_id!r}: no R-preceding write for unlogged read {key}",
+                site={"var": self.var_id, "rid": rid, "handler": hid,
+                      "opnum": opnum},
             )
         write_key, value = found
         self.read_observers.setdefault(write_key, set()).add(key)
@@ -169,11 +182,21 @@ class VarState:
                 raise AuditRejected(
                     "variable-log-invalid",
                     f"{self.var_id!r}: write at {key} logged as read",
+                    site={"var": self.var_id, "rid": rid, "handler": hid,
+                          "opnum": opnum},
                 )
             if entry.value != value:
                 raise AuditRejected(
                     "write-mismatch",
                     f"{self.var_id!r}: logged value differs from re-execution at {key}",
+                    site={
+                        "var": self.var_id,
+                        "rid": rid,
+                        "handler": hid,
+                        "opnum": opnum,
+                        "expected": value,
+                        "claimed": entry.value,
+                    },
                 )
             self.consumed.add(key)
             if entry.prec is not None:
@@ -181,6 +204,8 @@ class VarState:
                     raise AuditRejected(
                         "double-overwrite",
                         f"{self.var_id!r}: two writes overwrite {entry.prec}",
+                        site={"var": self.var_id, "rid": rid, "handler": hid,
+                              "opnum": opnum, "prec": entry.prec},
                     )
                 self.write_observer[entry.prec] = key
                 if self.journal is not None:

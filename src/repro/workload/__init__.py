@@ -4,6 +4,7 @@ from repro.workload.generator import (
     MIX_MIXED,
     MIX_READ_HEAVY,
     MIX_WRITE_HEAVY,
+    feed_workload,
     motd_workload,
     stacks_workload,
     wiki_workload,
@@ -14,6 +15,7 @@ __all__ = [
     "MIX_MIXED",
     "MIX_READ_HEAVY",
     "MIX_WRITE_HEAVY",
+    "feed_workload",
     "motd_workload",
     "stacks_workload",
     "wiki_workload",

@@ -124,12 +124,46 @@ def wiki_workload(n: int, seed: int = 0) -> List[Request]:
     return out
 
 
+_USERS = ("alice", "bob", "carol", "dave", "erin")
+
+
+def feed_workload(n: int, mix: str = MIX_MIXED, seed: int = 0) -> List[Request]:
+    """Follow/post/read_feed requests over a small user pool.
+
+    The first few requests are follows (so later posts actually fan out);
+    afterwards 15% are follows and the rest split between posts (writes)
+    and feed reads per the mix's write fraction.
+    """
+    rng = random.Random(seed)
+    frac = _write_fraction(mix)
+    out = []
+    for i in range(n):
+        rid = make_rid(i)
+        user = rng.choice(_USERS)
+        roll = rng.random()
+        if i < 3 or roll < 0.15:
+            target = rng.choice([u for u in _USERS if u != user])
+            out.append(Request.make(rid, "follow", user=user, target=target))
+        elif roll < 0.15 + 0.85 * frac:
+            out.append(
+                Request.make(
+                    rid, "post", user=user,
+                    text=f"post #{rng.randrange(1000)} from {user}",
+                )
+            )
+        else:
+            out.append(Request.make(rid, "read_feed", user=user))
+    return out
+
+
 def workload_for(app_name: str, n: int, mix: str = MIX_MIXED, seed: int = 0) -> List[Request]:
-    """Dispatch by application name ('motd', 'stacks', 'wiki')."""
+    """Dispatch by application name ('motd', 'stacks', 'wiki', 'feed')."""
     if app_name == "motd":
         return motd_workload(n, mix, seed)
     if app_name == "stacks":
         return stacks_workload(n, mix, seed)
     if app_name == "wiki":
         return wiki_workload(n, seed)
+    if app_name == "feed":
+        return feed_workload(n, mix, seed)
     raise ValueError(f"unknown application {app_name!r}")

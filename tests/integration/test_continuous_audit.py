@@ -32,7 +32,7 @@ import os
 
 import pytest
 
-from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.apps import feed_app, motd_app, stackdump_app, wiki_app
 from repro.attacks import ALL_ATTACKS
 from repro.continuous import (
     AuditJournal,
@@ -47,7 +47,12 @@ from repro.kem.scheduler import RandomScheduler
 from repro.server import KarousosPolicy, run_server
 from repro.store import IsolationLevel, KVStore
 from repro.verifier import audit
-from repro.workload import motd_workload, stacks_workload, wiki_workload
+from repro.workload import (
+    feed_workload,
+    motd_workload,
+    stacks_workload,
+    wiki_workload,
+)
 
 pytestmark = pytest.mark.tier1
 
@@ -79,6 +84,12 @@ RUNS = [
         wiki_app,
         lambda: wiki_workload(N_REQUESTS, seed=33),
         lambda: KVStore(IsolationLevel.SNAPSHOT),
+    ),
+    (
+        "feed-ser",
+        feed_app,
+        lambda: feed_workload(N_REQUESTS, mix="mixed", seed=24),
+        lambda: KVStore(IsolationLevel.SERIALIZABLE),
     ),
 ]
 

@@ -16,14 +16,19 @@ so details are not asserted here.
 
 import pytest
 
-from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.apps import feed_app, motd_app, stackdump_app, wiki_app
 from repro.attacks import ALL_ATTACKS
 from repro.kem.scheduler import RandomScheduler
 from repro.server import KarousosPolicy, run_server
 from repro.store import IsolationLevel, KVStore
 from repro.verifier import audit, parallel_audit
 from repro.verifier.oooaudit import ooo_audit
-from repro.workload import motd_workload, stacks_workload, wiki_workload
+from repro.workload import (
+    feed_workload,
+    motd_workload,
+    stacks_workload,
+    wiki_workload,
+)
 
 pytestmark = pytest.mark.tier1
 
@@ -63,6 +68,9 @@ def _runs():
     )
     yield "wiki-snap", wiki_app, wiki_workload(14, seed=33), (
         lambda: KVStore(IsolationLevel.SNAPSHOT)
+    )
+    yield "feed-ser", feed_app, feed_workload(14, mix="mixed", seed=24), (
+        lambda: KVStore(IsolationLevel.SERIALIZABLE)
     )
 
 

@@ -3,13 +3,18 @@ rejected, for every applicable attack, on every application."""
 
 import pytest
 
-from repro.apps import motd_app, stackdump_app, wiki_app
-from repro.attacks import ALL_ATTACKS, applicable_attacks
+from repro.apps import feed_app, motd_app, stackdump_app, wiki_app
+from repro.attacks import ALL_ATTACKS, AttackNotApplicable, applicable_attacks
 from repro.kem.scheduler import RandomScheduler
 from repro.server import KarousosPolicy, run_server
 from repro.store import IsolationLevel, KVStore
 from repro.verifier import audit
-from repro.workload import motd_workload, stacks_workload, wiki_workload
+from repro.workload import (
+    feed_workload,
+    motd_workload,
+    stacks_workload,
+    wiki_workload,
+)
 
 
 def _serve(app_fn, workload, store=None):
@@ -44,13 +49,26 @@ def wiki_run():
     )
 
 
+@pytest.fixture(scope="module")
+def feed_run():
+    return _serve(
+        feed_app,
+        feed_workload(25, mix="mixed", seed=14),
+        store=KVStore(IsolationLevel.SERIALIZABLE),
+    )
+
+
 def _assert_attack_rejected(app_fn, run, attack):
     if not attack.guaranteed:
         pytest.skip(f"{attack.name} needs a crafted workload (see crafted tests)")
     try:
         trace, advice = attack.apply(run.trace, run.advice)
-    except LookupError:
-        pytest.skip(f"attack {attack.name} has no target in this run")
+    except AttackNotApplicable as exc:
+        pytest.skip(f"attack {attack.name} has no target in this run: {exc}")
+    # Attack.apply raises AttackNotApplicable on a no-op, so reaching this
+    # point means a real mutation happened; assert it all the same so the
+    # soundness claim can never go vacuous again.
+    assert trace != run.trace or advice != run.advice, attack.name
     result = audit(app_fn(), trace, advice)
     assert not result.accepted, f"attack {attack.name} was wrongly accepted"
     # Sanity: the untampered pair still verifies (attacks copy, not mutate).
@@ -73,8 +91,28 @@ def test_wiki_rejects(wiki_run, attack):
     _assert_attack_rejected(wiki_app, wiki_run, attack)
 
 
+@pytest.mark.parametrize("attack", ALL_ATTACKS, ids=lambda a: a.name)
+def test_feed_rejects(feed_run, attack):
+    _assert_attack_rejected(feed_app, feed_run, attack)
+
+
 def test_applicable_attacks_filters_by_content(motd_run, stacks_run):
     motd_names = {a.name for a in applicable_attacks(motd_run.advice)}
     stacks_names = {a.name for a in applicable_attacks(stacks_run.advice)}
     assert "tamper-put-value" not in motd_names, "MOTD has no transactions"
     assert "tamper-put-value" in stacks_names
+
+
+def test_probed_applicability_is_exact(motd_run):
+    """With the trace, applicability is decided by actually applying the
+    attack: every listed attack mutates for real, every excluded one
+    raises AttackNotApplicable instead of silently returning the input."""
+    probed = applicable_attacks(motd_run.advice, motd_run.trace)
+    assert probed, "the motd workload must admit at least one attack"
+    for attack in probed:
+        trace, advice = attack.apply(motd_run.trace, motd_run.advice)
+        assert trace != motd_run.trace or advice != motd_run.advice, attack.name
+    excluded = [a for a in ALL_ATTACKS if a not in probed]
+    for attack in excluded:
+        with pytest.raises(AttackNotApplicable):
+            attack.apply(motd_run.trace, motd_run.advice)

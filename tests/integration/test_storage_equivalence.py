@@ -3,7 +3,7 @@
 An audit must be a pure function of the *logical* trace+advice pair: the
 physical encoding -- legacy whole-document JSON or a record stream on any
 backend -- must never change the verdict, the rejection reason, or the
-deterministic statistics.  Proven here on all three bundled apps, honest
+deterministic statistics.  Proven here on all four bundled apps, honest
 and under every tamper in the attack library, plus the CLI surface
 (``--store memory|file|gzip``).
 """
@@ -16,7 +16,7 @@ from repro.advice.codec import (
     read_advice,
     write_advice,
 )
-from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.apps import feed_app, motd_app, stackdump_app, wiki_app
 from repro.attacks import ALL_ATTACKS
 from repro.cli import EXIT_OK, EXIT_REJECTED, main
 from repro.kem.scheduler import RandomScheduler
@@ -25,7 +25,12 @@ from repro.store import IsolationLevel, KVStore
 from repro.storage import MemoryBackend, backend_for
 from repro.trace.codec import decode_trace, encode_trace, read_trace, write_trace
 from repro.verifier import audit
-from repro.workload import motd_workload, stacks_workload, wiki_workload
+from repro.workload import (
+    feed_workload,
+    motd_workload,
+    stacks_workload,
+    wiki_workload,
+)
 
 pytestmark = pytest.mark.tier1
 
@@ -46,6 +51,9 @@ def _runs():
         lambda: KVStore(IsolationLevel.SERIALIZABLE)
     )
     yield "wiki", wiki_app, wiki_workload(14, seed=43), (
+        lambda: KVStore(IsolationLevel.SERIALIZABLE)
+    )
+    yield "feed", feed_app, feed_workload(14, mix="mixed", seed=44), (
         lambda: KVStore(IsolationLevel.SERIALIZABLE)
     )
 
@@ -113,7 +121,7 @@ def test_tampered_verdicts_identical(served, attack, tmp_path):
 # -- the CLI surface -----------------------------------------------------------
 
 
-APPS = ["motd", "stacks", "wiki"]
+APPS = ["motd", "stacks", "wiki", "feed"]
 
 
 def _serve_cli(app, tmp_path, *extra):

@@ -1,7 +1,7 @@
-"""Behavioural unit tests for the three evaluation applications."""
+"""Behavioural unit tests for the bundled evaluation applications."""
 
 
-from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.apps import feed_app, motd_app, stackdump_app, wiki_app
 from repro.core.digest import value_digest
 from repro.kem.scheduler import FifoScheduler
 from repro.server import UnmodifiedPolicy, run_server
@@ -153,3 +153,79 @@ class TestWiki:
         pool = run.runtime.policy._vars["conn_pool"]
         assert pool["active"] == 0
         assert len(pool["slots"]) >= 1
+
+
+class TestFeed:
+    def store(self):
+        return KVStore(IsolationLevel.SERIALIZABLE)
+
+    def test_post_fans_out_to_followers(self):
+        reqs = [
+            Request.make("r0", "follow", user="bob", target="alice"),
+            Request.make("r1", "post", user="alice", text="hello"),
+            Request.make("r2", "read_feed", user="bob"),
+            Request.make("r3", "read_feed", user="alice"),
+        ]
+        trace = serve(feed_app(), reqs, self.store())
+        assert trace.response("r1")["status"] == "ok"
+        assert "alice#1: hello" in trace.response("r2")["feed"]
+        assert "alice#1: hello" in trace.response("r3")["feed"], (
+            "the author self-delivers"
+        )
+
+    def test_non_follower_sees_empty_feed(self):
+        reqs = [
+            Request.make("r0", "post", user="alice", text="hi"),
+            Request.make("r1", "read_feed", user="carol"),
+        ]
+        trace = serve(feed_app(), reqs, self.store())
+        assert trace.response("r1")["feed"] == ""
+
+    def test_overlong_post_rejected(self):
+        reqs = [Request.make("r0", "post", user="alice", text="x" * 281)]
+        trace = serve(feed_app(), reqs, self.store())
+        assert trace.response("r0") == {"status": "error", "error": "post too long"}
+
+    def test_second_read_hits_shared_cache(self):
+        reqs = [
+            Request.make("r0", "post", user="alice", text="hi"),
+            Request.make("r1", "read_feed", user="alice"),
+            Request.make("r2", "read_feed", user="alice"),
+        ]
+        trace = serve(feed_app(), reqs, self.store())
+        assert trace.response("r1")["cached"] is False
+        assert trace.response("r2")["cached"] is True
+        assert trace.response("r2")["feed"] == trace.response("r1")["feed"]
+
+    def test_post_invalidates_recipient_caches(self):
+        reqs = [
+            Request.make("r0", "follow", user="bob", target="alice"),
+            Request.make("r1", "read_feed", user="bob"),
+            Request.make("r2", "post", user="alice", text="one"),
+            Request.make("r3", "read_feed", user="bob"),
+        ]
+        trace = serve(feed_app(), reqs, self.store())
+        assert trace.response("r3")["cached"] is False, (
+            "the post must drop bob's cached feed"
+        )
+        assert "alice#1: one" in trace.response("r3")["feed"]
+
+    def test_follow_invalidates_follower_cache(self):
+        reqs = [
+            Request.make("r0", "read_feed", user="bob"),
+            Request.make("r1", "follow", user="bob", target="alice"),
+            Request.make("r2", "read_feed", user="bob"),
+        ]
+        trace = serve(feed_app(), reqs, self.store())
+        assert trace.response("r0")["cached"] is False
+        assert trace.response("r2")["cached"] is False
+
+    def test_feed_renders_newest_first(self):
+        reqs = [
+            Request.make("r0", "post", user="alice", text="first"),
+            Request.make("r1", "post", user="alice", text="second"),
+            Request.make("r2", "read_feed", user="alice"),
+        ]
+        trace = serve(feed_app(), reqs, self.store())
+        feed = trace.response("r2")["feed"]
+        assert feed.index("second") < feed.index("first")

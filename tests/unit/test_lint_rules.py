@@ -15,7 +15,7 @@ import pytest
 
 from repro.analysis import crosscheck_app, lint_app
 from repro.analysis.lint import predict_footprints
-from repro.apps import motd_app, stackdump_app, wiki_app
+from repro.apps import feed_app, motd_app, stackdump_app, wiki_app
 from repro.cli import EXIT_LINT, EXIT_OK, main
 from repro.kem.program import AppSpec
 from repro.trace.trace import Request
@@ -409,7 +409,7 @@ class TestR5:
 
 
 class TestBundledApps:
-    @pytest.mark.parametrize("make", [motd_app, stackdump_app, wiki_app])
+    @pytest.mark.parametrize("make", [motd_app, stackdump_app, wiki_app, feed_app])
     def test_bundled_apps_lint_clean(self, make):
         report = lint_app(make())
         assert report.clean, report.format_text()
@@ -431,7 +431,7 @@ def sneaky_handler(ctx, req):
 
 
 class TestCrosscheck:
-    @pytest.mark.parametrize("make", [motd_app, stackdump_app, wiki_app])
+    @pytest.mark.parametrize("make", [motd_app, stackdump_app, wiki_app, feed_app])
     def test_bundled_apps_crosscheck_sound(self, make):
         result = crosscheck_app(make(), n_requests=40, seed=3)
         assert result.sound, result.unpredicted

@@ -4,7 +4,7 @@ invariants, plan validation, work scaling."""
 
 import pytest
 
-from repro.apps import motd_app, wiki_app
+from repro.apps import feed_app, motd_app, wiki_app
 from repro.core.work import cpu_work, scaled_work, work_scale
 from repro.kem.scheduler import RandomScheduler
 from repro.server import KarousosPolicy, run_server
@@ -17,7 +17,7 @@ from repro.verifier.parallel import (
     group_footprints,
 )
 from repro.verifier.preprocess import preprocess
-from repro.workload import motd_workload, wiki_workload
+from repro.workload import feed_workload, motd_workload, wiki_workload
 
 pytestmark = pytest.mark.tier1
 
@@ -33,6 +33,19 @@ def wiki_state():
         concurrency=4,
     )
     return preprocess(wiki_app(), run.trace, run.advice)
+
+
+@pytest.fixture(scope="module")
+def feed_state():
+    run = run_server(
+        feed_app(),
+        feed_workload(12, mix="write-heavy", seed=63),
+        KarousosPolicy(),
+        store=KVStore(IsolationLevel.SERIALIZABLE),
+        scheduler=RandomScheduler(1),
+        concurrency=4,
+    )
+    return preprocess(feed_app(), run.trace, run.advice)
 
 
 @pytest.fixture(scope="module")
@@ -64,6 +77,20 @@ class TestFootprints:
         fps = group_footprints(motd_state, groups)
         # write-heavy motd: set handlers write the motd board variable.
         assert any(("var", "motd") in fp.writes for fp in fps.values())
+
+    def test_feed_fanout_footprints_span_timelines(self, feed_state):
+        """A write-heavy feed workload fans posts out across many per-user
+        timeline rows and invalidates the shared cross-user cache."""
+        groups = feed_state.advice.groups()
+        fps = group_footprints(feed_state, groups)
+        timeline_keys = {
+            k
+            for fp in fps.values()
+            for (kind, k) in fp.writes
+            if kind == "kv" and str(k).startswith("timeline:")
+        }
+        assert len(timeline_keys) >= 2, "fan-out must touch several timelines"
+        assert any(("var", "hot_cache") in fp.writes for fp in fps.values())
 
 
 class TestWaves:
