@@ -115,6 +115,25 @@ def _build_parser() -> argparse.ArgumentParser:
                      "'explain'")
     _add_store_args(aud)
     _add_obs_args(aud)
+    aud.add_argument("--dedup", action="store_true",
+                     help="deduplicated re-execution: digest-identical groups "
+                     "execute once per run, backed by an in-memory verdict "
+                     "cache (verdicts provably unchanged; see DESIGN.md §11)")
+    aud.add_argument("--cache-dir", metavar="DIR",
+                     help="persist the verdict cache here (implies --dedup); "
+                     "later audits over this directory warm-start from it")
+    aud.add_argument("--no-cache", action="store_true",
+                     help="with --dedup: in-run batching only, no verdict "
+                     "cache carried across epochs or runs")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or manage a persisted verdict cache"
+    )
+    cache.add_argument("action", choices=["stats", "verify", "clear"])
+    cache.add_argument("--cache-dir", required=True, metavar="DIR",
+                       help="the verdict-cache directory written by "
+                       "audit --cache-dir")
+    cache.add_argument("--format", default="text", choices=["text", "json"])
 
     attack = sub.add_parser("attack", help="tamper with advice, then audit")
     attack.add_argument("--app", required=True, choices=["motd", "stacks", "wiki", "feed"])
@@ -228,6 +247,31 @@ def _store_usage_error(args) -> Optional[str]:
     if args.store in ("json", "memory") and args.store_path:
         return "--store-path only applies to --store file/gzip"
     return None
+
+
+def _dedup_usage_error(args) -> Optional[str]:
+    if args.no_cache and args.cache_dir:
+        return "--no-cache and --cache-dir are mutually exclusive"
+    if args.no_cache and not args.dedup:
+        return "--no-cache requires --dedup"
+    return None
+
+
+def _make_dedup(args, metrics=None):
+    """A Deduplicator per the --dedup/--cache-dir/--no-cache flags, or
+    None when deduplication is off."""
+    if not (args.dedup or args.cache_dir):
+        return None
+    from repro.verifier.dedup import Deduplicator, VerdictCache
+
+    if args.no_cache:
+        return Deduplicator(cache=None)
+    if args.cache_dir:
+        from repro.storage import backend_for
+
+        backend = backend_for("file", args.cache_dir, metrics=metrics)
+        return Deduplicator(VerdictCache(backend, metrics=metrics))
+    return Deduplicator(VerdictCache(metrics=metrics))
 
 
 def _store_backend(args, metrics=None):
@@ -363,6 +407,8 @@ def _cmd_audit(args) -> int:
             args.trace is None or args.advice is None
         ):
             usage = "--trace and --advice are required unless --epochs-dir is given"
+    if usage is None:
+        usage = _dedup_usage_error(args)
     if usage is not None:
         print(f"error: {usage}", file=sys.stderr)
         return EXIT_USAGE
@@ -387,6 +433,15 @@ def _cmd_audit(args) -> int:
 def _dispatch_audit(args) -> int:
     metrics = _make_metrics(args)
     progress = _progress_hook(args)
+    dedup = _make_dedup(args, metrics=metrics)
+    try:
+        return _dispatch_audit_inner(args, metrics, progress, dedup)
+    finally:
+        if dedup is not None:
+            dedup.close()  # seal the verdict-cache stream
+
+
+def _dispatch_audit_inner(args, metrics, progress, dedup) -> int:
     backend = _store_backend(args, metrics=metrics)
     if args.store in ("file", "gzip"):
         from repro.continuous.codec import list_epoch_streams
@@ -395,7 +450,8 @@ def _dispatch_audit(args) -> int:
             # Sealed epoch streams take precedence: audit them lazily,
             # one epoch resident at a time (O(epoch) memory).
             return _cmd_audit_continuous(
-                args, backend=backend, metrics=metrics, progress=progress
+                args, backend=backend, metrics=metrics, progress=progress,
+                dedup=dedup,
             )
         if not backend.exists("trace") or not backend.exists("advice"):
             print(f"error: no trace/advice streams in {args.store_path}",
@@ -410,7 +466,7 @@ def _dispatch_audit(args) -> int:
             return _cmd_audit_continuous(
                 args, backend=backend,
                 preloaded=(read_trace(backend, "trace"), advice),
-                metrics=metrics, progress=progress,
+                metrics=metrics, progress=progress, dedup=dedup,
             )
         from repro.trace.codec import iter_trace_records
 
@@ -423,7 +479,7 @@ def _dispatch_audit(args) -> int:
                 make_app(args.app), iter_trace_records(reader), advice,
                 singleton_groups=args.singleton_groups,
                 parallelism=args.jobs, parallel_mode=args.parallel_mode,
-                metrics=metrics, progress=progress,
+                metrics=metrics, progress=progress, dedup=dedup,
             )
             result = auditor.run()
         from repro.trace.codec import read_trace as _read_trace
@@ -436,7 +492,9 @@ def _dispatch_audit(args) -> int:
             ),
         )
     if args.epochs or args.epochs_dir:
-        return _cmd_audit_continuous(args, metrics=metrics, progress=progress)
+        return _cmd_audit_continuous(
+            args, metrics=metrics, progress=progress, dedup=dedup
+        )
     trace, advice = _load(args)
     if args.store == "memory":
         trace, advice = _memory_roundtrip(backend, trace, advice)
@@ -444,7 +502,7 @@ def _dispatch_audit(args) -> int:
         make_app(args.app), trace, advice,
         singleton_groups=args.singleton_groups,
         parallelism=args.jobs, parallel_mode=args.parallel_mode,
-        metrics=metrics, progress=progress,
+        metrics=metrics, progress=progress, dedup=dedup,
     )
     return _finish_audit(
         args, auditor.run(), metrics,
@@ -510,7 +568,7 @@ def _finish_audit(args, result, metrics=None, explain_ctx=None) -> int:
 
 
 def _cmd_audit_continuous(
-    args, backend=None, preloaded=None, metrics=None, progress=None
+    args, backend=None, preloaded=None, metrics=None, progress=None, dedup=None
 ) -> int:
     from repro.continuous import (
         AuditJournal,
@@ -553,6 +611,7 @@ def _cmd_audit_continuous(
         journal=journal,
         metrics=metrics,
         progress=progress,
+        dedup=dedup,
     )
     try:
         verdicts = auditor.run(epochs)
@@ -609,6 +668,44 @@ def _cmd_audit_continuous(
           f"({stats['elapsed_seconds']:.3f}s audit time)")
     if not accepted:
         return EXIT_REJECTED
+    return EXIT_OK
+
+
+def _cmd_cache(args) -> int:
+    from repro.storage import backend_for
+    from repro.verifier.dedup import VerdictCache
+
+    backend = backend_for("file", args.cache_dir)
+    cache = VerdictCache(backend)
+    if args.action == "stats":
+        doc = cache.stats()
+        if args.format == "json":
+            print(json.dumps(doc, sort_keys=True))
+        else:
+            print(f"verdict cache {args.cache_dir} (spec {doc['spec']})")
+            print(f"  entries:  {doc['entries']} "
+                  f"({doc['members']} members, {doc['handlers']} handlers)")
+            print(f"  loaded:   {doc['loaded']}")
+            print(f"  skipped:  {doc['skipped']}")
+        return EXIT_OK
+    if args.action == "verify":
+        rows = cache.verify()
+        bad = [row for row in rows if row["status"] != "ok"]
+        if args.format == "json":
+            print(json.dumps(
+                {"records": rows, "ok": len(rows) - len(bad), "bad": len(bad)},
+                sort_keys=True,
+            ))
+        else:
+            for row in rows:
+                if row["status"] == "ok":
+                    print(f"ok       {row['key'][:16]}  members={row['members']}")
+                else:
+                    print(f"{row['status']:<8s} {row['detail']}")
+            print(f"{len(rows) - len(bad)} ok, {len(bad)} bad")
+        return EXIT_OK if not bad else EXIT_REJECTED
+    count = cache.clear()
+    print(f"cleared {count} entries from {args.cache_dir}")
     return EXIT_OK
 
 
@@ -730,6 +827,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "serve": _cmd_serve,
         "audit": _cmd_audit,
+        "cache": _cmd_cache,
         "attack": _cmd_attack,
         "analyze": _cmd_analyze,
         "lint": _cmd_lint,

@@ -73,12 +73,17 @@ class ContinuousAuditor:
         journal: Optional[AuditJournal] = None,
         metrics: Optional[MetricsRegistry] = None,
         progress: Optional[StageHook] = None,
+        dedup: Optional[object] = None,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         self.app = app
         self.parallelism = parallelism
         self.parallel_mode = parallel_mode
+        # One Deduplicator shared across every epoch's Auditor: digests
+        # cover the carry-in state (checkpoint-anchored), so a group that
+        # recurs in a later epoch under the same carried values is a hit.
+        self.dedup = dedup
         self.max_pending = max_pending
         self.metrics = ensure_metrics(metrics)
         self.progress = progress
@@ -235,6 +240,7 @@ class ContinuousAuditor:
             progress=progress,
             checkpoint_index=epoch.index,
             checkpoint_parent=parent,
+            dedup=self.dedup,
         )
         result = auditor.run()
         if not result.accepted:

@@ -144,8 +144,14 @@ def run_soundness_case(
     case: MutationCase,
     stats: Optional[FuzzStats] = None,
     metrics: MetricsRegistry = NULL_METRICS,
+    dedup: Optional[object] = None,
 ) -> Optional[str]:
-    """One soundness example; returns an escape detail string or None."""
+    """One soundness example; returns an escape detail string or None.
+
+    ``dedup`` (a :class:`~repro.verifier.dedup.executor.Deduplicator`)
+    audits through the deduplicated reexec stage instead -- used by the
+    corpus replay so shrunk reproducers also exercise the cache path.
+    """
     stats = stats if stats is not None else FuzzStats()
     stats.examples += 1
     trace, advice = serve_case(case.workload)
@@ -159,8 +165,13 @@ def run_soundness_case(
     stats.applied += 1
     metrics.counter("fuzz.mutations").inc()
     started = time.perf_counter()
+    if dedup is not None:
+        # Prime the cache on the honest pair first: the tampered audit
+        # then runs against a warm cache, the adversarial configuration.
+        Auditor(make_app(case.workload.app), trace, advice, dedup=dedup).run()
     result = Auditor(
-        make_app(case.workload.app), tampered_trace, tampered_advice
+        make_app(case.workload.app), tampered_trace, tampered_advice,
+        dedup=dedup,
     ).run()
     elapsed = time.perf_counter() - started
     metrics.histogram("fuzz.audit_seconds").observe(elapsed)
@@ -191,6 +202,7 @@ def run_completeness_case(
     case: CompletenessCase,
     stats: Optional[FuzzStats] = None,
     metrics: MetricsRegistry = NULL_METRICS,
+    dedup: Optional[object] = None,
 ) -> Optional[str]:
     """One completeness example; returns a failure detail string or None."""
     import tempfile
@@ -219,7 +231,7 @@ def run_completeness_case(
                     )
                     for e in epochs
                 ]
-        auditor = ContinuousAuditor(app)
+        auditor = ContinuousAuditor(app, dedup=dedup)
         verdicts = auditor.run(epochs)
         rejection = auditor.first_rejection
         if rejection is not None or not all(v.accepted for v in verdicts):
@@ -241,7 +253,7 @@ def run_completeness_case(
     elif case.driver == "parallel":
         kwargs["parallelism"] = 2
         kwargs["parallel_mode"] = "thread"
-    result = Auditor(app, trace, advice, **kwargs).run()
+    result = Auditor(app, trace, advice, dedup=dedup, **kwargs).run()
     if not result.accepted:
         stats.record_reject(result.reason)
         return (
@@ -367,10 +379,21 @@ def run_fuzz(
         run_soundness_case if prop == "soundness" else run_completeness_case
     )
 
-    # 1. Corpus replay: past reproducers must stay fixed.
+    # 1. Corpus replay: past reproducers must stay fixed.  Each case
+    # replays twice -- plain, then through the deduplicated reexec stage
+    # with a fresh verdict cache -- so shrunk reproducers exercise the
+    # cache path by default.
     for path, case in read_corpus(corpus_dir, prop):
+        from repro.verifier.dedup import Deduplicator, VerdictCache
+
         report.corpus_replayed += 1
         detail = run_case(case, stats, metrics)
+        if detail is None:
+            detail = run_case(
+                case, stats, metrics, dedup=Deduplicator(VerdictCache())
+            )
+            if detail is not None:
+                detail = f"[dedup replay] {detail}"
         if detail is not None:
             report.corpus_failures.append(
                 {"path": path, "detail": detail, "case": case.as_json()}

@@ -50,6 +50,13 @@ class Auditor:
     ``self.checkpoint``.  ``metrics`` (a
     :class:`~repro.obs.MetricsRegistry`) turns on the observability
     spine; ``progress`` is a per-stage hook ``(stage_name, seconds)``.
+
+    ``dedup`` (a :class:`~repro.verifier.dedup.executor.Deduplicator`)
+    replaces the reexec stage with the deduplicated one: digest-identical
+    groups execute once per Deduplicator lifetime and verdict-cache hits
+    skip re-execution entirely, with verdicts provably unchanged (see
+    DESIGN.md §11).  The same object may be shared across many Auditors
+    (epochs, runs) for cross-epoch reuse.
     """
 
     def __init__(
@@ -66,6 +73,7 @@ class Auditor:
         progress: Optional[StageHook] = None,
         checkpoint_index: Optional[int] = None,
         checkpoint_parent: Optional[object] = None,
+        dedup: Optional[object] = None,
     ):
         self.app = app
         # ``trace`` may be a lazy event iterator (a storage-layer record
@@ -83,6 +91,7 @@ class Auditor:
         self.progress = progress
         self.checkpoint_index = checkpoint_index
         self.checkpoint_parent = checkpoint_parent
+        self.dedup = dedup
         self.state: Optional[AuditState] = None
         self.re_exec: Optional[ReExecutor] = None
         self.checkpoint = None  # set by the checkpoint stage when armed
@@ -93,7 +102,10 @@ class Auditor:
         if self.parallelism and self.parallelism > 1:
             return self._run_parallel()
         ctx = self._context()
-        result = build_pipeline(on_stage=self.progress).run(ctx)
+        reexec_stage = self.dedup.stage if self.dedup is not None else None
+        result = build_pipeline(
+            reexec_stage=reexec_stage, on_stage=self.progress
+        ).run(ctx)
         self._absorb(ctx)
         return result
 
@@ -132,6 +144,7 @@ class Auditor:
             progress=self.progress,
             checkpoint_index=self.checkpoint_index,
             checkpoint_parent=self.checkpoint_parent,
+            dedup=self.dedup,
         )
         result = pipeline.run()
         self.parallel = pipeline

@@ -217,9 +217,9 @@ class GroupDelta:
     consumed: Dict[str, Set] = field(default_factory=dict)
     plain_values: Dict[str, Dict] = field(default_factory=dict)
     metrics: Optional[Dict[str, object]] = None
-    # (kind, reason, detail); kind is "rejected" (AuditRejected) or
+    # (kind, reason, detail, site); kind is "rejected" (AuditRejected) or
     # "crash" (any other exception, the sequential audit's audit-crash).
-    rejection: Optional[Tuple[str, str, str]] = None
+    rejection: Optional[Tuple[str, str, str, Optional[dict]]] = None
 
 
 def execute_group(
@@ -241,9 +241,13 @@ def execute_group(
         else:
             re_exec.execute_group(rids)
     except AuditRejected as rejection:
-        delta.rejection = ("rejected", rejection.reason, rejection.detail)
+        delta.rejection = (
+            "rejected", rejection.reason, rejection.detail, rejection.site
+        )
     except Exception as exc:  # mirrors the pipeline's audit-crash clause
-        delta.rejection = ("crash", "audit-crash", f"{type(exc).__name__}: {exc}")
+        delta.rejection = (
+            "crash", "audit-crash", f"{type(exc).__name__}: {exc}", None
+        )
     if worker_metrics is not None:
         worker_metrics.counter("worker.groups").inc()
         if re_exec is not None:
@@ -272,6 +276,65 @@ def execute_group(
         elif var.values:
             delta.plain_values[var_id] = var.values
     return delta
+
+
+def merge_delta(
+    re_exec: ReExecutor,
+    delta: GroupDelta,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """Replay one group's delta into the merge-target executor.
+
+    Called in canonical (sorted-tag) order, this reproduces exactly the
+    write-history bookkeeping the sequential audit performs: journals
+    replay the order-sensitive events -- including the
+    ``double-overwrite`` conflict check, raised with the same reason,
+    detail, and site the sequential :class:`~repro.verifier.state.VarState`
+    produces -- and a group's own rejection fires at its recorded
+    position.  Bulk state merges wholesale only after the journal
+    replayed cleanly.  Shared by the parallel reduction and the dedup
+    driver (:mod:`repro.verifier.dedup.executor`), so both are
+    verdict-equivalent to the sequential audit by the same argument.
+    """
+    if metrics is not None:
+        metrics.merge(delta.metrics)
+    re_exec.groups_executed += 1
+    for event in delta.journal:
+        kind = event[0]
+        if kind == "handlers":
+            re_exec.handlers_executed += event[1]
+        elif kind == "claim":
+            _, var_id, prec, key = event
+            var = re_exec.vars[var_id]
+            if prec in var.write_observer:
+                raise AuditRejected(
+                    "double-overwrite",
+                    f"{var_id!r}: two writes overwrite {prec}",
+                    site={"var": var_id, "rid": key[0], "handler": key[1],
+                          "opnum": key[2], "prec": prec},
+                )
+            var.write_observer[prec] = key
+        elif kind == "fallback":
+            _, var_id, prec, key = event
+            re_exec.vars[var_id].write_observer.setdefault(prec, key)
+        elif kind == "initializer":
+            _, var_id, key = event
+            re_exec.vars[var_id].initializer = key
+    if delta.rejection is not None:
+        _kind, reason, detail, site = delta.rejection
+        raise AuditRejected(reason, detail, site=site)
+    re_exec.executed.update(delta.executed)
+    re_exec.outputs.update(delta.outputs)
+    for var_id, var_dict in delta.var_dicts.items():
+        re_exec.vars[var_id].var_dict.update(var_dict)
+    for var_id, observers in delta.read_observers.items():
+        var = re_exec.vars[var_id]
+        for key, readers in observers.items():
+            var.read_observers.setdefault(key, set()).update(readers)
+    for var_id, consumed in delta.consumed.items():
+        re_exec.vars[var_id].consumed.update(consumed)
+    for var_id, values in delta.plain_values.items():
+        re_exec.vars[var_id].values.update(values)
 
 
 # -- process-pool plumbing -----------------------------------------------------
@@ -325,9 +388,12 @@ class ParallelAuditor:
         progress: Optional[StageHook] = None,
         checkpoint_index: Optional[int] = None,
         checkpoint_parent: Optional[object] = None,
+        dedup: Optional[object] = None,
     ):
         if mode not in MODES:
             raise ValueError(f"unknown parallel mode {mode!r}")
+        if dedup is not None and waves is not None:
+            raise ValueError("injected waves cannot be combined with dedup")
         self.app = app
         self.trace = trace
         self.advice = advice
@@ -340,6 +406,7 @@ class ParallelAuditor:
         self.progress = progress
         self.checkpoint_index = checkpoint_index
         self.checkpoint_parent = checkpoint_parent
+        self.dedup = dedup
         self._forced_waves = waves
         self._payload: Optional[bytes] = None
         self.state: Optional[AuditState] = None
@@ -377,17 +444,53 @@ class ParallelAuditor:
     def _stage_reexec(self, ctx: PipelineContext) -> None:
         """The fan-out reexec stage: plan waves, execute groups on
         workers, reduce deltas in canonical order, run the sequential
-        audit's final checks."""
+        audit's final checks.
+
+        With a :class:`~repro.verifier.dedup.executor.Deduplicator`
+        attached, every group is digested first (in canonical order, so
+        the in-run memo behaves exactly as in the sequential driver);
+        validated hits rehydrate their delta in the parent and only the
+        misses fan out to workers.  The reduction then merges hit and
+        miss deltas in the same canonical order, so the verdict is still
+        byte-identical to the sequential audit's, and freshly executed
+        clean groups are offered back to the cache after their journal
+        replayed conflict-free.
+        """
         self.state = ctx.state
         ctx.re_exec = self.re_exec = ReExecutor(ctx.state)  # the merge target
         if self.singleton_groups:
             groups = {rid: [rid] for rid in self.advice.tags}
         else:
             groups = self.advice.groups()
-        self.plan = self._plan(groups)
-        deltas = self._execute_waves(groups)
-        self._merge(groups, deltas)
-        self.re_exec._final_checks()
+        deltas: Dict[str, GroupDelta] = {}
+        digests: Dict[str, object] = {}
+        misses = groups
+        if self.dedup is not None:
+            self.dedup.begin_stage()
+            misses = {}
+            for tag in sorted(groups):
+                digest, delta = self.dedup.fetch(ctx.state, tag, groups[tag])
+                digests[tag] = digest
+                if delta is not None:
+                    deltas[tag] = delta
+                else:
+                    misses[tag] = groups[tag]
+        self.plan = self._plan(misses)
+        if misses or self.dedup is None:
+            deltas.update(self._execute_waves(misses))
+
+        def _store(tag: str, delta: GroupDelta) -> None:
+            if tag in misses and digests.get(tag) is not None:
+                self.dedup.store(ctx.state, groups[tag], digests[tag], delta)
+
+        try:
+            self._merge(
+                groups, deltas, _store if self.dedup is not None else None
+            )
+            self.re_exec._final_checks()
+        finally:
+            if self.dedup is not None:
+                self.dedup.finish_stage(ctx.metrics)
         ctx.metrics.counter("reexec.groups").inc(self.re_exec.groups_executed)
         ctx.metrics.counter("reexec.handlers").inc(self.re_exec.handlers_executed)
         ctx.metrics.gauge("parallel.jobs").set(self.jobs)
@@ -493,59 +596,25 @@ class ParallelAuditor:
     # -- canonical-order reduction ----------------------------------------------
 
     def _merge(
-        self, groups: Dict[str, List[str]], deltas: Dict[str, GroupDelta]
+        self,
+        groups: Dict[str, List[str]],
+        deltas: Dict[str, GroupDelta],
+        on_merged=None,
     ) -> None:
-        """Reduce group deltas in canonical (sorted-tag) order.
-
-        Raises :class:`AuditRejected` at exactly the point the sequential
-        audit would have: journals replay the order-sensitive write-history
-        bookkeeping, including the ``double-overwrite`` conflict check, and
-        a group's own rejection fires at its recorded position.  A worker
-        delta of kind "crash" raises with reason ``audit-crash`` -- the
-        same verdict the sequential audit's crashed phase produces.
-        Worker metrics snapshots merge here, in the same canonical order,
-        so the parent registry is deterministic regardless of worker
-        completion order.
+        """Reduce group deltas in canonical (sorted-tag) order via
+        :func:`merge_delta`.  A worker delta of kind "crash" raises with
+        reason ``audit-crash`` -- the same verdict the sequential audit's
+        crashed phase produces.  Worker metrics snapshots merge here, in
+        the same canonical order, so the parent registry is deterministic
+        regardless of worker completion order.  ``on_merged(tag, delta)``
+        fires after each group replays cleanly (the dedup driver stores
+        freshly executed groups from it).
         """
-        re_exec = self.re_exec
         for tag in sorted(groups):
             delta = deltas[tag]
-            self.metrics.merge(delta.metrics)
-            re_exec.groups_executed += 1
-            for event in delta.journal:
-                kind = event[0]
-                if kind == "handlers":
-                    re_exec.handlers_executed += event[1]
-                elif kind == "claim":
-                    _, var_id, prec, key = event
-                    var = re_exec.vars[var_id]
-                    if prec in var.write_observer:
-                        raise AuditRejected(
-                            "double-overwrite",
-                            f"{var_id!r}: two writes overwrite {prec}",
-                        )
-                    var.write_observer[prec] = key
-                elif kind == "fallback":
-                    _, var_id, prec, key = event
-                    re_exec.vars[var_id].write_observer.setdefault(prec, key)
-                elif kind == "initializer":
-                    _, var_id, key = event
-                    re_exec.vars[var_id].initializer = key
-            if delta.rejection is not None:
-                _kind, reason, detail = delta.rejection
-                raise AuditRejected(reason, detail)
-            re_exec.executed.update(delta.executed)
-            re_exec.outputs.update(delta.outputs)
-            for var_id, var_dict in delta.var_dicts.items():
-                re_exec.vars[var_id].var_dict.update(var_dict)
-            for var_id, observers in delta.read_observers.items():
-                var = re_exec.vars[var_id]
-                for key, readers in observers.items():
-                    var.read_observers.setdefault(key, set()).update(readers)
-            for var_id, consumed in delta.consumed.items():
-                re_exec.vars[var_id].consumed.update(consumed)
-            for var_id, values in delta.plain_values.items():
-                re_exec.vars[var_id].values.update(values)
+            merge_delta(self.re_exec, delta, self.metrics)
+            if on_merged is not None:
+                on_merged(tag, delta)
 
 
 def parallel_audit(

@@ -124,6 +124,82 @@ def test_parallel_worker_counters_match_merged_totals(wiki_run):
     assert counters["worker.handlers"] == counters["reexec.handlers"]
 
 
+class TestDedupNeutrality:
+    """Cache-on audits are observe-only too: metrics must not perturb the
+    deduplicated reexec stage, and the dedup counters must land in a
+    schema-valid ``repro.metrics/1`` snapshot."""
+
+    def _dedup_verdict(self, app_fn, run, metrics, warm):
+        from repro.verifier.dedup import Deduplicator, VerdictCache
+
+        dedup = Deduplicator(VerdictCache(metrics=metrics))
+        if warm:
+            Auditor(app_fn(), run.trace, run.advice, dedup=dedup).run()
+        result = Auditor(
+            app_fn(), run.trace, run.advice, metrics=metrics, dedup=dedup
+        ).run()
+        return (result.accepted, result.reason, result.detail), _deterministic(
+            result.stats
+        )
+
+    @pytest.mark.parametrize("warm", [False, True], ids=["cold", "warm"])
+    @pytest.mark.parametrize("name,app_fn,run_fixture", RUNS, ids=lambda r: None)
+    def test_dedup_audit_is_metrics_neutral(
+        self, name, app_fn, run_fixture, warm, request
+    ):
+        run = request.getfixturevalue(run_fixture)
+        metrics = MetricsRegistry()
+        with_m = self._dedup_verdict(app_fn, run, metrics, warm)
+        without = self._dedup_verdict(app_fn, run, None, warm)
+        assert with_m == without
+        validate_metrics_doc(metrics.snapshot())
+        assert with_m[0][0] is True, with_m
+
+    def test_dedup_counters_in_snapshot(self, wiki_run):
+        from repro.storage import backend_for
+        from repro.verifier.dedup import Deduplicator, VerdictCache
+
+        metrics = MetricsRegistry()
+        dedup = Deduplicator(
+            VerdictCache(backend_for("memory", None), metrics=metrics)
+        )
+        for _ in range(2):
+            result = Auditor(
+                wiki_app(), wiki_run.trace, wiki_run.advice,
+                metrics=metrics, dedup=dedup,
+            ).run()
+            assert result.accepted, result.reason
+        snap = metrics.snapshot()
+        validate_metrics_doc(snap)
+        counters = snap["counters"]
+        for key in (
+            "reexec.cache_hits",
+            "reexec.cache_misses",
+            "reexec.dedup_groups",
+        ):
+            assert key in counters, sorted(counters)
+        # Every fetched group is exactly one of: hit, executed (miss), or
+        # uncacheable -- and the warm pass hits whatever the cold pass
+        # could store.
+        total = counters["reexec.groups"]
+        hits = counters["reexec.dedup_groups"]
+        misses = counters["reexec.cache_misses"]
+        uncacheable = counters.get("reexec.uncacheable_groups", 0)
+        assert hits > 0
+        assert hits + misses + uncacheable == total
+        assert counters["cache.entries_written"] == hits
+        assert "reexec.dedup_ratio" in snap["gauges"]
+        # reexec.groups/handlers parity: a dedup audit accounts handler
+        # work identically to the plain stage, hits included.
+        plain = MetricsRegistry()
+        Auditor(
+            wiki_app(), wiki_run.trace, wiki_run.advice, metrics=plain
+        ).run()
+        plain_counters = plain.snapshot()["counters"]
+        assert counters["reexec.groups"] == 2 * plain_counters["reexec.groups"]
+        assert counters["reexec.handlers"] == 2 * plain_counters["reexec.handlers"]
+
+
 def test_continuous_audit_is_metrics_neutral(wiki_run):
     epochs = slice_epochs(wiki_run.trace, wiki_run.advice, 5)
 
