@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.ctxutil import (
     VAR_READ_METHODS as READ_METHODS,
@@ -123,7 +123,7 @@ class _AccessCollector(ast.NodeVisitor):
 
 def _function_accesses(
     fid: str,
-    fn,
+    fn: Any,
     _seen: Optional[Set[object]] = None,
     _ctx_position: int = 0,
 ) -> Optional[Tuple[Set[str], Set[str], List[str]]]:

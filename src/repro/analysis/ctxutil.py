@@ -28,7 +28,11 @@ import ast
 import inspect
 import textwrap
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple, Union
+
+#: A helper's context-parameter slot: a positional index or, for
+#: keyword-forwarded contexts (``helper(x, ctx=c)``), the parameter name.
+CtxSlot = Union[int, str]
 
 #: Context-API method names, grouped by role.  The linter and the
 #: annotation analyzer share this vocabulary.
@@ -70,7 +74,7 @@ class ParsedFunction:
         return ""
 
 
-def parse_function(fn) -> Optional[ParsedFunction]:
+def parse_function(fn: Any) -> Optional[ParsedFunction]:
     """Parse ``fn``'s source into a :class:`ParsedFunction`.
 
     Returns ``None`` when the source is unavailable (C functions,
@@ -123,43 +127,93 @@ def _is_context_annotation(annotation: Optional[ast.expr]) -> bool:
     return tail.endswith("Context")
 
 
-def context_params(func_def: ast.FunctionDef, position: int = 0) -> List[str]:
+def context_params(func_def: ast.FunctionDef, position: CtxSlot = 0) -> List[str]:
     """Parameter names that carry the handler context.
 
     Annotation wins over position: a parameter annotated with a
     ``*Context`` type is the context wherever it sits.  Without an
     annotation the parameter at ``position`` (the caller's argument slot,
-    0 for request/callback handlers) is assumed.
+    0 for request/callback handlers) is assumed; a string slot names the
+    parameter the caller forwarded the context into by keyword.
     """
     params = _positional_params(func_def)
     annotated = [a.arg for a in params if _is_context_annotation(a.annotation)]
     if annotated:
         return annotated
+    if isinstance(position, str):
+        all_params = params + list(func_def.args.kwonlyargs)
+        if any(a.arg == position for a in all_params):
+            return [position]
+        return []
     if 0 <= position < len(params):
         return [params[position].arg]
     return []
 
 
+def _alias_step(node: ast.AST, names: Set[str]) -> bool:
+    """One alias-propagation step over a single statement; True if grown."""
+    changed = False
+    if isinstance(node, ast.Assign):
+        if isinstance(node.value, ast.Name) and node.value.id in names:
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id not in names:
+                    names.add(target.id)
+                    changed = True
+        elif isinstance(node.value, ast.NamedExpr):
+            # ``c = (alias := ctx)``: the walrus case is handled below,
+            # but the outer assignment also aliases once it resolves.
+            inner = node.value
+            if isinstance(inner.value, ast.Name) and inner.value.id in names:
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id not in names:
+                        names.add(target.id)
+                        changed = True
+        elif isinstance(node.value, ast.Tuple):
+            # Positional tuple unpacking: ``a, c = payload, ctx``.  Only
+            # star-free, length-matched patterns propagate.
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Tuple)
+                    and len(target.elts) == len(node.value.elts)
+                    and not any(isinstance(e, ast.Starred) for e in target.elts)
+                ):
+                    for tgt, val in zip(target.elts, node.value.elts):
+                        if (
+                            isinstance(tgt, ast.Name)
+                            and isinstance(val, ast.Name)
+                            and val.id in names
+                            and tgt.id not in names
+                        ):
+                            names.add(tgt.id)
+                            changed = True
+    elif isinstance(node, ast.NamedExpr):
+        # Walrus rename: ``(c := ctx)`` aliases wherever it appears.
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id in names
+            and isinstance(node.target, ast.Name)
+            and node.target.id not in names
+        ):
+            names.add(node.target.id)
+            changed = True
+    return changed
+
+
 def context_names(func_def: ast.FunctionDef, ctx_params: List[str]) -> Set[str]:
     """``ctx_params`` plus all local aliases (``c = ctx``), to a fixpoint.
 
-    Only simple ``Name = Name`` (and tuple-free chained ``a = b = ctx``)
-    assignments propagate; anything fancier falls out of the alias set and
-    is instead caught dynamically by the crosscheck layer.
+    Simple ``Name = Name`` chains, walrus renames (``(c := ctx)``), and
+    star-free positional tuple unpacking propagate; anything fancier
+    falls out of the alias set and is instead caught dynamically by the
+    crosscheck layer.
     """
     names = set(ctx_params)
     changed = True
     while changed:
         changed = False
         for node in ast.walk(func_def):
-            if not isinstance(node, ast.Assign):
-                continue
-            if not (isinstance(node.value, ast.Name) and node.value.id in names):
-                continue
-            for target in node.targets:
-                if isinstance(target, ast.Name) and target.id not in names:
-                    names.add(target.id)
-                    changed = True
+            if _alias_step(node, names):
+                changed = True
     return names
 
 
@@ -175,30 +229,38 @@ def ctx_method_call(node: ast.Call, ctx_names: Set[str]) -> Optional[str]:
     return None
 
 
-def helper_ctx_positions(node: ast.Call, ctx_names: Set[str]) -> Optional[Tuple[str, int]]:
+def helper_ctx_positions(node: ast.Call, ctx_names: Set[str]) -> Optional[Tuple[str, CtxSlot]]:
     """Detect a helper invocation that forwards the context.
 
-    Returns ``(helper_name, position)`` when ``node`` is a plain-name call
-    with a context name at any positional argument slot; the interprocedural
-    analyses follow such calls with ``position`` as the helper's context
-    parameter index.
+    Returns ``(helper_name, slot)`` when ``node`` is a plain-name call
+    with a context name at any positional argument slot (``slot`` is the
+    index) or passed by keyword (``slot`` is the keyword name); the
+    interprocedural analyses follow such calls with ``slot`` identifying
+    the helper's context parameter.
     """
     if not isinstance(node.func, ast.Name):
         return None
     for i, arg in enumerate(node.args):
         if isinstance(arg, ast.Name) and arg.id in ctx_names:
             return (node.func.id, i)
+    for kw in node.keywords:
+        if (
+            kw.arg is not None
+            and isinstance(kw.value, ast.Name)
+            and kw.value.id in ctx_names
+        ):
+            return (node.func.id, kw.arg)
     return None
 
 
-def iter_calls(func_def: ast.FunctionDef):
+def iter_calls(func_def: ast.FunctionDef) -> Iterator[ast.Call]:
     """All ``Call`` nodes in ``func_def`` including inside nested lambdas."""
     for node in ast.walk(func_def):
         if isinstance(node, ast.Call):
             yield node
 
 
-def resolve_global(fn, dotted: str) -> object:
+def resolve_global(fn: Any, dotted: str) -> Any:
     """Best-effort resolution of a dotted name through ``fn.__globals__``."""
     parts = dotted.split(".")
     obj = getattr(fn, "__globals__", {}).get(parts[0])
@@ -259,7 +321,7 @@ class ScopedWalker(ast.NodeVisitor):
         pass
 
 
-def walk_scoped(func_def: ast.FunctionDef):
+def walk_scoped(func_def: ast.FunctionDef) -> Iterator[ast.AST]:
     """Yield all nodes of ``func_def``'s own scope (no lambdas/nested defs).
 
     The ``func_def`` node itself is not yielded.
@@ -275,9 +337,9 @@ def walk_scoped(func_def: ast.FunctionDef):
 
 def collect_helper_calls(
     func_def: ast.FunctionDef, ctx_names: Set[str]
-) -> Dict[str, int]:
-    """Helper name -> context argument position, for every forwarding call."""
-    helpers: Dict[str, int] = {}
+) -> Dict[str, CtxSlot]:
+    """Helper name -> context argument slot, for every forwarding call."""
+    helpers: Dict[str, CtxSlot] = {}
     for call in iter_calls(func_def):
         if ctx_method_call(call, ctx_names) is not None:
             continue

@@ -5,8 +5,10 @@ audit depends on; this repo hand-writes the annotated program, so
 :func:`lint_app` re-establishes the guarantee statically.  It walks every
 handler in an :class:`~repro.kem.program.AppSpec` -- following helper
 functions that receive the context at any argument position -- and runs
-the rule set of :mod:`repro.analysis.rules` (R1-R5) over each, producing
-a :class:`~repro.analysis.report.LintReport` with exact source
+the rule set of :mod:`repro.analysis.rules` (R1-R5) over each, then the
+pairwise concurrency rules R6-R9 of :mod:`repro.analysis.effects` over
+the app's symbolic effect summaries, producing a
+:class:`~repro.analysis.report.LintReport` with exact source
 coordinates.
 
 Suppressions: a trailing comment ``# lint: disable=R5 -- justification``
@@ -28,7 +30,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.ctxutil import (
     ParsedFunction,
@@ -42,6 +44,7 @@ from repro.analysis.ctxutil import (
     parse_function,
 )
 from repro.analysis.dataflow import TaintEnv
+from repro.analysis.effects import analyze_effects, effect_violations
 from repro.analysis.report import LintReport, Violation
 from repro.analysis.rules import (
     AppContext,
@@ -70,7 +73,7 @@ def _suppressed_rules(line: str) -> Set[str]:
 
 def make_handler_info(
     fid: str,
-    fn,
+    fn: Any,
     ctx_position: int = 0,
     is_request_handler: bool = False,
 ) -> Optional[HandlerInfo]:
@@ -110,7 +113,7 @@ def _discover(
     unparsed: List[str] = []
     seen_fns: Set[int] = set()
 
-    def add(fid: str, fn, position: int, is_request: bool) -> None:
+    def add(fid: str, fn: Any, position: int, is_request: bool) -> None:
         if id(fn) in seen_fns:
             return
         seen_fns.add(id(fn))
@@ -187,6 +190,7 @@ def lint_app(app: AppSpec) -> LintReport:
     appctx.resolving_helpers = _resolving_helpers(infos, appctx)
 
     report = LintReport(app_name=app.name, unparsed=unparsed)
+    info_by_fid = {info.fid: info for info in infos}
     for info in infos:
         found: List[Violation] = []
         found.extend(check_r1(info))
@@ -194,14 +198,38 @@ def lint_app(app: AppSpec) -> LintReport:
         found.extend(check_r3(info))
         found.extend(check_r4(info, appctx))
         found.extend(check_r5(info, appctx))
-        def_line_rules = _suppressed_rules(info.parsed.source_line(info.parsed.firstline))
-        for violation in sorted(found, key=lambda v: (v.line, v.col, v.rule)):
-            line_rules = _suppressed_rules(info.parsed.source_line(violation.line))
-            if violation.rule in line_rules or violation.rule in def_line_rules:
-                report.suppressed.append(violation)
-            else:
-                report.violations.append(violation)
+        _file_report(report, info, found)
+
+    # R6-R9 ride on the symbolic effect summaries (repro.analysis.effects)
+    # rather than the per-function walk: they are properties of handler
+    # *pairs* and route closures.  Suppression works the same way, keyed
+    # on the top-level handler each finding is anchored to.
+    effect_found: Dict[str, List[Violation]] = {}
+    for violation in effect_violations(analyze_effects(app)):
+        effect_found.setdefault(violation.fid, []).append(violation)
+    for fid, found in sorted(effect_found.items()):
+        info = info_by_fid.get(fid)
+        if info is None:
+            report.violations.extend(
+                sorted(found, key=lambda v: (v.line, v.col, v.rule))
+            )
+            continue
+        _file_report(report, info, found)
     return report
+
+
+def _file_report(
+    report: LintReport, info: HandlerInfo, found: List[Violation]
+) -> None:
+    """Append ``found`` to ``report``, honouring suppression comments on
+    the handler's ``def`` line or the violating line itself."""
+    def_line_rules = _suppressed_rules(info.parsed.source_line(info.parsed.firstline))
+    for violation in sorted(found, key=lambda v: (v.line, v.col, v.rule)):
+        line_rules = _suppressed_rules(info.parsed.source_line(violation.line))
+        if violation.rule in line_rules or violation.rule in def_line_rules:
+            report.suppressed.append(violation)
+        else:
+            report.violations.append(violation)
 
 
 # -- footprint prediction (consumed by the crosscheck) ------------------------
@@ -229,6 +257,28 @@ class HandlerSummary:
     control_sites: int = 0
     nondet_sites: int = 0
     opaque: bool = False  # source unavailable: predict nothing, trust nothing
+
+    def to_dict(self) -> "Dict[str, Any]":
+        """JSON form, deterministic; golden-pinned under FOOTPRINTS_SPEC."""
+        return {
+            "fid": self.fid,
+            "reads": sorted(self.reads),
+            "writes": sorted(self.writes),
+            "dynamic_vars": self.dynamic_vars,
+            "emits": sorted(self.emits),
+            "dynamic_emits": self.dynamic_emits,
+            "registers": sorted(map(list, self.registers)),
+            "unregisters": sorted(map(list, self.unregisters)),
+            "dynamic_registrations": self.dynamic_registrations,
+            "tx_callbacks": sorted(self.tx_callbacks),
+            "dynamic_callbacks": self.dynamic_callbacks,
+            "tx_ops": sorted(self.tx_ops),
+            "responds": self.responds,
+            "branch_sites": self.branch_sites,
+            "control_sites": self.control_sites,
+            "nondet_sites": self.nondet_sites,
+            "opaque": self.opaque,
+        }
 
     def merge(self, other: "HandlerSummary") -> None:
         self.reads |= other.reads
@@ -306,7 +356,7 @@ def _summarize_one(fid: str, parsed: ParsedFunction, ctx_names: Set[str]) -> Han
 
 def _summarize_recursive(
     fid: str,
-    fn,
+    fn: Any,
     ctx_position: int,
     seen: Set[int],
 ) -> HandlerSummary:
@@ -331,6 +381,12 @@ def _summarize_recursive(
         )
     summary.fid = fid
     return summary
+
+
+#: Version tag for the golden-pinned footprint JSON.  Any intentional
+#: change to what predict_footprints reports must bump this and
+#: regenerate tests/golden/footprints_*.json (KAROUSOS_REGEN_GOLDEN=1).
+FOOTPRINTS_SPEC = "repro.footprints/1"
 
 
 def predict_footprints(app: AppSpec) -> Dict[str, HandlerSummary]:

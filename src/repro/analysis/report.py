@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 ERROR = "error"
 WARN = "warn"
@@ -26,7 +26,7 @@ WARN = "warn"
 class Violation:
     """One rule breach at one source location."""
 
-    rule: str  # "R1".."R5"
+    rule: str  # "R1".."R9"
     severity: str  # ERROR | WARN
     fid: str  # handler (or "handler>helper") the finding belongs to
     file: str
@@ -36,6 +36,9 @@ class Violation:
 
     def location(self) -> str:
         return f"{self.file}:{self.line}:{self.col}"
+
+    def sort_key(self) -> "tuple[str, int, str, int]":
+        return (self.file, self.line, self.rule, self.col)
 
 
 @dataclass
@@ -68,7 +71,7 @@ class LintReport:
 
     # -- rendering --------------------------------------------------------
 
-    def format_text(self, crosscheck: Optional["object"] = None) -> str:
+    def format_text(self, crosscheck: Optional[Any] = None) -> str:
         lines: List[str] = []
         for v in sorted(self.violations, key=lambda v: (v.file, v.line, v.col)):
             lines.append(
@@ -88,17 +91,31 @@ class LintReport:
         lines.append(f"{self.app_name}: {verdict}{suffix}")
         return "\n".join(lines)
 
-    def to_dict(self, crosscheck: Optional["object"] = None) -> Dict:
-        out = {
+    def to_dict(self, crosscheck: Optional[Any] = None) -> Dict[str, Any]:
+        """A deterministic JSON document: violations sorted by
+        (file, line, rule), with per-rule counts in the summary block, so
+        two runs over the same source diff byte-identically."""
+        violations = sorted(self.violations, key=Violation.sort_key)
+        suppressed = sorted(self.suppressed, key=Violation.sort_key)
+        counts: Dict[str, int] = {}
+        for v in violations:
+            counts[v.rule] = counts.get(v.rule, 0) + 1
+        out: Dict[str, Any] = {
             "app": self.app_name,
             "clean": self.clean,
-            "violations": [v.__dict__ for v in self.violations],
-            "suppressed": [v.__dict__ for v in self.suppressed],
-            "unparsed": list(self.unparsed),
+            "summary": {
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings()),
+                "suppressed": len(suppressed),
+                "by_rule": counts,
+            },
+            "violations": [dict(v.__dict__) for v in violations],
+            "suppressed": [dict(v.__dict__) for v in suppressed],
+            "unparsed": sorted(self.unparsed),
         }
         if crosscheck is not None:
             out["crosscheck"] = crosscheck.to_dict()
         return out
 
-    def format_json(self, crosscheck: Optional["object"] = None) -> str:
+    def format_json(self, crosscheck: Optional[Any] = None) -> str:
         return json.dumps(self.to_dict(crosscheck), indent=2, sort_keys=True)

@@ -35,7 +35,7 @@ from __future__ import annotations
 import ast
 import types
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Any, List, Optional, Set
 
 from repro.analysis.ctxutil import (
     ParsedFunction,
@@ -441,7 +441,7 @@ def check_r4(info: HandlerInfo, appctx: AppContext) -> List[Violation]:
 # -- R5: response discipline --------------------------------------------------
 
 
-def _statically_nonempty(iter_expr: ast.expr, fn) -> bool:
+def _statically_nonempty(iter_expr: ast.expr, fn: Any) -> bool:
     """Can we prove the iterable has at least one element?"""
     if isinstance(iter_expr, (ast.Tuple, ast.List)) and iter_expr.elts:
         return True

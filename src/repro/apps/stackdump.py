@@ -125,7 +125,7 @@ def count_got(ctx, payload):
 # -- list ----------------------------------------------------------------------
 
 
-def handle_list(ctx, req):  # lint: disable=R5 -- the fan-out loop runs n times and n > 0 is branch-guarded above it; R5's zero-iteration worry cannot occur
+def handle_list(ctx, req):  # lint: disable=R5,R9 -- the fan-out loop runs n times and n > 0 is branch-guarded above it, so R5's zero-iteration worry cannot occur; and the per-iteration lambda key is deliberately opaque (the keys come from the live 'digests' set, unbounded by construction), so R9's footprint widening is the intended semantics, not an annotation gap
     ctx.apply(lambda: cpu_work(LIST_INDEX_UNITS, "list-index"))
     known = ctx.read("digests")
     n = ctx.control(ctx.apply(len, known))

@@ -7,11 +7,15 @@
     python -m repro audit  --app wiki --trace t.json --advice a.json
     python -m repro attack --app wiki --trace t.json --advice a.json \\
                            --name tamper-response
-    python -m repro analyze --app wiki
+    python -m repro analyze --app wiki --conflicts
     python -m repro lint wiki --crosscheck
 
 ``audit`` exits 0 on ACCEPT and 3 on REJECT so it can gate deployments;
-``lint`` exits 0 when clean and 4 on violations so it can gate merges.
+``lint`` exits 0 when clean and 4 on violations so it can gate merges,
+as does ``analyze --conflicts`` on ERROR-severity effect findings
+(R6-R9).  ``audit --static-hints`` layers the static effect analysis
+onto scheduling (--jobs) and deduplication (--dedup) without changing
+any verdict.
 """
 
 from __future__ import annotations
@@ -104,6 +108,13 @@ def _build_parser() -> argparse.ArgumentParser:
     aud.add_argument("--parallel-mode", default="auto",
                      choices=["auto", "process", "thread", "serial"],
                      help="worker flavour for --jobs > 1 (default: auto)")
+    aud.add_argument("--static-hints", action="store_true",
+                     help="consult the static effect analysis "
+                     "(repro analyze --conflicts): --jobs > 1 pre-partitions "
+                     "waves by the static conflict matrix and --dedup "
+                     "restricts group digests to the statically-relevant "
+                     "read set; verdicts are byte-identical with hints on "
+                     "or off (see DESIGN.md §12)")
     aud.add_argument("--format", default="text", choices=["text", "json"],
                      help="verdict output: human text (default) or one "
                      "machine-readable JSON object on stdout")
@@ -142,8 +153,20 @@ def _build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--name", required=True,
                         choices=[a.name for a in ALL_ATTACKS])
 
-    analyze = sub.add_parser("analyze", help="loggable-variable analysis")
+    analyze = sub.add_parser(
+        "analyze",
+        help="static analysis: loggable variables, symbolic handler "
+        "effects, and the route conflict matrix",
+    )
     analyze.add_argument("--app", required=True, choices=["motd", "stacks", "wiki", "feed"])
+    analyze.add_argument("--conflicts", action="store_true",
+                         help="also print per-route effect summaries, the "
+                         "static conflict matrix, and R6-R9 findings; exits "
+                         "4 when an ERROR-severity effect finding survives "
+                         "suppression")
+    analyze.add_argument("--format", default="text", choices=["text", "json"],
+                         help="text tables (default) or the repro.effects/1 "
+                         "JSON document on stdout")
 
     lint = sub.add_parser(
         "lint",
@@ -257,21 +280,32 @@ def _dedup_usage_error(args) -> Optional[str]:
     return None
 
 
-def _make_dedup(args, metrics=None):
+def _make_dedup(args, metrics=None, hints=None):
     """A Deduplicator per the --dedup/--cache-dir/--no-cache flags, or
-    None when deduplication is off."""
+    None when deduplication is off.  ``hints`` (StaticHints from
+    --static-hints) arms the cacheability shortcut and the digest
+    read-set restriction."""
     if not (args.dedup or args.cache_dir):
         return None
     from repro.verifier.dedup import Deduplicator, VerdictCache
 
     if args.no_cache:
-        return Deduplicator(cache=None)
+        return Deduplicator(cache=None, hints=hints)
     if args.cache_dir:
         from repro.storage import backend_for
 
         backend = backend_for("file", args.cache_dir, metrics=metrics)
-        return Deduplicator(VerdictCache(backend, metrics=metrics))
-    return Deduplicator(VerdictCache(metrics=metrics))
+        return Deduplicator(VerdictCache(backend, metrics=metrics), hints=hints)
+    return Deduplicator(VerdictCache(metrics=metrics), hints=hints)
+
+
+def _make_hints(args):
+    """StaticHints for --static-hints, else None."""
+    if not getattr(args, "static_hints", False):
+        return None
+    from repro.analysis.effects import StaticHints
+
+    return StaticHints.from_app(make_app(args.app))
 
 
 def _store_backend(args, metrics=None):
@@ -433,15 +467,16 @@ def _cmd_audit(args) -> int:
 def _dispatch_audit(args) -> int:
     metrics = _make_metrics(args)
     progress = _progress_hook(args)
-    dedup = _make_dedup(args, metrics=metrics)
+    hints = _make_hints(args)
+    dedup = _make_dedup(args, metrics=metrics, hints=hints)
     try:
-        return _dispatch_audit_inner(args, metrics, progress, dedup)
+        return _dispatch_audit_inner(args, metrics, progress, dedup, hints)
     finally:
         if dedup is not None:
             dedup.close()  # seal the verdict-cache stream
 
 
-def _dispatch_audit_inner(args, metrics, progress, dedup) -> int:
+def _dispatch_audit_inner(args, metrics, progress, dedup, hints=None) -> int:
     backend = _store_backend(args, metrics=metrics)
     if args.store in ("file", "gzip"):
         from repro.continuous.codec import list_epoch_streams
@@ -451,7 +486,7 @@ def _dispatch_audit_inner(args, metrics, progress, dedup) -> int:
             # one epoch resident at a time (O(epoch) memory).
             return _cmd_audit_continuous(
                 args, backend=backend, metrics=metrics, progress=progress,
-                dedup=dedup,
+                dedup=dedup, hints=hints,
             )
         if not backend.exists("trace") or not backend.exists("advice"):
             print(f"error: no trace/advice streams in {args.store_path}",
@@ -466,7 +501,7 @@ def _dispatch_audit_inner(args, metrics, progress, dedup) -> int:
             return _cmd_audit_continuous(
                 args, backend=backend,
                 preloaded=(read_trace(backend, "trace"), advice),
-                metrics=metrics, progress=progress, dedup=dedup,
+                metrics=metrics, progress=progress, dedup=dedup, hints=hints,
             )
         from repro.trace.codec import iter_trace_records
 
@@ -479,6 +514,8 @@ def _dispatch_audit_inner(args, metrics, progress, dedup) -> int:
                 make_app(args.app), iter_trace_records(reader), advice,
                 singleton_groups=args.singleton_groups,
                 parallelism=args.jobs, parallel_mode=args.parallel_mode,
+                partition="static" if hints is not None else None,
+                hints=hints,
                 metrics=metrics, progress=progress, dedup=dedup,
             )
             result = auditor.run()
@@ -493,7 +530,7 @@ def _dispatch_audit_inner(args, metrics, progress, dedup) -> int:
         )
     if args.epochs or args.epochs_dir:
         return _cmd_audit_continuous(
-            args, metrics=metrics, progress=progress, dedup=dedup
+            args, metrics=metrics, progress=progress, dedup=dedup, hints=hints
         )
     trace, advice = _load(args)
     if args.store == "memory":
@@ -502,6 +539,8 @@ def _dispatch_audit_inner(args, metrics, progress, dedup) -> int:
         make_app(args.app), trace, advice,
         singleton_groups=args.singleton_groups,
         parallelism=args.jobs, parallel_mode=args.parallel_mode,
+        partition="static" if hints is not None else None,
+        hints=hints,
         metrics=metrics, progress=progress, dedup=dedup,
     )
     return _finish_audit(
@@ -568,7 +607,8 @@ def _finish_audit(args, result, metrics=None, explain_ctx=None) -> int:
 
 
 def _cmd_audit_continuous(
-    args, backend=None, preloaded=None, metrics=None, progress=None, dedup=None
+    args, backend=None, preloaded=None, metrics=None, progress=None,
+    dedup=None, hints=None,
 ) -> int:
     from repro.continuous import (
         AuditJournal,
@@ -607,6 +647,8 @@ def _cmd_audit_continuous(
         make_app(args.app),
         parallelism=args.jobs,
         parallel_mode=args.parallel_mode,
+        partition="static" if hints is not None else None,
+        hints=hints,
         checkpoints=checkpoints,
         journal=journal,
         metrics=metrics,
@@ -723,23 +765,102 @@ def _cmd_attack(args) -> int:
     return EXIT_OK if not result.accepted else EXIT_REJECTED
 
 
-def _cmd_analyze(args) -> int:
-    app = make_app(args.app)
-    report = analyze_app(app)
-    suggestions = suggest_annotations(app)
-    print(f"{'variable':<14s} {'class':<22s} {'readers':<9s} {'writers':<9s} suggestion")
+_EFFECT_RULES = frozenset({"R6", "R7", "R8", "R9"})
+
+
+def _effect_findings(app):
+    """The R6-R9 violations that survive source suppressions, sorted."""
+    from repro.analysis import lint_app
+
+    report = lint_app(app)
+    found = [v for v in report.violations if v.rule in _EFFECT_RULES]
+    return sorted(found, key=lambda v: v.sort_key())
+
+
+def _sym_label(sym) -> str:
+    """A compact one-token rendering of a key symbol."""
+    if sym.exact:
+        return sym.prefix
+    if sym.unbounded:
+        return "*"
+    return f"{sym.prefix}*"
+
+
+def _print_conflicts(effects, findings) -> None:
+    print()
+    print("route effects")
     print("-" * 70)
-    for var_id in sorted(report.declared):
-        usage = report.usage[var_id]
-        print(
-            f"{var_id:<14s} {report.classification(var_id):<22s} "
-            f"{len(usage.readers):<9d} {len(usage.writers):<9d} "
-            f"{suggestions[var_id]}"
-        )
-    if report.undeclared:
-        print(f"undeclared accesses: {sorted(report.undeclared)}")
-    if report.dynamic_sites:
-        print(f"dynamic access sites: {report.dynamic_sites}")
+    for route, route_effect in sorted(effects.routes.items()):
+        eff = route_effect.effect
+        closure = "*" if route_effect.widened else str(len(route_effect.closure))
+        reads = ",".join(sorted(eff.var_reads | eff.var_updates)) or "-"
+        writes = ",".join(sorted(eff.var_writes)) or "-"
+        kv = ",".join(sorted(
+            {_sym_label(s) for s in eff.kv_reads | eff.kv_writes}
+        )) or "-"
+        cacheable = "yes" if eff.cacheable else "no"
+        print(f"{route:<16s} closure={closure:<3s} "
+              f"reads={reads} blind-writes={writes} kv={kv} "
+              f"cacheable={cacheable}")
+    pairs = [c for c in effects.conflicts.values() if c.conflicts]
+    print()
+    if pairs:
+        print(f"conflicting route pairs ({len(pairs)}):")
+        for c in sorted(pairs, key=lambda c: (c.a, c.b)):
+            print(f"  {c.a} x {c.b}: {'; '.join(c.reasons)}")
+    else:
+        print("conflicting route pairs: none (all routes commute)")
+    if effects.uncacheable_handlers():
+        print(f"uncacheable handlers: "
+              f"{', '.join(effects.uncacheable_handlers())}")
+    if findings:
+        print()
+        for v in findings:
+            print(f"{v.location()}: {v.rule} [{v.severity}] {v.fid}: "
+                  f"{v.message}")
+    n_err = sum(1 for v in findings if v.severity == "error")
+    n_warn = len(findings) - n_err
+    print()
+    print(f"effect findings: {n_err} error(s), {n_warn} warning(s)")
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.effects import analyze_effects
+
+    app = make_app(args.app)
+    effects = analyze_effects(app)
+    findings = _effect_findings(app) if args.conflicts else []
+    if args.format == "json":
+        doc = effects.to_dict()
+        if args.conflicts:
+            doc["findings"] = [
+                {"rule": v.rule, "severity": v.severity, "fid": v.fid,
+                 "file": v.file, "line": v.line, "col": v.col,
+                 "message": v.message}
+                for v in findings
+            ]
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        report = analyze_app(app)
+        suggestions = suggest_annotations(app)
+        print(f"{'variable':<14s} {'class':<22s} {'readers':<9s} "
+              f"{'writers':<9s} suggestion")
+        print("-" * 70)
+        for var_id in sorted(report.declared):
+            usage = report.usage[var_id]
+            print(
+                f"{var_id:<14s} {report.classification(var_id):<22s} "
+                f"{len(usage.readers):<9d} {len(usage.writers):<9d} "
+                f"{suggestions[var_id]}"
+            )
+        if report.undeclared:
+            print(f"undeclared accesses: {sorted(report.undeclared)}")
+        if report.dynamic_sites:
+            print(f"dynamic access sites: {report.dynamic_sites}")
+        if args.conflicts:
+            _print_conflicts(effects, findings)
+    if any(v.severity == "error" for v in findings):
+        return EXIT_LINT
     return EXIT_OK
 
 

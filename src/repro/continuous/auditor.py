@@ -74,12 +74,18 @@ class ContinuousAuditor:
         metrics: Optional[MetricsRegistry] = None,
         progress: Optional[StageHook] = None,
         dedup: Optional[object] = None,
+        partition: Optional[str] = None,
+        hints: Optional[object] = None,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         self.app = app
         self.parallelism = parallelism
         self.parallel_mode = parallel_mode
+        # Static scheduling/dedup hints are app-level, so one StaticHints
+        # serves every epoch (see DESIGN.md §12).
+        self.partition = partition
+        self.hints = hints
         # One Deduplicator shared across every epoch's Auditor: digests
         # cover the carry-in state (checkpoint-anchored), so a group that
         # recurs in a later epoch under the same carried values is a hit.
@@ -235,6 +241,8 @@ class ContinuousAuditor:
             epoch.advice,
             parallelism=self.parallelism,
             parallel_mode=self.parallel_mode,
+            partition=self.partition,
+            hints=self.hints,
             carry=parent.carry_in() if parent is not None else None,
             metrics=self.metrics,
             progress=progress,

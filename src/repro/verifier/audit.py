@@ -57,6 +57,13 @@ class Auditor:
     skip re-execution entirely, with verdicts provably unchanged (see
     DESIGN.md §11).  The same object may be shared across many Auditors
     (epochs, runs) for cross-epoch reuse.
+
+    ``partition`` selects the parallel wave policy (structural, footprint,
+    or static); the static policy additionally needs ``hints``, a
+    :class:`~repro.analysis.effects.StaticHints` built from the app, and
+    pre-partitions groups by the static conflict matrix (DESIGN.md §12).
+    Hints steer scheduling and dedup only -- the verdict is byte-identical
+    with hints on or off.
     """
 
     def __init__(
@@ -68,12 +75,14 @@ class Auditor:
         reverse_groups: bool = False,
         parallelism: int = 1,
         parallel_mode: str = "auto",
+        partition: Optional[str] = None,
         carry: Optional[CarryIn] = None,
         metrics: Optional[MetricsRegistry] = None,
         progress: Optional[StageHook] = None,
         checkpoint_index: Optional[int] = None,
         checkpoint_parent: Optional[object] = None,
         dedup: Optional[object] = None,
+        hints: Optional[object] = None,
     ):
         self.app = app
         # ``trace`` may be a lazy event iterator (a storage-layer record
@@ -86,6 +95,8 @@ class Auditor:
         self.reverse_groups = reverse_groups
         self.parallelism = parallelism
         self.parallel_mode = parallel_mode
+        self.partition = partition
+        self.hints = hints
         self.carry = carry
         self.metrics = ensure_metrics(metrics)
         self.progress = progress
@@ -130,7 +141,7 @@ class Auditor:
 
     def _run_parallel(self) -> AuditResult:
         # Imported lazily: parallel imports the pipeline from this package.
-        from repro.verifier.parallel import ParallelAuditor
+        from repro.verifier.parallel import PARTITION_STRUCTURAL, ParallelAuditor
 
         pipeline = ParallelAuditor(
             self.app,
@@ -138,6 +149,7 @@ class Auditor:
             self.advice,
             jobs=self.parallelism,
             mode=self.parallel_mode,
+            partition=self.partition or PARTITION_STRUCTURAL,
             singleton_groups=self.singleton_groups,
             carry=self.carry,
             metrics=self.metrics,
@@ -145,6 +157,7 @@ class Auditor:
             checkpoint_index=self.checkpoint_index,
             checkpoint_parent=self.checkpoint_parent,
             dedup=self.dedup,
+            hints=self.hints,
         )
         result = pipeline.run()
         self.parallel = pipeline

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.obs import MetricsRegistry, ensure_metrics
 from repro.storage.backend import StorageBackend
@@ -138,7 +138,7 @@ class VerdictCache:
         if self.skipped:
             self.metrics.counter("cache.records_skipped").inc(self.skipped)
 
-    def _scan(self):
+    def _scan(self) -> "Iterator[Tuple[str, Any]]":
         """Yield ``(status, entry_or_detail)`` per stored record; never
         raises -- a broken stream yields a ``corrupt`` terminator."""
         if self.backend is None or not self.backend.exists(self.name):

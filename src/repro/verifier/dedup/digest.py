@@ -32,7 +32,7 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.advice.records import TX_GET
 from repro.kem.program import AppSpec, request_event
@@ -125,7 +125,7 @@ def value_hash(value: object, tokens: Dict[str, str]) -> str:
 _FP_CACHE: Dict[int, Tuple[AppSpec, str]] = {}
 
 
-def _callable_identity(fn) -> List[object]:
+def _callable_identity(fn: Any) -> List[object]:
     try:
         source = inspect.getsource(fn)
     except (OSError, TypeError):
@@ -170,13 +170,13 @@ def app_fingerprint(app: AppSpec) -> str:
 # -- per-group advice/trace slices ---------------------------------------------
 
 
-def _norm_key(key, tokens: Dict[str, str]) -> List[object]:
+def _norm_key(key: Any, tokens: Dict[str, str]) -> List[object]:
     rid, hid, opnum = key
     return [tokens.get(rid, rid), encode_hid(hid), opnum]
 
 
 def _prec_spec(
-    var_log, prec, member_set, tokens: Dict[str, str]
+    var_log: Any, prec: Any, member_set: Any, tokens: Dict[str, str]
 ) -> List[object]:
     """How a variable-log entry's ``prec`` reference enters the digest.
 
@@ -203,7 +203,7 @@ class _Uncacheable(Exception):
     """Internal: this group cannot be canonically digested."""
 
 
-def _requests_doc(state: AuditState, rids, tokens) -> List[object]:
+def _requests_doc(state: AuditState, rids: List[str], tokens: Dict[str, str]) -> List[object]:
     doc = []
     for rid in rids:
         request = state.trace.request(rid)
@@ -217,7 +217,9 @@ def _requests_doc(state: AuditState, rids, tokens) -> List[object]:
     return doc
 
 
-def _advice_doc(state: AuditState, rids, member_set, tokens) -> Dict[str, object]:
+def _advice_doc(
+    state: AuditState, rids: List[str], member_set: Any, tokens: Dict[str, str]
+) -> Dict[str, object]:
     advice = state.advice
     opcounts = []
     for (rid, hid), count in advice.opcounts.items():
@@ -306,7 +308,9 @@ def _advice_doc(state: AuditState, rids, member_set, tokens) -> Dict[str, object
     }
 
 
-def _get_contents_spec(state: AuditState, entry, member_set, tokens) -> List[object]:
+def _get_contents_spec(
+    state: AuditState, entry: Any, member_set: Any, tokens: Dict[str, str]
+) -> List[object]:
     """A TX_GET's fed value: the carried-in store value for an initial
     read, a positional reference for an in-group dictating PUT, and the
     *resolved value* for an external one."""
@@ -321,31 +325,59 @@ def _get_contents_spec(state: AuditState, entry, member_set, tokens) -> List[obj
     return ["ext", normalize_value(log[i_w].opcontents, tokens)]
 
 
-def _init_doc(state: AuditState, tokens) -> Dict[str, object]:
+def _init_doc(
+    state: AuditState, tokens: Dict[str, str],
+    keep_vars: Optional[FrozenSet[str]] = None,
+) -> Dict[str, object]:
+    """The init slice of the digest document.
+
+    ``keep_vars`` (a set of variable ids, or None for no restriction)
+    narrows the pinned initial-variable state to the statically-relevant
+    read set: an isolated group execution can only observe initial values
+    of variables its routes can reach (a fact the effect crosscheck
+    gates), so two groups differing only in irrelevant initial state
+    digest-collide on purpose -- that is the extra dedup the static
+    analysis buys.  ``None`` reproduces the historical document byte for
+    byte.
+    """
     init_ctx = state.init_ctx
-    return {
+    doc = {
         "global_handlers": list(map(list, init_ctx.global_handlers)),
         "initial_vars": sorted(
             (
                 [var_id, normalize_value(value, tokens)]
                 for var_id, value in init_ctx.initial_vars.items()
+                if keep_vars is None or var_id in keep_vars
             ),
             key=lambda pair: pair[0],
         ),
         "loggable": sorted(
-            [var_id, bool(flag)] for var_id, flag in init_ctx.loggable.items()
+            [var_id, bool(flag)]
+            for var_id, flag in init_ctx.loggable.items()
+            if keep_vars is None or var_id in keep_vars
         ),
     }
+    if keep_vars is not None:
+        # Restricted documents live in their own digest universe: an
+        # unrestricted entry must never collide with a restricted one.
+        doc["keep_vars"] = sorted(keep_vars)
+    return doc
 
 
 # -- the digest ----------------------------------------------------------------
 
 
-def group_digest(state: AuditState, rids: List[str]) -> Optional[GroupDigest]:
+def group_digest(
+    state: AuditState, rids: List[str],
+    keep_vars: Optional[FrozenSet[str]] = None,
+) -> Optional[GroupDigest]:
     """The ``repro.digest/1`` digest of one group, or None (uncacheable).
 
     ``rids`` is the group's member list in the advice's canonical
     (sorted) order; member position defines the rid tokens.
+    ``keep_vars`` restricts the pinned initial-variable state to the
+    statically-relevant read set (see :func:`_init_doc`); ``None`` keeps
+    the full state and the historical digest bytes.
     """
     tokens = {rid: member_token(i) for i, rid in enumerate(rids)}
     member_set = set(rids)
@@ -359,7 +391,7 @@ def group_digest(state: AuditState, rids: List[str]) -> Optional[GroupDigest]:
             "requests": requests,
             "event": request_event(route),
             "advice": _advice_doc(state, rids, member_set, tokens),
-            "init": _init_doc(state, tokens),
+            "init": _init_doc(state, tokens, keep_vars),
         }
         key = hashlib.sha256(
             canonical_json(doc).encode("utf-8")

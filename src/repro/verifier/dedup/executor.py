@@ -39,7 +39,7 @@ could equally replace the auditor binary).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs import MetricsRegistry
 from repro.server.variables import INIT_REF
@@ -70,17 +70,17 @@ class RehydrateMismatch(Exception):
 # -- op-key and prec-spec codecs ----------------------------------------------
 
 
-def _encode_key(key, tokens: Dict[str, str]) -> List[object]:
+def _encode_key(key: Any, tokens: Dict[str, str]) -> List[object]:
     rid, hid, opnum = key
     return [tokens.get(rid, rid), encode_hid(hid), opnum]
 
 
-def _decode_key(spec, detokens: Dict[str, str]) -> Tuple[str, object, int]:
+def _decode_key(spec: Any, detokens: Dict[str, str]) -> Tuple[str, object, int]:
     rid, hid_doc, opnum = spec
     return (detokens.get(rid, rid), decode_hid(hid_doc), int(opnum))
 
 
-def _write_key_spec(key, member_set, tokens) -> List[object]:
+def _write_key_spec(key: Any, member_set: Any, tokens: Dict[str, str]) -> List[object]:
     """``["init"]`` / ``["in", ...coords]`` / ``["log"]`` (external: the
     reference is re-resolved from the current advice at rehydration)."""
     if key == INIT_REF:
@@ -222,14 +222,14 @@ def rehydrate_delta(
     detokens = {member_token(i): rid for i, rid in enumerate(rids)}
     logs = state.advice.variable_logs
 
-    def resolve_write_key(var_id, spec):
+    def resolve_write_key(var_id: str, spec: Any) -> Any:
         if spec[0] == "init":
             return INIT_REF
         if spec[0] == "in":
             return _decode_key(spec[1:], detokens)
         raise RehydrateMismatch(f"unresolvable write key spec {spec!r}")
 
-    def resolve_prec_from_log(var_id, key):
+    def resolve_prec_from_log(var_id: str, key: Any) -> Any:
         log_entry = logs.get(var_id, {}).get(key)
         if log_entry is None or log_entry.prec is None:
             raise RehydrateMismatch(
@@ -317,6 +317,7 @@ class StageStats:
     misses: int = 0
     fallbacks: int = 0
     uncacheable: int = 0
+    hint_skips: int = 0  # digesting skipped: statically-uncacheable route
     saved_handlers: List[int] = field(default_factory=list)
 
     @property
@@ -333,12 +334,32 @@ class Deduplicator:
     audits (the continuous auditor shares one across epochs; the CLI
     shares one across a ``--epochs`` stream), and the memo spans its
     whole lifetime.
+
+    ``hints`` (a :class:`~repro.analysis.effects.StaticHints`) arms two
+    static shortcuts, both verdict-neutral:
+
+    * groups whose routes are *statically uncacheable* (unwrapped
+      nondeterminism or side-channel state reachable) skip digest
+      construction entirely -- the digest could never be stored anyway,
+      so the hashing work on the hot path is pure waste;
+    * cacheable groups digest with the initial-variable state restricted
+      to the routes' statically-relevant read set, so groups differing
+      only in irrelevant initial state dedup together.  Restricted
+      digests carry the keep-set in the document (their own key
+      universe), and fall back to the full pin whenever the static
+      footprint is unbounded.
     """
 
-    def __init__(self, cache: Optional[VerdictCache] = None):
+    def __init__(
+        self,
+        cache: Optional[VerdictCache] = None,
+        hints: Optional[object] = None,
+    ):
         self.cache = cache
+        self.hints = hints
         self.memo: Dict[str, Dict[str, object]] = {}
         self.stage_stats: Optional[StageStats] = None
+        self._uncacheable_routes: Optional[frozenset] = None
 
     # -- stage accounting -------------------------------------------------------
 
@@ -355,6 +376,7 @@ class Deduplicator:
         metrics.counter("reexec.dedup_groups").inc(stats.hits)
         metrics.counter("reexec.cache_fallbacks").inc(stats.fallbacks)
         metrics.counter("reexec.uncacheable_groups").inc(stats.uncacheable)
+        metrics.counter("reexec.hint_skipped_groups").inc(stats.hint_skips)
         total = stats.hits + stats.misses
         if total:
             metrics.gauge("reexec.dedup_ratio").set(stats.hits / total)
@@ -376,7 +398,18 @@ class Deduplicator:
         """Digest the group and return a rehydrated delta on a validated
         hit.  ``(None, None)``: uncacheable; ``(digest, None)``: miss --
         execute in full (and offer the clean result to :meth:`store`)."""
-        digest = group_digest(state, rids)
+        keep_vars = None
+        if self.hints is not None:
+            routes = self._member_routes(state, rids)
+            if routes is not None and routes & self._skip_routes():
+                # Statically uncacheable route: the digest could never be
+                # stored, so do not build it.
+                self._count("hint_skips")
+                self._count("misses")
+                return None, None
+            if routes is not None:
+                keep_vars = self.hints.relevant_vars(routes)
+        digest = group_digest(state, rids, keep_vars)
         if digest is None:
             self._count("uncacheable")
             self._count("misses")
@@ -403,6 +436,22 @@ class Deduplicator:
             return digest, delta
         self._count("misses")
         return digest, None
+
+    @staticmethod
+    def _member_routes(state: AuditState, rids: List[str]) -> Optional[frozenset]:
+        """Routes of the group's members, or None when any is unknown."""
+        routes = set()
+        for rid in rids:
+            try:
+                routes.add(state.trace.request(rid).route)
+            except Exception:
+                return None
+        return frozenset(routes)
+
+    def _skip_routes(self) -> frozenset:
+        if self._uncacheable_routes is None:
+            self._uncacheable_routes = self.hints.uncacheable_routes()
+        return self._uncacheable_routes
 
     @staticmethod
     def _validate(digest: GroupDigest, entry: Dict[str, object], members: int) -> bool:
@@ -462,7 +511,7 @@ class Deduplicator:
 
     # -- the sequential reexec stage ---------------------------------------------
 
-    def stage(self, ctx) -> None:
+    def stage(self, ctx: Any) -> None:
         """Drop-in replacement for ``stage_reexec_sequential``: same
         canonical group order, same merge semantics as the parallel
         driver's reduction, with digest-hit groups replayed instead of
@@ -491,7 +540,7 @@ class Deduplicator:
             self.finish_stage(ctx.metrics)
 
 
-def make_reexec_stage(dedup: Deduplicator):
+def make_reexec_stage(dedup: Deduplicator) -> Callable[[Any], None]:
     """The sequential pipeline's dedup reexec stage."""
     return dedup.stage
 

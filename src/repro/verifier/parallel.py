@@ -92,6 +92,7 @@ MODES = (MODE_AUTO, MODE_PROCESS, MODE_THREAD, MODE_SERIAL)
 
 PARTITION_STRUCTURAL = "structural"
 PARTITION_FOOTPRINT = "footprint"
+PARTITION_STATIC = "static"
 
 # Test hook: a worker whose task tag equals this environment variable's
 # value dies without cleanup, simulating a hard worker crash (segfault,
@@ -154,6 +155,7 @@ def compute_waves(
     state: AuditState,
     groups: Dict[str, List[str]],
     partition: str = PARTITION_STRUCTURAL,
+    hints: Optional[object] = None,
 ) -> List[List[str]]:
     """Stage groups into topological waves; groups within a wave may run
     concurrently, waves run in order.
@@ -169,21 +171,64 @@ def compute_waves(
     ``footprint``: conservative write/write and read/write staging over
     the advice's alleged footprints; conflicts are oriented by canonical
     tag order (always a DAG) and layered by longest path.
+
+    ``static``: like ``footprint`` but the conflict relation comes from
+    the static conflict matrix of
+    :class:`~repro.analysis.effects.StaticHints` (``hints``, required):
+    two groups conflict when any pair of their requests' routes does.
+    Unlike the footprint policy this knows atomic updates commute and
+    store keys are transaction-protected, so update-heavy workloads
+    stay in one wave instead of serialising on shared counters.  Any
+    wave plan is verdict-identical (the canonical-order merge replays
+    journals in sorted-tag order regardless), so a hint that turned out
+    wrong costs parallelism, never correctness.
     """
     order = sorted(groups)
     if not order:
         return []
     if partition == PARTITION_STRUCTURAL:
         return [order]
-    if partition != PARTITION_FOOTPRINT:
-        raise ValueError(f"unknown partition policy {partition!r}")
-    fps = group_footprints(state, groups)
+    if partition == PARTITION_FOOTPRINT:
+        fps = group_footprints(state, groups)
+
+        def conflicts(a: str, b: str) -> bool:
+            return fps[a].conflicts_with(fps[b])
+
+        return _layer(order, conflicts)
+    if partition == PARTITION_STATIC:
+        if hints is None:
+            raise ValueError("static partition requires StaticHints")
+        routes: Dict[str, Set[str]] = {}
+        for tag in order:
+            tag_routes: Set[str] = set()
+            for rid in groups[tag]:
+                try:
+                    tag_routes.add(state.trace.request(rid).route)
+                except Exception:
+                    # Unknown request: force the conservative answer.
+                    tag_routes.add("?unknown-route")
+            routes[tag] = tag_routes
+
+        def conflicts(a: str, b: str) -> bool:
+            return any(
+                hints.conflicting(ra, rb)
+                for ra in routes[a]
+                for rb in routes[b]
+            )
+
+        return _layer(order, conflicts)
+    raise ValueError(f"unknown partition policy {partition!r}")
+
+
+def _layer(order: List[str], conflicts) -> List[List[str]]:
+    """Longest-path layering of ``order`` under a conflict relation,
+    oriented by canonical tag order (always a DAG)."""
     level: Dict[str, int] = {}
     waves: List[List[str]] = []
     for i, tag in enumerate(order):
         depth = 0
         for prev in order[:i]:
-            if fps[tag].conflicts_with(fps[prev]):
+            if conflicts(tag, prev):
                 depth = max(depth, level[prev] + 1)
         level[tag] = depth
         while len(waves) <= depth:
@@ -389,11 +434,14 @@ class ParallelAuditor:
         checkpoint_index: Optional[int] = None,
         checkpoint_parent: Optional[object] = None,
         dedup: Optional[object] = None,
+        hints: Optional[object] = None,
     ):
         if mode not in MODES:
             raise ValueError(f"unknown parallel mode {mode!r}")
         if dedup is not None and waves is not None:
             raise ValueError("injected waves cannot be combined with dedup")
+        if partition == PARTITION_STATIC and hints is None:
+            raise ValueError("static partition requires StaticHints")
         self.app = app
         self.trace = trace
         self.advice = advice
@@ -401,6 +449,7 @@ class ParallelAuditor:
         self.jobs = max(1, int(jobs if jobs is not None else (os.cpu_count() or 1)))
         self.mode = mode
         self.partition = partition
+        self.hints = hints
         self.singleton_groups = singleton_groups
         self.metrics = ensure_metrics(metrics)
         self.progress = progress
@@ -501,7 +550,7 @@ class ParallelAuditor:
 
     def _plan(self, groups: Dict[str, List[str]]) -> List[List[str]]:
         if self._forced_waves is None:
-            return compute_waves(self.state, groups, self.partition)
+            return compute_waves(self.state, groups, self.partition, self.hints)
         waves = [list(wave) for wave in self._forced_waves]
         covered = [tag for wave in waves for tag in wave]
         if sorted(covered) != sorted(groups):
@@ -626,9 +675,10 @@ def parallel_audit(
     partition: str = PARTITION_STRUCTURAL,
     carry: Optional[CarryIn] = None,
     metrics: Optional[MetricsRegistry] = None,
+    hints: Optional[object] = None,
 ) -> AuditResult:
     """Audit with re-execution groups sharded across ``jobs`` workers."""
     return ParallelAuditor(
         app, trace, advice, jobs=jobs, mode=mode, partition=partition,
-        carry=carry, metrics=metrics,
+        carry=carry, metrics=metrics, hints=hints,
     ).run()

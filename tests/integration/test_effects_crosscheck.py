@@ -1,0 +1,104 @@
+"""The effect-analysis soundness gate (crosscheck, extended).
+
+PR 3's crosscheck diffs *observed* handler footprints against the static
+prediction; this suite gates the symbolic effect layer the same way:
+any observed variable access kind, store key, closure membership, or
+cross-route conflict the effect analyzer did not predict fails the gate.
+Runs over every bundled app under several honest workload mixes and
+seeds, and replays the persisted fuzz corpus (``.fuzz-corpus``, the
+CI-cached escape store) when one is present -- every stored reproducer's
+serving configuration must also crosscheck sound.
+
+A deliberately unsound fixture (context smuggled through a container,
+invisible to all static layers) proves the gate actually fires.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import crosscheck_app
+from repro.fuzz import read_corpus
+from repro.harness.experiment import make_app
+from repro.kem.program import AppSpec
+from repro.trace.trace import Request
+
+pytestmark = pytest.mark.tier1
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, ".fuzz-corpus"
+)
+
+APP_NAMES = ["motd", "stacks", "wiki", "feed"]
+
+
+class TestHonestSoundness:
+    @pytest.mark.parametrize("app_name", APP_NAMES)
+    @pytest.mark.parametrize("mix,seed", [("mixed", 3), ("write-heavy", 17)])
+    def test_no_unpredicted_effects(self, app_name, mix, seed):
+        result = crosscheck_app(
+            make_app(app_name), n_requests=50, mix=mix, seed=seed
+        )
+        assert result.sound, (
+            result.unpredicted + result.effect_unpredicted
+        )
+        assert result.effect_unpredicted == []
+
+    @pytest.mark.parametrize("app_name", APP_NAMES)
+    def test_effects_attached_to_result(self, app_name):
+        result = crosscheck_app(make_app(app_name), n_requests=20)
+        assert result.effects is not None
+        assert result.effects.to_dict()["spec"] == "repro.effects/1"
+
+
+def _corpus_workloads():
+    """Unique serving configurations stored in the persisted corpus."""
+    seen = {}
+    for prop in ("soundness", "completeness"):
+        for _path, case in read_corpus(CORPUS_DIR, prop):
+            wl = getattr(case, "workload", None)
+            if wl is None:
+                continue
+            key = (wl.app, wl.n, wl.mix, wl.workload_seed)
+            seen.setdefault(key, wl)
+    return list(seen.values())
+
+
+class TestCorpusReplay:
+    def test_corpus_configurations_crosscheck_sound(self):
+        workloads = _corpus_workloads()
+        if not workloads:
+            pytest.skip("no persisted fuzz corpus in this checkout")
+        for wl in workloads:
+            result = crosscheck_app(
+                make_app(wl.app),
+                n_requests=max(wl.n, 4),
+                mix=wl.mix,
+                seed=wl.workload_seed,
+            )
+            assert result.sound, (
+                wl,
+                result.unpredicted + result.effect_unpredicted,
+            )
+
+
+def smuggle_helper(box):
+    box["ctx"].write("hidden", 1)
+
+
+def smuggling_handler(ctx, req):
+    smuggle_helper({"ctx": ctx})
+    ctx.respond({})
+
+
+class TestGateFires:
+    def test_smuggled_effect_fails_the_gate(self):
+        def init(ic):
+            ic.create_var("hidden", 0)
+            ic.register_route("go", "handle")
+
+        app = AppSpec("smuggle", {"handle": smuggling_handler}, init)
+        requests = [Request.make(f"r{i:03d}", "go") for i in range(5)]
+        result = crosscheck_app(app, requests=requests)
+        assert not result.sound
+        assert any("hidden" in item for item in result.effect_unpredicted)
