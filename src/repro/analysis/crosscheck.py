@@ -308,6 +308,10 @@ def _check_effects(
       constant symbols, prefix match for families, anything for ⊤);
     * every blind write / atomic update is predicted with the right kind
       (the conflict predicate distinguishes them);
+    * every observed variable read lies in the summary's variable set --
+      :meth:`~repro.analysis.effects.StaticHints.relevant_vars` restricts
+      the dedup digest to exactly that set, so a read escape is a wrong
+      digest, not just imprecision;
     * every *observed* cross-route conflict is in the static conflict
       matrix -- implied by the per-effect checks for a monotone predicate,
       but checked explicitly so a predicate bug cannot hide behind them.
@@ -354,6 +358,14 @@ def _check_effects(
                     "static key symbol"
                 )
         if not summary.dynamic_vars:
+            # relevant_vars() narrows the dedup digest to the summary's
+            # variable set, so an observed read outside it is a digest
+            # soundness escape, not just imprecision.
+            for var in sorted(obs.reads - summary.all_vars()):
+                problems.append(
+                    f"{fid}: ctx.read of {var!r} not covered by the "
+                    "effect summary's variable set"
+                )
             for var in sorted(obs.blind_writes - summary.var_writes):
                 problems.append(
                     f"{fid}: blind write of {var!r} not predicted as a "

@@ -143,7 +143,11 @@ def any_covers(syms: Iterable[KeySym], key: str) -> bool:
 # -- pure key helpers ---------------------------------------------------------
 
 
-_HELPER_CACHE: Dict[int, Optional[str]] = {}
+#: Keyed by ``id(fn)`` but storing ``fn`` itself in the value: the pinned
+#: reference keeps the function alive, so a recycled ``id`` after garbage
+#: collection can never inherit a stale prefix (the identity check below
+#: catches the mismatch and re-analyzes).
+_HELPER_CACHE: Dict[int, Tuple[Any, Optional[str]]] = {}
 
 
 def _fold_key_expr(node: ast.expr, param: str) -> Optional[Tuple[str, bool]]:
@@ -177,8 +181,8 @@ def key_helper_prefix(fn: Any) -> Optional[str]:
     argument symbol yields a key in a statically-known family.
     """
     cached = _HELPER_CACHE.get(id(fn))
-    if id(fn) in _HELPER_CACHE:
-        return cached
+    if cached is not None and cached[0] is fn:
+        return cached[1]
     result: Optional[str] = None
     parsed = parse_function(fn)
     if parsed is not None:
@@ -194,7 +198,7 @@ def key_helper_prefix(fn: Any) -> Optional[str]:
             folded = _fold_key_expr(func_def.body[0].value, params[0])
             if folded is not None and folded[1]:
                 result = folded[0]
-    _HELPER_CACHE[id(fn)] = result
+    _HELPER_CACHE[id(fn)] = (fn, result)
     return result
 
 
@@ -349,6 +353,12 @@ class _SymbolicWalker:
         self.fn = fn
         self.env: Dict[str, Syms] = {}
         self.dicts: Dict[str, Dict[str, Syms]] = {}
+        # Per-node memo: the walk visits each expression once, except that
+        # ctx-method calls evaluate every argument up front *and* the
+        # branch logic re-evaluates the slots it consumes.  Memoising on
+        # node identity keeps each effect recorded exactly once (the tree
+        # is pinned by ``parsed``, so ids are stable for the walk).
+        self._evaluated: Dict[int, Syms] = {}
         params = [
             a.arg
             for a in parsed.func_def.args.posonlyargs + parsed.func_def.args.args
@@ -375,6 +385,14 @@ class _SymbolicWalker:
     def eval(self, node: Optional[ast.expr]) -> Syms:
         if node is None:
             return _TOP_SET
+        cached = self._evaluated.get(id(node))
+        if cached is not None:
+            return cached
+        syms = self._eval_inner(node)
+        self._evaluated[id(node)] = syms
+        return syms
+
+    def _eval_inner(self, node: ast.expr) -> Syms:
         if isinstance(node, ast.Constant):
             if isinstance(node.value, str):
                 return frozenset(
@@ -545,6 +563,15 @@ class _SymbolicWalker:
                 self.eval(kw.value)
             return _TOP_SET
         record = self.summary
+        # Every argument of a ctx-method call is evaluated up front --
+        # positional or keyword, consumed by the branch below or not --
+        # so nested ctx operations (``ctx.write('v', value=ctx.read('w'))``)
+        # are always recorded.  eval memoises per node, so the
+        # slot-specific re-evaluation below never double-records.
+        for arg in node.args:
+            self.eval(arg)
+        for kw in node.keywords:
+            self.eval(kw.value)
         if method in ("read", "write", "update"):
             arg = call_argument(node, 0, "var_id")
             var_id = literal_str(arg) if arg is not None else None
@@ -728,7 +755,62 @@ class _SymbolicWalker:
                 self.eval(stmt.exc)
         elif isinstance(stmt, ast.Assert):
             self.eval(stmt.test)
-        # Nested defs/classes: per-slot code, not walked.
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            pass  # Nested defs/classes: per-slot code, not walked.
+        elif isinstance(
+            stmt,
+            (
+                ast.Pass,
+                ast.Break,
+                ast.Continue,
+                ast.Global,
+                ast.Nonlocal,
+                ast.Import,
+                ast.ImportFrom,
+            ),
+        ):
+            pass  # No expressions, no bindings the analysis tracks.
+        else:
+            self._walk_fallback(stmt)
+
+    def _walk_fallback(self, stmt: ast.stmt) -> None:
+        """Conservative walk of a statement form with no dedicated handler
+        (``match``, ``async for``/``async with``, ``try*``, ``del``, ...).
+
+        The summaries must over-approximate -- a silently skipped
+        statement would let a ctx operation escape the effect summary and
+        unsoundly narrow the dedup digest -- so every name the statement
+        can bind degrades to ⊤, every embedded expression is evaluated
+        (recording any ctx operations inside it), and nested statement
+        bodies go back through :meth:`_walk_stmt`.
+        """
+        for node in ast.walk(stmt):
+            name: Optional[str] = None
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                name = node.id
+            elif isinstance(node, (ast.MatchAs, ast.MatchStar)):
+                name = node.name
+            elif isinstance(node, ast.MatchMapping):
+                name = node.rest
+            if name:
+                members = self.dicts.pop(name, None)
+                if members is not None:
+                    for syms in members.values():
+                        self._bind(name, syms)
+                self._bind(name, _TOP_SET)
+        self._walk_fallback_children(stmt)
+
+    def _walk_fallback_children(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._walk_stmt(child)
+            elif isinstance(child, ast.expr):
+                self.eval(child)
+            else:
+                # Patterns, withitems, except handlers: descend through.
+                self._walk_fallback_children(child)
 
     def _walk_assign(self, stmt: ast.Assign) -> None:
         if isinstance(stmt.value, ast.Dict):

@@ -91,6 +91,15 @@ def smuggling_handler(ctx, req):
     ctx.respond({})
 
 
+def smuggle_read_helper(box):
+    return box["ctx"].read("hidden")
+
+
+def smuggling_read_handler(ctx, req):
+    smuggle_read_helper({"ctx": ctx})
+    ctx.respond({})
+
+
 class TestGateFires:
     def test_smuggled_effect_fails_the_gate(self):
         def init(ic):
@@ -102,3 +111,50 @@ class TestGateFires:
         result = crosscheck_app(app, requests=requests)
         assert not result.sound
         assert any("hidden" in item for item in result.effect_unpredicted)
+
+    def test_smuggled_read_fails_the_effect_gate(self):
+        # A read the summary misses is a *digest* soundness escape (the
+        # dedup read-set restriction ranges over the summary's variable
+        # set), so it must land in effect_unpredicted -- not only in the
+        # footprint diff.
+        def init(ic):
+            ic.create_var("hidden", 0)
+            ic.register_route("go", "handle")
+
+        app = AppSpec("smuggle-read", {"handle": smuggling_read_handler}, init)
+        requests = [Request.make(f"r{i:03d}", "go") for i in range(3)]
+        result = crosscheck_app(app, requests=requests)
+        assert not result.sound
+        assert any(
+            "ctx.read of 'hidden'" in item
+            for item in result.effect_unpredicted
+        )
+
+
+def match_statement_handler(ctx, req):
+    match req["cmd"]:
+        case "read":
+            ctx.update("counter", lambda v: v + 1)
+        case _:
+            ctx.read("counter")
+    ctx.respond({})
+
+
+class TestUnmodeledSyntaxStaysSound:
+    def test_match_statement_handler_crosschecks_sound(self):
+        # ``match`` has no dedicated handler in the symbolic walker; the
+        # conservative fallback must still predict every effect reality
+        # produces.
+        def init(ic):
+            ic.create_var("counter", 0)
+            ic.register_route("go", "handle")
+
+        app = AppSpec("matcher", {"handle": match_statement_handler}, init)
+        requests = [
+            Request.make(f"r{i:03d}", "go", cmd=("read" if i % 2 else "skip"))
+            for i in range(6)
+        ]
+        result = crosscheck_app(app, requests=requests)
+        assert result.sound, (
+            result.unpredicted + result.effect_unpredicted
+        )

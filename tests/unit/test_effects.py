@@ -177,6 +177,103 @@ class TestSummaries:
 
 
 # =========================================================================
+# Conservative fallbacks: unhandled syntax and keyword arguments
+# =========================================================================
+
+
+def match_reader(ctx, req):
+    match req["cmd"]:
+        case "read":
+            ctx.read("flag")
+        case _:
+            ctx.write("flag", 0)
+    ctx.respond({})
+
+
+def match_rebound_key_writer(ctx, req):
+    key = "page:" + req["title"]
+    match req:
+        case {"alt": t}:
+            key = t
+    tid = ctx.tx_start()
+    ctx.tx_put(tid, key, req["body"])
+    ctx.tx_commit(tid)
+    ctx.respond({})
+
+
+def kw_nested_read_writer(ctx, req):
+    ctx.write("flag", value=ctx.read("other"))
+    ctx.respond({})
+
+
+def kw_nested_nondet_writer(ctx, req):
+    ctx.write("flag", value=ctx.nondet(lambda: 1))
+    ctx.respond({})
+
+
+def kw_nested_emit_event(ctx, req):
+    ctx.emit(event=ctx.read("flag"))
+    ctx.respond({})
+
+
+class TestConservativeFallbacks:
+    def summaries(self, **functions):
+        routes = {fid: fid for fid in functions}
+        return analyze_effects(
+            app_of(functions, routes, variables=("flag", "other"))
+        ).handlers
+
+    def test_ctx_ops_inside_match_are_recorded(self):
+        handlers = self.summaries(m=match_reader)
+        assert handlers["m"].var_reads == {"flag"}
+        assert handlers["m"].var_writes == {"flag"}
+        assert handlers["m"].responds
+
+    def test_match_capture_rebind_degrades_key_to_top(self):
+        # ``key`` is a page: family on one path and a pattern capture on
+        # the other; the flow-insensitive union must keep the ⊤ branch,
+        # not silently retain only the narrow family.
+        handlers = self.summaries(m=match_rebound_key_writer)
+        assert any(sym.unbounded for sym in handlers["m"].kv_writes)
+
+    def test_keyword_argument_reads_are_recorded(self):
+        handlers = self.summaries(w=kw_nested_read_writer)
+        assert handlers["w"].var_reads == {"other"}
+        assert handlers["w"].var_writes == {"flag"}
+
+    def test_keyword_argument_effects_count_once(self):
+        handlers = self.summaries(w=kw_nested_nondet_writer)
+        assert handlers["w"].nondet_sites == 1
+        assert handlers["w"].var_writes == {"flag"}
+
+    def test_dynamic_emit_argument_reads_are_recorded(self):
+        handlers = self.summaries(e=kw_nested_emit_event)
+        assert handlers["e"].dynamic_emits
+        assert handlers["e"].var_reads == {"flag"}
+
+
+class TestHelperCacheIdentity:
+    def test_recycled_id_does_not_inherit_stale_prefix(self):
+        # Simulate id() reuse after garbage collection: a cache entry at
+        # this function's id but recorded for a *different* callable must
+        # be ignored, not served as a stale prefix.
+        from repro.analysis.effects import _HELPER_CACHE
+
+        def other(x):
+            return "stale:" + x
+
+        def fresh(x):
+            return "fresh:" + x
+
+        _HELPER_CACHE[id(fresh)] = (other, "stale:")
+        try:
+            assert key_helper_prefix(fresh) == "fresh:"
+            assert key_helper_prefix(fresh) == "fresh:"  # now a true hit
+        finally:
+            _HELPER_CACHE.pop(id(fresh), None)
+
+
+# =========================================================================
 # Route closures, conflicts, cacheability over the bundled apps
 # =========================================================================
 
