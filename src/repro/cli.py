@@ -136,6 +136,43 @@ def _build_parser() -> argparse.ArgumentParser:
     aud.add_argument("--no-cache", action="store_true",
                      help="with --dedup: in-run batching only, no verdict "
                      "cache carried across epochs or runs")
+    aud.add_argument("--scheduler", default="pipeline",
+                     choices=["pipeline", "serial", "thread", "process"],
+                     help="execution driver: the staged pipeline (default) or "
+                     "the compiled execution DAG under the named scheduler "
+                     "(verdict-identical; see DESIGN.md §13 and repro plan)")
+    aud.add_argument("--node-journal", metavar="DIR",
+                     help="with --scheduler: persist per-node completion "
+                     "records here (digest-chained), enabling node-granular "
+                     "crash resume via --resume")
+    aud.add_argument("--resume", action="store_true",
+                     help="resume a killed DAG audit from --node-journal: "
+                     "journaled re-execution results replay, only the "
+                     "unfinished frontier re-executes")
+
+    plan = sub.add_parser(
+        "plan",
+        help="compile an audit to its execution DAG without running it",
+    )
+    plan.add_argument("--app", required=True, choices=["motd", "stacks", "wiki", "feed"])
+    plan.add_argument("--trace", help="trace JSON (required unless --epochs-dir)")
+    plan.add_argument("--advice", help="advice JSON (required unless --epochs-dir)")
+    plan.add_argument("--epochs", type=int, default=0, metavar="N",
+                      help="plan a continuous audit: re-cut the trace into "
+                      "epochs of N responses")
+    plan.add_argument("--epochs-dir", metavar="DIR",
+                      help="plan over sealed epoch files written by serve "
+                      "--out-epochs (replaces --trace/--advice)")
+    plan.add_argument("--singleton-groups", action="store_true",
+                      help="one re-execution group per request (OOOAudit)")
+    plan.add_argument("--dedup", action="store_true",
+                      help="plan with the dedup barrier armed")
+    plan.add_argument("--static-hints", action="store_true",
+                      help="fold the static conflict matrix into the wave "
+                      "pre-partitioning (DESIGN.md §12)")
+    plan.add_argument("--format", default="text", choices=["text", "json"],
+                      help="human text (default) or the repro.plan/1 JSON "
+                      "document on stdout")
 
     cache = sub.add_parser(
         "cache", help="inspect or manage a persisted verdict cache"
@@ -278,6 +315,33 @@ def _dedup_usage_error(args) -> Optional[str]:
     if args.no_cache and not args.dedup:
         return "--no-cache requires --dedup"
     return None
+
+
+def _dag_usage_error(args) -> Optional[str]:
+    if args.scheduler == "pipeline":
+        if args.node_journal:
+            return "--node-journal requires --scheduler serial/thread/process"
+        if args.resume:
+            return "--resume requires --scheduler serial/thread/process"
+        return None
+    if args.resume and not args.node_journal:
+        return "--resume requires --node-journal"
+    return None
+
+
+def _scheduler_arg(args) -> Optional[str]:
+    sched = getattr(args, "scheduler", "pipeline")
+    return None if sched == "pipeline" else sched
+
+
+def _make_node_journal(args, metrics=None):
+    """A NodeJournal over a file backend for --node-journal, else None."""
+    if not getattr(args, "node_journal", None):
+        return None
+    from repro.storage import backend_for
+    from repro.verifier.dag import NodeJournal
+
+    return NodeJournal(backend_for("file", args.node_journal, metrics=metrics))
 
 
 def _make_dedup(args, metrics=None, hints=None):
@@ -443,6 +507,8 @@ def _cmd_audit(args) -> int:
             usage = "--trace and --advice are required unless --epochs-dir is given"
     if usage is None:
         usage = _dedup_usage_error(args)
+    if usage is None:
+        usage = _dag_usage_error(args)
     if usage is not None:
         print(f"error: {usage}", file=sys.stderr)
         return EXIT_USAGE
@@ -517,6 +583,9 @@ def _dispatch_audit_inner(args, metrics, progress, dedup, hints=None) -> int:
                 partition="static" if hints is not None else None,
                 hints=hints,
                 metrics=metrics, progress=progress, dedup=dedup,
+                scheduler=_scheduler_arg(args),
+                node_journal=_make_node_journal(args, metrics),
+                resume=args.resume,
             )
             result = auditor.run()
         from repro.trace.codec import read_trace as _read_trace
@@ -542,6 +611,9 @@ def _dispatch_audit_inner(args, metrics, progress, dedup, hints=None) -> int:
         partition="static" if hints is not None else None,
         hints=hints,
         metrics=metrics, progress=progress, dedup=dedup,
+        scheduler=_scheduler_arg(args),
+        node_journal=_make_node_journal(args, metrics),
+        resume=args.resume,
     )
     return _finish_audit(
         args, auditor.run(), metrics,
@@ -654,6 +726,8 @@ def _cmd_audit_continuous(
         metrics=metrics,
         progress=progress,
         dedup=dedup,
+        scheduler=_scheduler_arg(args),
+        node_journal=_make_node_journal(args, metrics),
     )
     try:
         verdicts = auditor.run(epochs)
@@ -710,6 +784,48 @@ def _cmd_audit_continuous(
           f"({stats['elapsed_seconds']:.3f}s audit time)")
     if not accepted:
         return EXIT_REJECTED
+    return EXIT_OK
+
+
+def _cmd_plan(args) -> int:
+    if args.epochs and args.epochs_dir:
+        print("error: --epochs and --epochs-dir are mutually exclusive",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.epochs_dir is None and (args.trace is None or args.advice is None):
+        print("error: --trace and --advice are required unless --epochs-dir "
+              "is given", file=sys.stderr)
+        return EXIT_USAGE
+    from repro.verifier.dag import compile_plan, format_plan_text, single_epoch, validate_plan
+
+    if args.epochs_dir:
+        from repro.continuous import read_epochs
+
+        epochs = read_epochs(args.epochs_dir)
+        if not epochs:
+            print(f"error: no epoch files in {args.epochs_dir}", file=sys.stderr)
+            return EXIT_USAGE
+    else:
+        trace, advice = _load(args)
+        if args.epochs:
+            from repro.continuous import slice_epochs
+
+            epochs = slice_epochs(trace, advice, args.epochs)
+        else:
+            epochs = [single_epoch(0, trace, advice)]
+    hints = _make_hints(args)
+    plan = compile_plan(
+        args.app, epochs,
+        singleton_groups=args.singleton_groups,
+        dedup=args.dedup,
+        partition="static" if hints is not None else None,
+        hints=hints,
+    )
+    validate_plan(plan)
+    if args.format == "json":
+        print(plan.to_json())
+    else:
+        print(format_plan_text(plan))
     return EXIT_OK
 
 
@@ -948,6 +1064,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "serve": _cmd_serve,
         "audit": _cmd_audit,
+        "plan": _cmd_plan,
         "cache": _cmd_cache,
         "attack": _cmd_attack,
         "analyze": _cmd_analyze,

@@ -76,6 +76,8 @@ class ContinuousAuditor:
         dedup: Optional[object] = None,
         partition: Optional[str] = None,
         hints: Optional[object] = None,
+        scheduler: Optional[str] = None,
+        node_journal: Optional[object] = None,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -90,6 +92,13 @@ class ContinuousAuditor:
         # cover the carry-in state (checkpoint-anchored), so a group that
         # recurs in a later epoch under the same carried values is a hit.
         self.dedup = dedup
+        # A non-pipeline scheduler routes every per-epoch audit through
+        # the DAG driver (repro.verifier.dag); with a node journal, a
+        # mid-epoch kill resumes at node granularity inside the epoch the
+        # journal-level resume re-audits ("auto": a journal left by a
+        # different epoch's plan is discarded, not trusted).
+        self.scheduler = scheduler
+        self.node_journal = node_journal
         self.max_pending = max_pending
         self.metrics = ensure_metrics(metrics)
         self.progress = progress
@@ -249,6 +258,9 @@ class ContinuousAuditor:
             checkpoint_index=epoch.index,
             checkpoint_parent=parent,
             dedup=self.dedup,
+            scheduler=self.scheduler,
+            node_journal=self.node_journal,
+            resume="auto" if self.node_journal is not None else False,
         )
         result = auditor.run()
         if not result.accepted:

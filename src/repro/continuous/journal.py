@@ -13,12 +13,11 @@ the checkpoint chain up to that epoch still verifies (a tampered
 checkpoint store invalidates the journal's claim and the resume is
 refused as ``checkpoint-chain-forged``).
 
-Two persistence shapes:
+Two persistence shapes, both on the storage layer's tolerant-load path:
 
-* ``path`` (legacy): one JSONL file.  Each record is fsynced before
-  :meth:`record` returns, and a torn final line (the shape a kill
-  mid-write leaves) is dropped on load -- resume never trusts a partial
-  record, and the next append overwrites the torn bytes.
+* ``path`` (legacy): one JSONL file via :mod:`repro.storage.jsonl` --
+  fsync per record, torn final line dropped on load, torn bytes
+  overwritten by the next append;
 * ``backend`` (a :class:`repro.storage.backend.StorageBackend`): a
   ``journal`` record stream with per-record fsync; the storage layer's
   CRC + torn-tail recovery provide the same guarantee.
@@ -26,11 +25,11 @@ Two persistence shapes:
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Dict, List, Optional
 
 from repro.storage.backend import StorageBackend
+from repro.storage.jsonl import JsonlAppender, load_jsonl_tolerant
 from repro.storage.records import pack_json, unpack_json
 
 STREAM_KIND = "journal"
@@ -52,66 +51,24 @@ class AuditJournal:
         self.path = path
         self.backend = backend
         self._writer = None
-        self._resume_offset: Optional[int] = None
+        self._appender: Optional[JsonlAppender] = None
         self.events: List[Dict] = []
-        if path is not None and os.path.exists(path):
-            self._load_jsonl(path)
+        if path is not None:
+            resume_offset = None
+            if os.path.exists(path):
+                self.events, resume_offset = load_jsonl_tolerant(path)
+            self._appender = JsonlAppender(path, resume_offset)
         elif backend is not None:
             for rtype, payload in backend.load_tolerant(STREAM_NAME, STREAM_KIND):
                 if rtype == RT_JOURNAL_EVENT:
                     self.events.append(unpack_json(payload))
 
-    def _load_jsonl(self, path: str) -> None:
-        """Parse the JSONL journal, dropping a torn final line.
-
-        A process killed mid-append leaves a partial last line; trusting
-        it would be resuming from state that was never durably recorded.
-        Damage anywhere *before* the final line is not a torn tail and
-        still raises.
-        """
-        with open(path, "rb") as fh:
-            raw = fh.read()
-        offset = 0
-        lines = raw.split(b"\n")
-        for i, line in enumerate(lines):
-            # Only a newline-terminated line was durably completed; the
-            # final segment of a newline-free tail is suspect even when
-            # it happens to parse.
-            complete = i < len(lines) - 1
-            stripped = line.strip()
-            if stripped:
-                try:
-                    entry = json.loads(stripped.decode("utf-8"))
-                except (ValueError, UnicodeDecodeError):
-                    if complete:
-                        raise
-                    self._resume_offset = offset
-                    return
-                if not complete:
-                    self._resume_offset = offset
-                    return
-                self.events.append(entry)
-            offset += len(line) + 1
-
     def record(self, event: str, epoch: int, **fields: object) -> None:
         entry: Dict = {"event": event, "epoch": epoch}
         entry.update(fields)
         self.events.append(entry)
-        if self.path is not None:
-            mode = "r+b" if self._resume_offset is not None else "ab"
-            with open(self.path, mode) as fh:
-                if self._resume_offset is not None:
-                    fh.truncate(self._resume_offset)
-                    fh.seek(self._resume_offset)
-                    self._resume_offset = None
-                fh.write(
-                    (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
-                )
-                fh.flush()
-                # Crash-resume contract: once record() returns, the entry
-                # survives a kill -- flush alone leaves it in the page
-                # cache, where a crash can still tear it.
-                os.fsync(fh.fileno())
+        if self._appender is not None:
+            self._appender.append(entry)
         elif self.backend is not None:
             if self._writer is None:
                 self._writer = self.backend.append(

@@ -269,12 +269,18 @@ class AuditPhaseBreakdown:
 
     ``stage_seconds`` follows the pipeline's stage order (decode,
     preprocess, isolation, reexec, postprocess, checkpoint);
-    ``metrics`` is the full registry snapshot of the run."""
+    ``metrics`` is the full registry snapshot of the run.  Under the DAG
+    driver (``scheduler=``), ``node_seconds`` carries the per-node spans
+    the stage totals aggregate: ``(epoch, stage, group, seconds)``."""
 
     accepted: bool
     elapsed_seconds: float
     stage_seconds: Dict[str, float]
     metrics: Dict[str, object]
+    driver: str = "pipeline"
+    node_seconds: List[Tuple[int, str, Optional[str], float]] = field(
+        default_factory=list
+    )
 
     @property
     def stage_total(self) -> float:
@@ -285,10 +291,16 @@ class AuditPhaseBreakdown:
         return {name: sec / total for name, sec in self.stage_seconds.items()}
 
 
-def measure_audit_phases(cfg: ExperimentConfig) -> AuditPhaseBreakdown:
+def measure_audit_phases(
+    cfg: ExperimentConfig, scheduler: Optional[str] = None
+) -> AuditPhaseBreakdown:
     """Serve once on the Karousos server, then audit with the staged
     pipeline's per-stage timers on; reports the phase breakdown the paper
-    discusses qualitatively (preprocess vs re-execution vs postprocess)."""
+    discusses qualitatively (preprocess vs re-execution vs postprocess).
+
+    ``scheduler`` routes the audit through the DAG driver instead
+    (DESIGN.md §13): stage totals then aggregate the per-node spans also
+    returned in ``node_seconds``."""
     from repro.obs import MetricsRegistry
     from repro.verifier import Auditor
 
@@ -297,7 +309,7 @@ def measure_audit_phases(cfg: ExperimentConfig) -> AuditPhaseBreakdown:
     metrics = MetricsRegistry()
     auditor = Auditor(
         make_app(cfg.app_name), trace, advice,
-        parallelism=cfg.jobs, metrics=metrics,
+        parallelism=cfg.jobs, metrics=metrics, scheduler=scheduler,
     )
     result = auditor.run()
     return AuditPhaseBreakdown(
@@ -305,6 +317,8 @@ def measure_audit_phases(cfg: ExperimentConfig) -> AuditPhaseBreakdown:
         elapsed_seconds=result.stats["elapsed_seconds"],
         stage_seconds=dict(auditor.stage_seconds),
         metrics=metrics.snapshot(),
+        driver="dag" if auditor.dag is not None else "pipeline",
+        node_seconds=list(auditor.dag.node_seconds) if auditor.dag else [],
     )
 
 

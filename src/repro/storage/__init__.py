@@ -17,6 +17,7 @@ from repro.storage.backend import (
     StorageBackend,
     backend_for,
 )
+from repro.storage.jsonl import JsonlAppender, load_jsonl_tolerant
 from repro.storage.records import (
     RecordFormatError,
     RecordTruncatedError,
@@ -47,6 +48,8 @@ __all__ = [
     "RecordWriter",
     "StorageBackend",
     "backend_for",
+    "JsonlAppender",
+    "load_jsonl_tolerant",
     "RecordFormatError",
     "RecordTruncatedError",
     "decode_stream_header",

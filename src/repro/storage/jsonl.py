@@ -1,0 +1,94 @@
+"""Tolerant JSONL persistence: the storage layer's torn-tail contract
+for line-oriented journals (DESIGN.md §8).
+
+Record streams get torn-tail recovery from the framed format
+(:func:`repro.storage.records.recover_stream`); the legacy JSONL
+journals need the same guarantee for plain-text lines.  This module is
+the one implementation both the continuous audit journal
+(:mod:`repro.continuous.journal`) and any other line-oriented log share:
+
+* :func:`load_jsonl_tolerant` parses a JSONL file, *dropping* a torn
+  final line (the shape a kill mid-append leaves) and reporting the
+  byte offset where the damage starts; damage anywhere before the final
+  line is not a torn tail and still raises
+  :class:`~repro.storage.records.RecordFormatError`;
+* :class:`JsonlAppender` appends durable (flush + fsync) records,
+  truncating the torn bytes on the first append so the file converges
+  back to a clean stream.
+
+Only a newline-terminated line counts as durably completed: the final
+segment of a newline-free tail is suspect even when it happens to
+parse, because the crash may have interrupted the write anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.records import RecordFormatError
+
+
+def load_jsonl_tolerant(path: str) -> Tuple[List[Dict], Optional[int]]:
+    """Parse a JSONL file; returns ``(records, resume_offset)``.
+
+    ``resume_offset`` is None for a clean file, else the byte offset of
+    the torn final line (pass it to :class:`JsonlAppender` so the next
+    append overwrites the torn bytes).  Mid-file damage raises
+    :class:`~repro.storage.records.RecordFormatError` -- a crash only
+    ever tears the tail.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    records: List[Dict] = []
+    offset = 0
+    lines = raw.split(b"\n")
+    for i, line in enumerate(lines):
+        complete = i < len(lines) - 1
+        stripped = line.strip()
+        if stripped:
+            try:
+                entry = json.loads(stripped.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                if complete:
+                    raise RecordFormatError(
+                        f"{path}: damaged JSONL record at offset {offset} "
+                        f"(not a torn tail): {exc}"
+                    ) from None
+                return records, offset
+            if not complete:
+                return records, offset
+            records.append(entry)
+        offset += len(line) + 1
+    return records, None
+
+
+class JsonlAppender:
+    """Durable JSONL appends with one-shot torn-tail truncation.
+
+    ``resume_offset`` (from :func:`load_jsonl_tolerant`) marks torn
+    bytes at the file's tail; the first :meth:`append` truncates to that
+    offset before writing, so a resumed journal never carries a partial
+    record.  Every append is flushed and fsynced before returning -- the
+    crash-resume contract is that a record that was handed back survives
+    a kill.
+    """
+
+    def __init__(self, path: str, resume_offset: Optional[int] = None):
+        self.path = path
+        self._resume_offset = resume_offset
+
+    def append(self, doc: Dict) -> None:
+        mode = "r+b" if self._resume_offset is not None else "ab"
+        with open(self.path, mode) as fh:
+            if self._resume_offset is not None:
+                fh.truncate(self._resume_offset)
+                fh.seek(self._resume_offset)
+                self._resume_offset = None
+            fh.write((json.dumps(doc, sort_keys=True) + "\n").encode("utf-8"))
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+__all__ = ["JsonlAppender", "load_jsonl_tolerant"]

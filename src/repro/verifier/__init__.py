@@ -8,6 +8,13 @@ REJECTs with a machine-readable reason.
 
 from repro.verifier.audit import AuditResult, Auditor, audit
 from repro.verifier.carry import CarryIn
+from repro.verifier.dag import (
+    DagAuditor,
+    NodeJournal,
+    compile_plan,
+    format_plan_text,
+    validate_plan,
+)
 from repro.verifier.explain import (
     DivergenceReport,
     explain_rejection,
@@ -29,7 +36,12 @@ __all__ = [
     "AuditStage",
     "Auditor",
     "CarryIn",
+    "DagAuditor",
     "DivergenceReport",
+    "NodeJournal",
+    "compile_plan",
+    "format_plan_text",
+    "validate_plan",
     "ParallelAuditor",
     "PipelineContext",
     "audit",

@@ -83,6 +83,10 @@ class Auditor:
         checkpoint_parent: Optional[object] = None,
         dedup: Optional[object] = None,
         hints: Optional[object] = None,
+        scheduler: Optional[str] = None,
+        node_journal: Optional[object] = None,
+        resume: object = False,
+        kill_after: Optional[int] = None,
     ):
         self.app = app
         # ``trace`` may be a lazy event iterator (a storage-layer record
@@ -103,6 +107,11 @@ class Auditor:
         self.checkpoint_index = checkpoint_index
         self.checkpoint_parent = checkpoint_parent
         self.dedup = dedup
+        self.scheduler = scheduler
+        self.node_journal = node_journal
+        self.resume = resume
+        self.kill_after = kill_after
+        self.dag = None  # the DagAuditor, when one ran
         self.state: Optional[AuditState] = None
         self.re_exec: Optional[ReExecutor] = None
         self.checkpoint = None  # set by the checkpoint stage when armed
@@ -110,6 +119,8 @@ class Auditor:
         self.parallel = None  # the ParallelAuditor, when one ran
 
     def run(self) -> AuditResult:
+        if self.scheduler is not None and self.scheduler != "pipeline":
+            return self._run_dag()
         if self.parallelism and self.parallelism > 1:
             return self._run_parallel()
         ctx = self._context()
@@ -138,6 +149,45 @@ class Auditor:
         self.re_exec = ctx.re_exec
         self.checkpoint = ctx.checkpoint
         self.stage_seconds = ctx.stage_seconds
+
+    def _run_dag(self) -> AuditResult:
+        """Compile the audit to an execution DAG and run it through the
+        selected scheduler (DESIGN.md §13); verdict-identical to the
+        staged pipeline by the DAG driver's construction."""
+        # Imported lazily: the dag package imports pipeline pieces.
+        from repro.verifier.dag import DagAuditor
+
+        if self.reverse_groups:
+            raise ValueError(
+                "reverse_groups permutes the sequential merge order and "
+                "has no DAG equivalent; use the pipeline driver"
+            )
+        dag = DagAuditor(
+            self.app,
+            self.trace,
+            self.advice,
+            scheduler=self.scheduler,
+            jobs=self.parallelism,
+            singleton_groups=self.singleton_groups,
+            partition=self.partition,
+            hints=self.hints,
+            dedup=self.dedup,
+            carry=self.carry,
+            metrics=self.metrics,
+            progress=self.progress,
+            checkpoint_index=self.checkpoint_index,
+            checkpoint_parent=self.checkpoint_parent,
+            journal=self.node_journal,
+            resume=self.resume,
+            kill_after=self.kill_after,
+        )
+        result = dag.run()
+        self.dag = dag
+        self.state = dag.state
+        self.re_exec = dag.re_exec
+        self.checkpoint = dag.checkpoint
+        self.stage_seconds = dag.stage_seconds
+        return result
 
     def _run_parallel(self) -> AuditResult:
         # Imported lazily: parallel imports the pipeline from this package.

@@ -1,0 +1,49 @@
+"""Execution-DAG audit driver: plan compiler, node journal, pluggable
+schedulers, and the DAG driver itself (DESIGN.md §13)."""
+
+from repro.verifier.dag.driver import DagAuditor, SimulatedKill
+from repro.verifier.dag.journal import (
+    NodeJournal,
+    NodeJournalError,
+    NodeJournalState,
+)
+from repro.verifier.dag.plan import (
+    PLAN_SPEC,
+    AuditPlan,
+    PlanError,
+    PlanNode,
+    compile_plan,
+    format_plan_text,
+    single_epoch,
+    validate_plan,
+)
+from repro.verifier.dag.scheduler import (
+    SCHEDULER_PROCESS,
+    SCHEDULER_SERIAL,
+    SCHEDULER_THREAD,
+    SCHEDULERS,
+    Scheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "PLAN_SPEC",
+    "SCHEDULERS",
+    "SCHEDULER_PROCESS",
+    "SCHEDULER_SERIAL",
+    "SCHEDULER_THREAD",
+    "AuditPlan",
+    "DagAuditor",
+    "NodeJournal",
+    "NodeJournalError",
+    "NodeJournalState",
+    "PlanError",
+    "PlanNode",
+    "Scheduler",
+    "SimulatedKill",
+    "compile_plan",
+    "format_plan_text",
+    "make_scheduler",
+    "single_epoch",
+    "validate_plan",
+]

@@ -1,0 +1,757 @@
+"""The DAG audit driver: compile, validate, execute, journal, resume
+(DESIGN.md §13).
+
+:class:`DagAuditor` turns an audit request into an explicit
+:class:`~repro.verifier.dag.plan.AuditPlan`, pre-flight-validates it,
+and executes it through a pluggable
+:class:`~repro.verifier.dag.scheduler.Scheduler`.  It produces the same
+:class:`~repro.verifier.pipeline.AuditResult` (verdict, reason, detail,
+stats, stage, site) as the staged pipeline drivers, by construction:
+
+* per-node work is the *same code* the pipeline stages run (``decode``
+  freezes the trace, ``preprocess``/``isolation``/``postprocess`` call
+  the shared implementations, ``reexec`` nodes run
+  :func:`~repro.verifier.parallel.execute_group`, the ``merge`` node
+  replays deltas in canonical sorted-tag order via
+  :func:`~repro.verifier.parallel.merge_delta` -- the exact reduction
+  that makes the parallel driver verdict-equivalent to the sequential
+  one);
+* the exception-to-verdict mapping mirrors
+  :meth:`~repro.verifier.pipeline.AuditPipeline.run` clause for clause
+  (``AuditRejected`` -> its reason; anything else -> ``audit-crash``),
+  with ``dedup``/``merge`` nodes reporting stage ``reexec`` so verdict
+  stages line up with the six-stage pipeline.
+
+With a :class:`~repro.verifier.dag.journal.NodeJournal` attached, every
+completed node is persisted (fsync per record, digest-chained) before
+its completion is acted on, and ``resume=True`` replays the journal:
+completed epochs return their recorded verdicts wholesale, journaled
+``reexec`` deltas are replayed instead of re-executed, and the cheap
+deterministic stages simply re-run -- only the frontier re-executes.
+
+Epoch streams: in stream mode (``epochs=[...]``) the plan chains epochs
+through their checkpoints exactly like the continuous driver -- a
+rejected epoch stops the schedule and every later epoch reports
+``predecessor-rejected`` without running a single node.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import AuditRejected
+from repro.obs import MetricsRegistry, ensure_metrics
+from repro.trace.trace import Trace
+from repro.verifier.dag.journal import (
+    PAYLOAD_CHECKPOINT,
+    PAYLOAD_DELTA,
+    PAYLOAD_NONE,
+    NodeJournal,
+    NodeJournalError,
+    decode_delta,
+    encode_delta,
+)
+from repro.verifier.dag.plan import (
+    NODE_CHECKPOINT,
+    NODE_DECODE,
+    NODE_DEDUP,
+    NODE_ISOLATION,
+    NODE_MERGE,
+    NODE_POSTPROCESS,
+    NODE_PREPROCESS,
+    NODE_REEXEC,
+    AuditPlan,
+    PlanNode,
+    compile_plan,
+    single_epoch,
+    validate_plan,
+)
+from repro.verifier.dag.scheduler import SCHEDULER_SERIAL, make_scheduler
+from repro.verifier.isolation import verify_isolation_level
+from repro.verifier.parallel import GroupDelta, execute_group, merge_delta
+from repro.verifier.pipeline import AuditResult, collect_stats
+from repro.verifier.postprocess import postprocess
+from repro.verifier.preprocess import preprocess
+from repro.verifier.reexec import ReExecutor
+
+
+class SimulatedKill(Exception):
+    """Test hook: raised after the N-th journal write to model a hard
+    kill at that exact persistence boundary (the record survives, the
+    process does not)."""
+
+
+class _PlanAborted(Exception):
+    """Internal: an epoch rejected; stop scheduling the rest."""
+
+
+def _result_to_doc(result: AuditResult) -> Dict[str, object]:
+    return {
+        "accepted": result.accepted,
+        "reason": result.reason,
+        "detail": result.detail,
+        "stats": dict(result.stats),
+        "stage": result.stage,
+        "site": result.site,
+    }
+
+
+def _result_from_doc(doc: Dict[str, object]) -> AuditResult:
+    return AuditResult(
+        accepted=bool(doc.get("accepted")),
+        reason=str(doc.get("reason", "accepted")),
+        detail=str(doc.get("detail", "")),
+        stats=dict(doc.get("stats", {})),
+        stage=str(doc.get("stage", "")),
+        site=doc.get("site"),
+    )
+
+
+@dataclass
+class _EpochRun:
+    """Mutable per-epoch execution state threaded through the nodes."""
+
+    index: int
+    epoch: object
+    groups: Dict[str, List[str]]
+    parent: Optional[object] = None  # verified predecessor Checkpoint
+    carry: Optional[object] = None
+    started: Optional[float] = None
+    trace: Optional[Trace] = None
+    state: Optional[object] = None
+    re_exec: Optional[ReExecutor] = None
+    checkpoint: Optional[object] = None
+    deltas: Dict[str, GroupDelta] = field(default_factory=dict)
+    digests: Dict[str, object] = field(default_factory=dict)
+    hits: Dict[str, GroupDelta] = field(default_factory=dict)
+    fresh: Set[str] = field(default_factory=set)
+    result: Optional[AuditResult] = None
+    skip: bool = False  # verdict replayed from the journal (or pre-rejected)
+    payload: Optional[bytes] = None  # pickled worker hand-off, lazily built
+    payload_checked: bool = False
+
+
+class DagAuditor:
+    """Audit one epoch (or a stream of epochs) through a compiled
+    execution DAG.
+
+    Single mode (``trace`` + ``advice``): drop-in for the sequential /
+    parallel drivers -- exposes ``state``, ``re_exec``, ``checkpoint``,
+    ``stage_seconds`` after :meth:`run`, honours ``checkpoint_index`` /
+    ``checkpoint_parent`` / ``carry`` exactly like the pipeline, so the
+    continuous driver can delegate per-epoch audits to it unchanged.
+
+    Stream mode (``epochs=[...]``): one plan over the whole sealed
+    sequence, checkpoint-chained; :meth:`run_stream` returns per-epoch
+    :class:`~repro.continuous.auditor.EpochVerdict` objects with the
+    continuous driver's rejection cascade semantics.
+    """
+
+    def __init__(
+        self,
+        app,
+        trace=None,
+        advice=None,
+        *,
+        epochs: Optional[Sequence[object]] = None,
+        app_name: str = "",
+        scheduler: str = SCHEDULER_SERIAL,
+        jobs: int = 1,
+        singleton_groups: bool = False,
+        partition: Optional[str] = None,
+        hints=None,
+        dedup=None,
+        carry=None,
+        metrics: Optional[MetricsRegistry] = None,
+        progress=None,
+        checkpoint_index: Optional[int] = None,
+        checkpoint_parent=None,
+        checkpoints=None,
+        audit_journal=None,
+        journal: Optional[NodeJournal] = None,
+        resume=False,
+        kill_after: Optional[int] = None,
+        order_key: Optional[Callable[[object], object]] = None,
+    ):
+        if (trace is None) == (epochs is None):
+            raise ValueError("pass trace+advice or epochs, not both")
+        self.app = app
+        self.trace_input = trace
+        self.advice = advice
+        self.epochs = list(epochs) if epochs is not None else None
+        self.app_name = app_name or getattr(app, "name", "") or ""
+        self.scheduler_name = scheduler
+        self.jobs = max(1, int(jobs))
+        self.singleton_groups = singleton_groups
+        self.partition = partition
+        self.hints = hints
+        self.dedup = dedup
+        self.carry = carry
+        self.metrics = ensure_metrics(metrics)
+        self.progress = progress
+        self.checkpoint_index = checkpoint_index
+        self.checkpoint_parent = checkpoint_parent
+        self.checkpoints = checkpoints
+        self.audit_journal = audit_journal
+        self.journal = journal
+        self.resume = resume
+        self.kill_after = kill_after
+        self.order_key = order_key
+        self._stream = epochs is not None
+
+        # Post-run surface (single mode parity with Auditor/ParallelAuditor).
+        self.state = None
+        self.re_exec: Optional[ReExecutor] = None
+        self.checkpoint = None
+        self.stage_seconds: Dict[str, float] = {}
+        # Per-node wall-clock: (epoch, stage, group, seconds).
+        self.node_seconds: List[Tuple[int, str, Optional[str], float]] = []
+        self.plan: Optional[AuditPlan] = None
+        self.executed_nodes = 0
+        self.resumed_nodes = 0
+        self.skipped_resumed = 0  # epochs replayed wholesale from the journal
+        self.fallback_tags: List[str] = []
+
+        self._runs: Dict[int, _EpochRun] = {}
+        self._order: List[int] = []
+        self._jstate = None
+        self._failed: Optional[Tuple[int, str]] = None
+        self._journal_writes = 0
+        self._replayed_verdicts: Set[int] = set()
+
+    # -- entry points ------------------------------------------------------
+
+    def run(self) -> AuditResult:
+        """Single mode: audit one epoch, return its verdict."""
+        self._execute()
+        er = self._runs[self._order[0]]
+        self.state = er.state
+        self.re_exec = er.re_exec
+        self.checkpoint = er.checkpoint
+        assert er.result is not None
+        return er.result
+
+    def run_stream(self) -> List[object]:
+        """Stream mode: audit every epoch, return per-epoch verdicts."""
+        from repro.continuous.auditor import EpochVerdict
+
+        self._execute()
+        out = []
+        for index in self._order:
+            er = self._runs[index]
+            assert er.result is not None
+            digest = (
+                er.checkpoint.digest if er.checkpoint is not None else None
+            )
+            out.append(EpochVerdict(index, er.result, checkpoint_digest=digest))
+        return out
+
+    # -- plan + journal setup ----------------------------------------------
+
+    def _execute(self) -> None:
+        eps = self._frozen_epochs()
+        plan = self._compile(eps)
+        validate_plan(plan)
+        self.plan = plan
+        self.metrics.gauge("dag.plan_nodes").set(len(plan.nodes))
+        self.metrics.gauge("dag.plan_edges").set(len(plan.edges))
+        self._setup_journal(plan)
+        self._setup_runs(plan, eps)
+        scheduler = make_scheduler(
+            self.scheduler_name, jobs=self.jobs, order_key=self.order_key
+        )
+        try:
+            scheduler.execute(plan.ordered_nodes(), plan.edges, self)
+        except _PlanAborted:
+            pass
+        finally:
+            if self.journal is not None:
+                self.journal.close()
+        self._assemble_verdicts()
+
+    def _frozen_epochs(self) -> List[object]:
+        """The epoch list with traces frozen exactly once -- a streamed
+        trace input is an iterator and must not be consumed twice (plan
+        digests consume it first, the decode node re-freezes the result,
+        which is idempotent)."""
+        if self._stream:
+            return [
+                single_epoch(int(e.index), Trace.from_events(e.trace), e.advice)
+                for e in self.epochs
+            ]
+        index = self.checkpoint_index if self.checkpoint_index is not None else 0
+        return [
+            single_epoch(index, Trace.from_events(self.trace_input), self.advice)
+        ]
+
+    def _compile(self, eps: Sequence[object]) -> AuditPlan:
+        return compile_plan(
+            self.app_name,
+            eps,
+            singleton_groups=self.singleton_groups,
+            dedup=self.dedup is not None,
+            partition=self.partition,
+            hints=self.hints,
+        )
+
+    def _setup_journal(self, plan: AuditPlan) -> None:
+        if self.journal is None:
+            return
+        jstate = None
+        if self.resume:
+            if self.journal.exists():
+                try:
+                    jstate = self.journal.load()
+                except NodeJournalError:
+                    if self.resume != "auto":
+                        raise
+            elif self.resume != "auto":
+                raise NodeJournalError("no node journal to resume from")
+            if jstate is not None and jstate.plan_digest != plan.digest:
+                if self.resume != "auto":
+                    raise NodeJournalError(
+                        f"node journal belongs to plan "
+                        f"{jstate.plan_digest[:16]}, not {plan.digest[:16]}: "
+                        "refusing to resume against different inputs"
+                    )
+                jstate = None
+        self._jstate = jstate
+        if jstate is None:
+            self.journal.start(plan.digest)
+
+    def _setup_runs(self, plan: AuditPlan, eps: Sequence[object]) -> None:
+        eps_by_index = {int(e.index): e for e in eps}
+        parent = self.checkpoint_parent
+        for meta in plan.epochs:
+            epoch = eps_by_index[meta.index]
+            groups = {
+                n.group: list(n.rids)
+                for n in plan.epoch_nodes(meta.index)
+                if n.stage == NODE_REEXEC
+            }
+            er = _EpochRun(index=meta.index, epoch=epoch, groups=groups,
+                           parent=parent)
+            self._runs[meta.index] = er
+            self._order.append(meta.index)
+            parent = None
+            if self._jstate is not None and meta.index in self._jstate.verdicts:
+                er.result = _result_from_doc(self._jstate.verdicts[meta.index])
+                er.skip = True
+                self.skipped_resumed += 1
+                self._replayed_verdicts.add(meta.index)
+                if er.result.accepted:
+                    parent = self._replay_checkpoint(plan, er)
+                elif self._failed is None:
+                    self._failed = (meta.index, er.result.reason)
+        if (
+            self._stream
+            and self._failed is None
+            and self._order
+        ):
+            # Continuous-driver parity: an epoch whose predecessor
+            # checkpoint is unavailable rejects without running a node.
+            first = next(
+                (self._runs[i] for i in self._order if not self._runs[i].skip),
+                None,
+            )
+            if first is not None and first.index > 0 and first.parent is None:
+                first.result = AuditResult(
+                    accepted=False,
+                    reason="missing-checkpoint",
+                    detail=f"no verified checkpoint for epoch {first.index - 1}",
+                )
+                first.skip = True
+                self._failed = (first.index, "missing-checkpoint")
+                if self.audit_journal is not None:
+                    self.audit_journal.record(
+                        "rejected", first.index,
+                        reason=first.result.reason, detail=first.result.detail,
+                    )
+
+    def _replay_checkpoint(self, plan: AuditPlan, er: _EpochRun):
+        """Rehydrate a completed epoch's checkpoint from its journaled
+        payload (accepted epochs only); returns it as the next epoch's
+        parent."""
+        armed = self._stream or self.checkpoint_index is not None
+        if not armed:
+            return None
+        node = plan.node(er.index, NODE_CHECKPOINT)
+        payload = (
+            self._jstate.checkpoint_payload(node.node_id)
+            if node is not None
+            else None
+        )
+        if payload is None:
+            raise NodeJournalError(
+                f"journal records epoch {er.index}'s verdict but not its "
+                "checkpoint; cannot chain the next epoch"
+            )
+        from repro.continuous.checkpoint import decode_checkpoint
+
+        er.checkpoint = decode_checkpoint(payload.decode("utf-8"))
+        if (
+            self.checkpoints is not None
+            and self.checkpoints.get(er.index) is None
+        ):
+            self.checkpoints.put(er.checkpoint)
+        return er.checkpoint
+
+    # -- runner protocol (consumed by the Scheduler) -----------------------
+
+    def parallel_safe(self, node: PlanNode) -> bool:
+        if node.stage != NODE_REEXEC:
+            return False
+        er = self._runs[node.epoch]
+        if er.skip or node.group in er.hits:
+            return False
+        if self._jstate is not None and (
+            self._jstate.delta_payload(node.node_id) is not None
+        ):
+            return False
+        return True
+
+    def execute(self, node: PlanNode):
+        er = self._runs[node.epoch]
+        if er.skip or (
+            self._failed is not None and node.epoch > self._failed[0]
+        ):
+            return ("skipped", None, 0.0)
+        t0 = time.perf_counter()
+        if er.started is None:
+            er.started = t0
+        try:
+            kind, value = self._dispatch(node, er)
+        except AuditRejected as rejection:
+            return ("rejected", rejection, time.perf_counter() - t0)
+        except Exception as exc:  # mirrors the pipeline's audit-crash clause
+            return ("crashed", exc, time.perf_counter() - t0)
+        return (kind, value, time.perf_counter() - t0)
+
+    def remote_spec(self, node: PlanNode):
+        er = self._runs[node.epoch]
+        payload = self._epoch_payload(er)
+        if payload is None:
+            return None
+        key = f"{self.plan.digest[:16]}:{er.index}"
+        return (key, payload, node.group, list(node.rids),
+                self.metrics.enabled)
+
+    def wrap_remote(self, node: PlanNode, value):
+        """Normalize a process-pool worker's bare GroupDelta into a
+        runner outcome; the worker's own span supplies the node's
+        seconds when metrics are on (parent wall-clock would count queue
+        wait, not work)."""
+        seconds = 0.0
+        if isinstance(value, GroupDelta) and value.metrics:
+            hist = value.metrics.get("histograms", {}).get("worker.group.seconds")
+            if hist:
+                seconds = float(hist.get("sum") or 0.0)
+        return ("executed", value, seconds)
+
+    def on_worker_failure(self, node: PlanNode):
+        # Infrastructure, not advice: re-execute deterministically
+        # in-process so the verdict never depends on worker health.
+        er = self._runs[node.epoch]
+        self.fallback_tags.append(node.group)
+        self.metrics.counter("parallel.fallback_groups").inc()
+        t0 = time.perf_counter()
+        delta = execute_group(
+            er.state, node.group, list(node.rids), self.metrics.enabled
+        )
+        return ("executed", delta, time.perf_counter() - t0)
+
+    def absorb(self, node: PlanNode, outcome) -> None:
+        kind, value, seconds = outcome
+        er = self._runs[node.epoch]
+        if kind == "skipped":
+            self.metrics.counter("dag.nodes_skipped").inc()
+            return
+        stage = node.pipeline_stage
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+        self.node_seconds.append((node.epoch, node.stage, node.group, seconds))
+        self.metrics.histogram(f"dag.node.{node.stage}.seconds").observe(seconds)
+        if self.progress is not None:
+            name = (
+                f"epoch[{node.epoch}].{node.stage}"
+                if self._stream
+                else node.stage
+            )
+            self.progress(name, seconds)
+        if kind in ("rejected", "crashed"):
+            self._reject(node, er, kind, value)
+            raise _PlanAborted()
+        self.metrics.counter("dag.nodes_completed").inc()
+        if node.stage == NODE_REEXEC:
+            self._absorb_reexec(node, er, kind, value)
+        elif kind == "checkpoint":
+            self._absorb_checkpoint(node, er, value)
+            self._complete_epoch(er)
+        else:
+            self._journal_node(node)
+            if node.stage == NODE_CHECKPOINT:
+                self._complete_epoch(er)
+
+    # -- node dispatch ------------------------------------------------------
+
+    def _dispatch(self, node: PlanNode, er: _EpochRun):
+        if node.stage == NODE_DECODE:
+            er.trace = Trace.from_events(er.epoch.trace)
+            return ("done", None)
+        if node.stage == NODE_PREPROCESS:
+            if self._stream:
+                er.carry = (
+                    er.parent.carry_in() if er.parent is not None
+                    else (self.carry if er.index == self._order[0] else None)
+                )
+            else:
+                er.carry = self.carry
+            er.state = preprocess(self.app, er.trace, er.epoch.advice, er.carry)
+            self.metrics.gauge("pipeline.graph_nodes").set(
+                er.state.graph.node_count
+            )
+            self.metrics.gauge("pipeline.graph_edges").set(
+                er.state.graph.edge_count
+            )
+            return ("done", None)
+        if node.stage == NODE_ISOLATION:
+            verify_isolation_level(er.state)
+            return ("done", None)
+        if node.stage == NODE_DEDUP:
+            # The merge target exists before any dedup work so a crash
+            # here reports the same partial stats as the sequential
+            # dedup stage (which creates its executor first).
+            er.re_exec = ReExecutor(er.state)
+            self.dedup.begin_stage()
+            for tag in sorted(er.groups):
+                digest, delta = self.dedup.fetch(er.state, tag, er.groups[tag])
+                er.digests[tag] = digest
+                if delta is not None:
+                    er.hits[tag] = delta
+            return ("done", None)
+        if node.stage == NODE_REEXEC:
+            return self._dispatch_reexec(node, er)
+        if node.stage == NODE_MERGE:
+            self._dispatch_merge(er)
+            return ("done", None)
+        if node.stage == NODE_POSTPROCESS:
+            postprocess(er.state, er.re_exec)
+            return ("done", None)
+        if node.stage == NODE_CHECKPOINT:
+            return self._dispatch_checkpoint(er)
+        raise RuntimeError(f"unknown node stage {node.stage!r}")
+
+    def _dispatch_reexec(self, node: PlanNode, er: _EpochRun):
+        if self._jstate is not None:
+            payload = self._jstate.delta_payload(node.node_id)
+            if payload is not None:
+                try:
+                    return ("replayed", decode_delta(payload))
+                except NodeJournalError:
+                    pass  # undecodable journal payload: just re-execute
+        if node.group in er.hits:
+            return ("cached", er.hits[node.group])
+        return (
+            "executed",
+            execute_group(
+                er.state, node.group, list(node.rids), self.metrics.enabled
+            ),
+        )
+
+    def _dispatch_merge(self, er: _EpochRun) -> None:
+        """Canonical sorted-tag reduction -- byte-identical to the
+        parallel driver's merge, including dedup store offers."""
+        if er.re_exec is None:
+            er.re_exec = ReExecutor(er.state)
+        try:
+            for tag in sorted(er.groups):
+                delta = er.deltas[tag]
+                merge_delta(er.re_exec, delta, self.metrics)
+                if (
+                    self.dedup is not None
+                    and tag in er.fresh
+                    and er.digests.get(tag) is not None
+                ):
+                    self.dedup.store(
+                        er.state, er.groups[tag], er.digests[tag], delta
+                    )
+            er.re_exec._final_checks()
+        finally:
+            if self.dedup is not None:
+                self.dedup.finish_stage(self.metrics)
+        self.metrics.counter("reexec.groups").inc(er.re_exec.groups_executed)
+        self.metrics.counter("reexec.handlers").inc(er.re_exec.handlers_executed)
+
+    def _dispatch_checkpoint(self, er: _EpochRun):
+        armed = self._stream or self.checkpoint_index is not None
+        if not armed:
+            return ("done", None)
+        index = er.index if self._stream else self.checkpoint_index
+        from repro.continuous.checkpoint import (
+            CheckpointError,
+            checkpoint_from_audit,
+        )
+
+        try:
+            cp = checkpoint_from_audit(index, er.parent, er.state, er.re_exec)
+        except CheckpointError as exc:
+            raise AuditRejected("checkpoint-unextractable", str(exc)) from exc
+        return ("checkpoint", cp)
+
+    # -- absorption ---------------------------------------------------------
+
+    def _absorb_reexec(
+        self, node: PlanNode, er: _EpochRun, kind: str, delta: GroupDelta
+    ) -> None:
+        er.deltas[node.group] = delta
+        if kind == "executed":
+            self.executed_nodes += 1
+            self.metrics.counter("reexec.nodes_executed").inc()
+            er.fresh.add(node.group)
+        elif kind == "replayed":
+            self.resumed_nodes += 1
+            self.metrics.counter("reexec.nodes_resumed").inc()
+            er.fresh.add(node.group)
+        else:  # a dedup cache hit rehydrated in the parent
+            self.metrics.counter("reexec.nodes_cached").inc()
+        if kind != "replayed":
+            payload = encode_delta(delta)
+            if payload is not None:
+                self._journal_node(node, PAYLOAD_DELTA, payload)
+            # An unpicklable delta is simply not journaled: resume
+            # re-executes that node, which is sound, just not saved.
+
+    def _absorb_checkpoint(self, node: PlanNode, er: _EpochRun, cp) -> None:
+        from repro.continuous.checkpoint import encode_checkpoint
+
+        er.checkpoint = cp
+        pos = self._order.index(er.index)
+        if pos + 1 < len(self._order):
+            self._runs[self._order[pos + 1]].parent = cp
+        if self._stream and self.checkpoints is not None:
+            self.checkpoints.put(cp)
+        self._journal_node(
+            node, PAYLOAD_CHECKPOINT, encode_checkpoint(cp).encode("utf-8")
+        )
+
+    def _complete_epoch(self, er: _EpochRun) -> None:
+        self.metrics.counter("pipeline.accepts").inc()
+        er.result = AuditResult(
+            accepted=True,
+            stats=collect_stats(er.started, er.state, er.re_exec),
+        )
+        self._journal_verdict(er)
+        if (
+            self._stream
+            and self.audit_journal is not None
+            and er.checkpoint is not None
+        ):
+            self.audit_journal.record(
+                "verified", er.index, digest=er.checkpoint.digest
+            )
+
+    def _reject(self, node: PlanNode, er: _EpochRun, kind: str, exc) -> None:
+        stage = node.pipeline_stage
+        if kind == "rejected":
+            reason, detail = exc.reason, exc.detail
+            site = getattr(exc, "site", None)
+        else:
+            reason = "audit-crash"
+            detail = f"{type(exc).__name__}: {exc}"
+            site = None
+        self.metrics.counter("pipeline.rejects").inc()
+        self.metrics.diagnostic(stage=stage, reason=reason, detail=detail)
+        er.result = AuditResult(
+            accepted=False,
+            reason=reason,
+            detail=detail,
+            stats=collect_stats(er.started, er.state, er.re_exec),
+            stage=stage,
+            site=site,
+        )
+        self._failed = (er.index, reason)
+        self._journal_verdict(er)
+        if self._stream and self.audit_journal is not None:
+            self.audit_journal.record(
+                "rejected", er.index, reason=reason, detail=detail
+            )
+
+    def _assemble_verdicts(self) -> None:
+        failed: Optional[Tuple[int, str]] = None
+        for index in self._order:
+            er = self._runs[index]
+            if er.result is None:
+                if failed is None:
+                    raise RuntimeError(
+                        f"epoch {index} finished the schedule without a "
+                        "verdict (scheduler bug)"
+                    )
+                er.result = AuditResult(
+                    accepted=False,
+                    reason="predecessor-rejected",
+                    detail=(
+                        f"epoch {failed[0]} rejected ({failed[1]}); "
+                        "initial state unverifiable"
+                    ),
+                )
+                if self._stream and self.audit_journal is not None:
+                    self.audit_journal.record(
+                        "rejected", index,
+                        reason=er.result.reason, detail=er.result.detail,
+                    )
+            if (
+                not er.result.accepted
+                and failed is None
+                and er.result.reason != "predecessor-rejected"
+            ):
+                failed = (index, er.result.reason)
+
+    # -- journal plumbing ---------------------------------------------------
+
+    def _journal_node(
+        self,
+        node: PlanNode,
+        payload_kind: str = PAYLOAD_NONE,
+        payload: Optional[bytes] = None,
+    ) -> None:
+        if self.journal is None:
+            return
+        if self._jstate is not None and node.node_id in self._jstate.completed:
+            return  # already durable from the interrupted run
+        self.journal.record_node(
+            node.node_id, node.stage, node.epoch, node.group,
+            payload_kind, payload,
+        )
+        self._kill_tick()
+
+    def _journal_verdict(self, er: _EpochRun) -> None:
+        if self.journal is None or er.index in self._replayed_verdicts:
+            return
+        assert er.result is not None
+        self.journal.record_verdict(er.index, _result_to_doc(er.result))
+        self._kill_tick()
+
+    def _kill_tick(self) -> None:
+        self._journal_writes += 1
+        if self.kill_after is not None and self._journal_writes >= self.kill_after:
+            raise SimulatedKill(
+                f"simulated kill after {self._journal_writes} journal records"
+            )
+
+    # -- worker hand-off ----------------------------------------------------
+
+    def _epoch_payload(self, er: _EpochRun) -> Optional[bytes]:
+        if not er.payload_checked:
+            er.payload_checked = True
+            try:
+                er.payload = pickle.dumps(
+                    (self.app, er.state.trace, er.epoch.advice, er.carry)
+                )
+            except Exception:
+                er.payload = None  # closure-based apps cannot cross processes
+        return er.payload
+
+
+__all__ = ["DagAuditor", "SimulatedKill"]

@@ -1,0 +1,545 @@
+"""The audit plan compiler: one run, one explicit DAG (DESIGN.md §13).
+
+Following the ELSPETH execution-graph contract (SNIPPETS.md §3), every
+audit run is compiled -- *before* any node executes -- into an explicit
+DAG of typed nodes whose IDs are deterministic content hashes.  The DAG
+is the single source of truth for what a run will do: the scheduler
+(:mod:`repro.verifier.dag.scheduler`) topologically executes it, the
+node journal (:mod:`repro.verifier.dag.journal`) keys completion records
+by node ID, and resume (:mod:`repro.verifier.dag.driver`) replays
+completed nodes by looking their IDs up again.  If it is not in the
+plan, it cannot happen.
+
+Node types, per epoch:
+
+* ``decode``, ``preprocess``, ``isolation``, ``postprocess``,
+  ``checkpoint`` -- one each, mirroring the staged pipeline;
+* ``dedup`` -- the canonical-order digest/fetch barrier, present only
+  when deduplicated re-execution is armed (it is the node every
+  dedup-cache dependency edge flows through);
+* ``reexec`` -- one per re-execution group (the unit of fan-out and of
+  crash-resume granularity);
+* ``merge`` -- the canonical-order reduction + final checks (surfaces
+  as pipeline stage ``reexec`` in verdicts, like the parallel driver's
+  reduction).
+
+Node IDs are SHA-256 over ``(epoch digest, group digest, stage name,
+spec version)``: the epoch digest pins the exact trace + advice bytes,
+the group digest pins the group's tag and members (empty for epoch-level
+nodes), and the spec version makes any format change a cache-wide
+invalidation instead of a silent misread.  Two runs over the same inputs
+therefore compile to byte-identical plans -- which is what makes a node
+journal written by a killed run addressable from the resumed one.
+
+Edges encode stage order, the carry-in chain (``checkpoint(k-1) ->
+preprocess(k)``), dedup-cache dependencies (``isolation -> dedup ->
+every reexec``), and -- under the ``footprint``/``static`` partitions --
+the wave pre-partitioning of :func:`~repro.verifier.parallel.compute_waves`
+folded in as bipartite edges between consecutive waves.  Any wave plan
+is verdict-identical (the merge replays journals in canonical order
+regardless); edges only constrain *scheduling*.
+
+:func:`validate_plan` is the pre-flight gate: spec-version match,
+edge-endpoint existence, acyclicity, reachability of every node to the
+terminal checkpoint, carry-in completeness (contiguous epochs, each
+chained to its predecessor), and exactly-once group coverage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import KarousosError
+
+PLAN_SPEC = "repro.plan/1"
+
+NODE_DECODE = "decode"
+NODE_PREPROCESS = "preprocess"
+NODE_ISOLATION = "isolation"
+NODE_DEDUP = "dedup"
+NODE_REEXEC = "reexec"
+NODE_MERGE = "merge"
+NODE_POSTPROCESS = "postprocess"
+NODE_CHECKPOINT = "checkpoint"
+
+# Deterministic intra-epoch ordering of node stages (the canonical
+# ready-queue order; also the verdict's stage progression).
+STAGE_ORDER = (
+    NODE_DECODE,
+    NODE_PREPROCESS,
+    NODE_ISOLATION,
+    NODE_DEDUP,
+    NODE_REEXEC,
+    NODE_MERGE,
+    NODE_POSTPROCESS,
+    NODE_CHECKPOINT,
+)
+_STAGE_RANK = {stage: rank for rank, stage in enumerate(STAGE_ORDER)}
+
+# How a DAG node reports itself in AuditResult.stage: the dedup barrier
+# and the merge reduction are both parts of the pipeline's reexec stage,
+# so a rejection raised there carries the same stage name the sequential
+# and parallel drivers produce.
+PIPELINE_STAGE = {
+    NODE_DEDUP: NODE_REEXEC,
+    NODE_MERGE: NODE_REEXEC,
+}
+
+
+class PlanError(KarousosError):
+    """A plan failed to compile or failed pre-flight validation."""
+
+
+def _sha256(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def canonical_json(doc: object) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def epoch_digest(trace: object, advice: object) -> str:
+    """SHA-256 over the canonical trace + advice encodings.
+
+    Pins exactly what the epoch's audit consumes; two epochs with the
+    same digest would audit identically, so node IDs derived from it are
+    stable across runs over the same inputs.
+    """
+    from repro.advice.codec import encode_advice
+    from repro.trace.codec import encode_trace
+
+    encoded_advice = encode_advice(advice) if advice is not None else ""
+    return _sha256(encode_trace(trace) + "\x00" + encoded_advice)
+
+
+def group_digest(tag: str, rids: Sequence[str]) -> str:
+    """SHA-256 over the group's tag and (sorted) membership.
+
+    This is the *identity* digest that names a plan node -- deliberately
+    cheap, unlike the activation digest of :mod:`repro.verifier.dedup`
+    which pins everything the group's execution can observe.
+    """
+    return _sha256(canonical_json([tag, sorted(rids)]))
+
+
+def node_id(epoch_dig: str, group_dig: str, stage: str) -> str:
+    """SHA-256 over (epoch digest, group digest, stage name, spec)."""
+    return _sha256(canonical_json([epoch_dig, group_dig, stage, PLAN_SPEC]))
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One typed node of the execution DAG."""
+
+    node_id: str
+    stage: str
+    epoch: int
+    group: Optional[str] = None  # the group tag, reexec nodes only
+    rids: Tuple[str, ...] = ()
+    wave: int = 0
+
+    @property
+    def pipeline_stage(self) -> str:
+        return PIPELINE_STAGE.get(self.stage, self.stage)
+
+    def __repr__(self) -> str:
+        group = f" group={self.group}" if self.group is not None else ""
+        return (
+            f"<PlanNode {self.stage} epoch={self.epoch}{group} "
+            f"id={self.node_id[:12]}>"
+        )
+
+
+@dataclass(frozen=True)
+class EpochPlanMeta:
+    """Per-epoch summary carried by the plan document."""
+
+    index: int
+    digest: str
+    requests: int
+    groups: int
+
+
+@dataclass
+class AuditPlan:
+    """The compiled DAG for one audit run."""
+
+    spec: str
+    app: str
+    options: Dict[str, object]
+    epochs: List[EpochPlanMeta]
+    nodes: Dict[str, PlanNode]
+    # Canonical order: (epoch, stage rank, group tag).  This is the
+    # deterministic ready-queue tiebreak and the serial execution order.
+    node_order: List[str] = field(default_factory=list)
+    edges: List[Tuple[str, str]] = field(default_factory=list)
+    digest: str = ""
+
+    def ordered_nodes(self) -> List[PlanNode]:
+        return [self.nodes[nid] for nid in self.node_order]
+
+    def epoch_nodes(self, index: int) -> List[PlanNode]:
+        return [n for n in self.ordered_nodes() if n.epoch == index]
+
+    def node(self, epoch: int, stage: str, group: Optional[str] = None
+             ) -> Optional[PlanNode]:
+        for nid in self.node_order:
+            n = self.nodes[nid]
+            if n.epoch == epoch and n.stage == stage and n.group == group:
+                return n
+        return None
+
+    # -- serialization (the repro.plan/1 document) -------------------------
+
+    def to_doc(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "spec": self.spec,
+            "app": self.app,
+            "options": self.options,
+            "epochs": [
+                {
+                    "index": e.index,
+                    "digest": e.digest,
+                    "requests": e.requests,
+                    "groups": e.groups,
+                }
+                for e in self.epochs
+            ],
+            "nodes": [
+                {
+                    "id": n.node_id,
+                    "stage": n.stage,
+                    "epoch": n.epoch,
+                    "group": n.group,
+                    "members": len(n.rids),
+                    "wave": n.wave,
+                }
+                for n in self.ordered_nodes()
+            ],
+            "edges": [[src, dst] for src, dst in sorted(self.edges)],
+            "digest": self.digest,
+        }
+        return doc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_doc(), indent=2, sort_keys=True)
+
+
+def _plan_digest(plan: AuditPlan) -> str:
+    doc = plan.to_doc()
+    doc.pop("digest", None)
+    return _sha256(canonical_json(doc))
+
+
+class _WaveShim:
+    """The minimal state surface :func:`compute_waves` consults.
+
+    Wave partitioning only reads ``state.advice`` (footprint policy) and
+    ``state.trace`` routes (static policy), so plan compilation does not
+    run -- and cannot be failed by -- the preprocess stage.
+    """
+
+    def __init__(self, trace: object, advice: object):
+        self.trace = trace
+        self.advice = advice
+
+
+def epoch_groups(advice: object, singleton_groups: bool) -> Dict[str, List[str]]:
+    """The epoch's re-execution groups, exactly as every driver forms
+    them (singleton OOOAudit or the advice's grouping)."""
+    if singleton_groups:
+        return {rid: [rid] for rid in advice.tags}
+    return advice.groups()
+
+
+def compile_plan(
+    app: str,
+    epochs: Sequence[object],
+    *,
+    singleton_groups: bool = False,
+    dedup: bool = False,
+    partition: Optional[str] = None,
+    hints: Optional[object] = None,
+) -> AuditPlan:
+    """Compile an audit request into an :class:`AuditPlan`.
+
+    ``epochs`` is a sequence of epoch-like objects (``.index``,
+    ``.trace``, ``.advice``) -- a single-epoch list for a plain audit, a
+    sealed sequence for a continuous one.  ``partition`` folds the wave
+    pre-partitioning in as scheduling edges (``static`` requires
+    ``hints``, exactly like :func:`~repro.verifier.parallel.compute_waves`).
+    """
+    from repro.verifier.parallel import PARTITION_STRUCTURAL, compute_waves
+
+    if not epochs:
+        raise PlanError("cannot compile a plan over zero epochs")
+    partition = partition or PARTITION_STRUCTURAL
+    plan = AuditPlan(
+        spec=PLAN_SPEC,
+        app=app,
+        options={
+            "singleton_groups": bool(singleton_groups),
+            "dedup": bool(dedup),
+            "partition": partition,
+        },
+        epochs=[],
+        nodes={},
+    )
+
+    def add_node(node: PlanNode) -> PlanNode:
+        if node.node_id in plan.nodes:
+            raise PlanError(
+                f"duplicate node id {node.node_id[:12]} "
+                f"({node.stage}, epoch {node.epoch})"
+            )
+        plan.nodes[node.node_id] = node
+        plan.node_order.append(node.node_id)
+        return node
+
+    prev_checkpoint: Optional[PlanNode] = None
+    for epoch in epochs:
+        index = int(epoch.index)
+        advice = epoch.advice
+        if advice is None:
+            raise PlanError(f"epoch {index} carries no advice")
+        edig = epoch_digest(epoch.trace, advice)
+        groups = epoch_groups(advice, singleton_groups)
+        plan.epochs.append(
+            EpochPlanMeta(
+                index=index,
+                digest=edig,
+                requests=len(epoch.trace.request_ids()),
+                groups=len(groups),
+            )
+        )
+
+        def stage_node(stage: str) -> PlanNode:
+            return add_node(
+                PlanNode(node_id=node_id(edig, "", stage), stage=stage,
+                         epoch=index)
+            )
+
+        decode = stage_node(NODE_DECODE)
+        preprocess = stage_node(NODE_PREPROCESS)
+        isolation = stage_node(NODE_ISOLATION)
+        barrier = stage_node(NODE_DEDUP) if dedup else isolation
+        plan.edges.append((decode.node_id, preprocess.node_id))
+        plan.edges.append((preprocess.node_id, isolation.node_id))
+        if dedup:
+            plan.edges.append((isolation.node_id, barrier.node_id))
+        if prev_checkpoint is not None:
+            # The carry-in chain: epoch k's preprocess consumes the
+            # state checkpoint k-1 proved.
+            plan.edges.append((prev_checkpoint.node_id, preprocess.node_id))
+
+        waves = compute_waves(
+            _WaveShim(epoch.trace, advice), groups, partition, hints
+        )
+        reexec_nodes: Dict[str, PlanNode] = {}
+        for wave_index, wave in enumerate(waves):
+            for tag in sorted(wave):
+                rids = groups[tag]
+                reexec_nodes[tag] = PlanNode(
+                    node_id=node_id(edig, group_digest(tag, rids), NODE_REEXEC),
+                    stage=NODE_REEXEC,
+                    epoch=index,
+                    group=tag,
+                    rids=tuple(rids),
+                    wave=wave_index,
+                )
+        for tag in sorted(reexec_nodes):
+            add_node(reexec_nodes[tag])
+        merge = stage_node(NODE_MERGE)
+        postprocess = stage_node(NODE_POSTPROCESS)
+        checkpoint = stage_node(NODE_CHECKPOINT)
+        by_wave: Dict[int, List[PlanNode]] = {}
+        for node in reexec_nodes.values():
+            by_wave.setdefault(node.wave, []).append(node)
+        for wave_index in sorted(by_wave):
+            for node in by_wave[wave_index]:
+                if wave_index == 0:
+                    plan.edges.append((barrier.node_id, node.node_id))
+                else:
+                    # Wave pre-partitioning: bipartite edges between
+                    # consecutive waves (scheduling only; any wave plan
+                    # is verdict-identical).
+                    for prev in by_wave[wave_index - 1]:
+                        plan.edges.append((prev.node_id, node.node_id))
+                if wave_index == len(by_wave) - 1:
+                    plan.edges.append((node.node_id, merge.node_id))
+        if not reexec_nodes:
+            plan.edges.append((barrier.node_id, merge.node_id))
+        plan.edges.append((merge.node_id, postprocess.node_id))
+        plan.edges.append((postprocess.node_id, checkpoint.node_id))
+        prev_checkpoint = checkpoint
+
+    plan.digest = _plan_digest(plan)
+    return plan
+
+
+# -- pre-flight validation -----------------------------------------------------
+
+
+def validate_plan(plan: AuditPlan) -> None:
+    """The pre-flight gate; raises :class:`PlanError` on the first
+    violated invariant.  Runs before any node executes."""
+    if plan.spec != PLAN_SPEC:
+        raise PlanError(
+            f"plan spec {plan.spec!r} does not match verifier spec "
+            f"{PLAN_SPEC!r}"
+        )
+    if not plan.epochs:
+        raise PlanError("plan contains no epochs")
+    if len(plan.node_order) != len(plan.nodes):
+        raise PlanError("node order and node set disagree")
+    for src, dst in plan.edges:
+        if src not in plan.nodes or dst not in plan.nodes:
+            raise PlanError(
+                f"edge ({src[:12]}, {dst[:12]}) references an unknown node"
+            )
+
+    # Acyclicity (Kahn): every node must drain.
+    indegree = {nid: 0 for nid in plan.nodes}
+    successors: Dict[str, List[str]] = {nid: [] for nid in plan.nodes}
+    for src, dst in plan.edges:
+        indegree[dst] += 1
+        successors[src].append(dst)
+    ready = [nid for nid in plan.node_order if indegree[nid] == 0]
+    drained = 0
+    while ready:
+        nid = ready.pop()
+        drained += 1
+        for succ in successors[nid]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if drained != len(plan.nodes):
+        stuck = sorted(nid for nid, deg in indegree.items() if deg > 0)
+        raise PlanError(
+            f"plan is cyclic: {len(plan.nodes) - drained} nodes never "
+            f"become ready (first: {stuck[0][:12]})"
+        )
+
+    # Epoch contiguity + carry-in completeness.
+    indices = [e.index for e in plan.epochs]
+    if sorted(indices) != indices or len(set(indices)) != len(indices):
+        raise PlanError(f"epoch indices out of order: {indices}")
+    for a, b in zip(indices, indices[1:]):
+        if b != a + 1:
+            raise PlanError(f"epoch indices not contiguous: {a} -> {b}")
+    edge_set = set(plan.edges)
+    for prev_meta, meta in zip(plan.epochs, plan.epochs[1:]):
+        src = plan.node(prev_meta.index, NODE_CHECKPOINT)
+        dst = plan.node(meta.index, NODE_PREPROCESS)
+        if src is None or dst is None or (src.node_id, dst.node_id) not in edge_set:
+            raise PlanError(
+                f"carry-in incomplete: no checkpoint({prev_meta.index}) -> "
+                f"preprocess({meta.index}) edge"
+            )
+
+    # Reachability: every node must feed the terminal checkpoint (a node
+    # that feeds nothing is work the plan claims but no verdict consumes).
+    terminal = plan.node(plan.epochs[-1].index, NODE_CHECKPOINT)
+    if terminal is None:
+        raise PlanError("plan has no terminal checkpoint node")
+    predecessors: Dict[str, List[str]] = {nid: [] for nid in plan.nodes}
+    for src, dst in plan.edges:
+        predecessors[dst].append(src)
+    reached = {terminal.node_id}
+    frontier = [terminal.node_id]
+    while frontier:
+        nid = frontier.pop()
+        for pred in predecessors[nid]:
+            if pred not in reached:
+                reached.add(pred)
+                frontier.append(pred)
+    unreachable = [nid for nid in plan.node_order if nid not in reached]
+    if unreachable:
+        node = plan.nodes[unreachable[0]]
+        raise PlanError(
+            f"{len(unreachable)} nodes cannot reach the terminal "
+            f"checkpoint (first: {node.stage} epoch {node.epoch})"
+        )
+
+    # Exactly-once group coverage, and node IDs must match their content.
+    for meta in plan.epochs:
+        tags = [
+            n.group for n in plan.epoch_nodes(meta.index)
+            if n.stage == NODE_REEXEC
+        ]
+        if len(tags) != len(set(tags)) or len(tags) != meta.groups:
+            raise PlanError(
+                f"epoch {meta.index}: reexec nodes cover {len(tags)} groups, "
+                f"expected {meta.groups} exactly once"
+            )
+        for node in plan.epoch_nodes(meta.index):
+            gdig = (
+                group_digest(node.group, list(node.rids))
+                if node.stage == NODE_REEXEC
+                else ""
+            )
+            if node.node_id != node_id(meta.digest, gdig, node.stage):
+                raise PlanError(
+                    f"node id mismatch for {node.stage} in epoch "
+                    f"{meta.index}: content does not hash to its id"
+                )
+
+
+# -- text rendering (repro plan --format text) ---------------------------------
+
+
+def format_plan_text(plan: AuditPlan) -> str:
+    lines = [
+        f"plan {plan.digest[:16]}  (spec {plan.spec}, app {plan.app})",
+        f"options: {canonical_json(plan.options)}",
+        f"{len(plan.epochs)} epoch(s), {len(plan.nodes)} nodes, "
+        f"{len(plan.edges)} edges",
+    ]
+    for meta in plan.epochs:
+        lines.append(
+            f"epoch {meta.index}  digest {meta.digest[:16]}  "
+            f"{meta.requests} requests, {meta.groups} groups"
+        )
+        for node in plan.epoch_nodes(meta.index):
+            label = node.stage
+            if node.group is not None:
+                label = (
+                    f"{node.stage}[{node.group}] "
+                    f"({len(node.rids)} rids, wave {node.wave})"
+                )
+            lines.append(f"  {node.node_id[:12]}  {label}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SingleEpoch:
+    """A minimal epoch-like wrapper for plain (non-continuous) audits."""
+
+    index: int
+    trace: object
+    advice: object
+
+
+def single_epoch(index: int, trace: object, advice: object) -> SingleEpoch:
+    return SingleEpoch(index=index, trace=trace, advice=advice)
+
+
+__all__: Iterable[str] = [
+    "PLAN_SPEC",
+    "STAGE_ORDER",
+    "AuditPlan",
+    "EpochPlanMeta",
+    "PlanError",
+    "PlanNode",
+    "compile_plan",
+    "epoch_digest",
+    "epoch_groups",
+    "format_plan_text",
+    "group_digest",
+    "node_id",
+    "single_epoch",
+    "validate_plan",
+]

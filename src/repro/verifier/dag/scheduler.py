@@ -1,0 +1,267 @@
+"""Pluggable topological schedulers over a compiled plan (DESIGN.md §13).
+
+A :class:`Scheduler` executes any DAG of nodes (objects with a
+``node_id``) under explicit edges via Kahn's algorithm: a node becomes
+ready when every predecessor completed, ready nodes drain in a
+deterministic canonical order (with an injectable ``order_key`` so the
+determinism property tests can shuffle the ready queue), and
+parallel-safe nodes fan out to a pool while everything else runs in the
+calling thread.
+
+The scheduler knows nothing about audits; the driver supplies a *runner*:
+
+* ``execute(node) -> result`` -- run one node.  Must be thread-pure for
+  nodes the runner declares ``parallel_safe`` (group re-execution is
+  value-isolated by construction, see :mod:`repro.verifier.parallel`);
+* ``absorb(node, result)`` -- integrate a result; always called in the
+  scheduling thread, so runners need no locking;
+* ``remote_spec(node)`` -- a picklable task for process pools, or None
+  to run the node in the scheduling thread;
+* ``on_worker_failure(node)`` -- a worker died mid-node (killed
+  process, broken pool, unpicklable result).  That is infrastructure,
+  not evidence about the advice: runners re-execute in-process so the
+  verdict never depends on worker health.
+
+Implementations: :class:`SerialScheduler` (everything inline, the
+reference order), :class:`ThreadScheduler` (shared-memory pool; the
+only parallel option for closure-based apps that cannot pickle), and
+:class:`ProcessScheduler` (process pool; workers rebuild audit state
+from a pickled payload once per (worker, payload) and cache it, so one
+pool serves every epoch of a multi-epoch plan).
+
+Any schedule a runner observes is verdict-identical: completion results
+are only *absorbed* here, merged by the driver in canonical group order
+later -- the same argument that makes the parallel driver equivalent to
+the sequential one.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+SCHEDULER_SERIAL = "serial"
+SCHEDULER_THREAD = "thread"
+SCHEDULER_PROCESS = "process"
+SCHEDULERS = (SCHEDULER_SERIAL, SCHEDULER_THREAD, SCHEDULER_PROCESS)
+
+
+class Scheduler:
+    """Topological execution of a node DAG; subclasses choose the pool."""
+
+    name = "abstract"
+    parallel = False
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        order_key: Optional[Callable[[object], object]] = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.order_key = order_key
+
+    # -- pool hooks (overridden by parallel schedulers) --------------------
+
+    def _make_pool(self, runner: object, width: int):
+        return None
+
+    def _submit(self, pool, runner: object, node: object):
+        raise NotImplementedError
+
+    def _resolve(self, runner: object, node: object, result: object):
+        """Normalize a future's value into a runner outcome (process
+        pools return the bare worker value, not a runner outcome)."""
+        return result
+
+    # -- the Kahn loop -----------------------------------------------------
+
+    def execute(
+        self,
+        nodes: Sequence[object],
+        edges: Sequence[Tuple[str, str]],
+        runner: object,
+    ) -> None:
+        by_id = {node.node_id: node for node in nodes}
+        canonical = {node.node_id: i for i, node in enumerate(nodes)}
+        key = self.order_key or (lambda node: canonical[node.node_id])
+        indegree: Dict[str, int] = {nid: 0 for nid in by_id}
+        successors: Dict[str, List[str]] = {nid: [] for nid in by_id}
+        for src, dst in edges:
+            indegree[dst] += 1
+            successors[src].append(dst)
+        ready = sorted(
+            (node for node in nodes if indegree[node.node_id] == 0), key=key
+        )
+        remaining = len(by_id)
+
+        def complete(node: object) -> List[object]:
+            unblocked = []
+            for succ in successors[node.node_id]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    unblocked.append(by_id[succ])
+            return unblocked
+
+        parallel_width = sum(
+            1 for node in nodes if runner.parallel_safe(node)
+        )
+        pool = (
+            self._make_pool(runner, max(1, min(self.jobs, parallel_width)))
+            if self.parallel and self.jobs > 1 and parallel_width > 1
+            else None
+        )
+        futures: Dict[object, object] = {}
+        try:
+            while ready or futures:
+                if pool is not None:
+                    # Fan every ready parallel-safe node out first.
+                    pooled = [n for n in ready if runner.parallel_safe(n)]
+                    for node in pooled:
+                        ready.remove(node)
+                        try:
+                            futures[self._submit(pool, runner, node)] = node
+                            continue
+                        except _RunLocal:
+                            # Not shippable (cache replay, unpicklable
+                            # inputs): run inline, no failure implied.
+                            result = runner.execute(node)
+                        except Exception:
+                            # Pool already broken by a dead worker:
+                            # recover deterministically in-process.
+                            result = runner.on_worker_failure(node)
+                        runner.absorb(node, result)
+                        remaining -= 1
+                        ready.extend(complete(node))
+                        ready.sort(key=key)
+                if ready:
+                    node = ready.pop(0)
+                    result = runner.execute(node)
+                    runner.absorb(node, result)
+                    remaining -= 1
+                    ready.extend(complete(node))
+                    ready.sort(key=key)
+                    continue
+                if futures:
+                    done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                    for fut in sorted(done, key=lambda f: key(futures[f])):
+                        node = futures.pop(fut)
+                        try:
+                            result = self._resolve(runner, node, fut.result())
+                        except Exception:
+                            result = runner.on_worker_failure(node)
+                        runner.absorb(node, result)
+                        remaining -= 1
+                        ready.extend(complete(node))
+                    ready.sort(key=key)
+            if remaining:
+                raise RuntimeError(
+                    f"scheduler deadlock: {remaining} nodes never became "
+                    "ready (cyclic edges should have failed pre-flight)"
+                )
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+
+class SerialScheduler(Scheduler):
+    """Everything inline, in canonical ready order -- the reference
+    schedule every other scheduler must be byte-equivalent to."""
+
+    name = SCHEDULER_SERIAL
+    parallel = False
+
+
+class ThreadScheduler(Scheduler):
+    """Parallel-safe nodes on a thread pool (shared audit state; group
+    execution is value-isolated, so threads never race on it)."""
+
+    name = SCHEDULER_THREAD
+    parallel = True
+
+    def _make_pool(self, runner: object, width: int):
+        return ThreadPoolExecutor(max_workers=width)
+
+    def _submit(self, pool, runner: object, node: object):
+        return pool.submit(runner.execute, node)
+
+
+# -- process-pool plumbing -----------------------------------------------------
+
+# Worker-side cache of rebuilt audit states, keyed by the payload key the
+# runner chose (one per epoch).  Workers are pool-private processes, so
+# this global never leaks across runs.
+_WORKER_STATES: Dict[str, object] = {}
+
+
+def _pool_worker_run(
+    key: str, payload: bytes, tag: str, rids: List[str], collect: bool
+):
+    from repro.verifier.parallel import CRASH_ENV, execute_group
+    from repro.verifier.preprocess import preprocess
+
+    if os.environ.get(CRASH_ENV) == tag:
+        os._exit(17)  # simulated hard crash (test hook, see CRASH_ENV)
+    state = _WORKER_STATES.get(key)
+    if state is None:
+        app, trace, advice, carry = pickle.loads(payload)
+        # Deterministic, and the parent only ships work after its own
+        # preprocess succeeded -- this cannot newly reject.
+        state = preprocess(app, trace, advice, carry)
+        _WORKER_STATES.clear()  # at most one live epoch state per worker
+        _WORKER_STATES[key] = state
+    return execute_group(state, tag, rids, collect)
+
+
+class ProcessScheduler(Scheduler):
+    """Parallel-safe nodes on a process pool.  The runner's
+    ``remote_spec`` ships ``(key, payload, tag, rids, collect)``; a node
+    whose spec is None (unpicklable inputs, cache replays) runs in the
+    scheduling thread instead."""
+
+    name = SCHEDULER_PROCESS
+    parallel = True
+
+    def _make_pool(self, runner: object, width: int):
+        return ProcessPoolExecutor(max_workers=width)
+
+    def _submit(self, pool, runner: object, node: object):
+        spec = runner.remote_spec(node)
+        if spec is None:
+            raise _RunLocal()
+        return pool.submit(_pool_worker_run, *spec)
+
+    def _resolve(self, runner: object, node: object, result: object):
+        return runner.wrap_remote(node, result)
+
+
+class _RunLocal(Exception):
+    """Internal: this node cannot ship to a worker; run it locally."""
+
+
+def make_scheduler(
+    name: str,
+    jobs: int = 1,
+    order_key: Optional[Callable[[object], object]] = None,
+) -> Scheduler:
+    if name == SCHEDULER_SERIAL:
+        return SerialScheduler(jobs=1, order_key=order_key)
+    if name == SCHEDULER_THREAD:
+        return ThreadScheduler(jobs=jobs, order_key=order_key)
+    if name == SCHEDULER_PROCESS:
+        return ProcessScheduler(jobs=jobs, order_key=order_key)
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+__all__ = [
+    "SCHEDULERS",
+    "SCHEDULER_PROCESS",
+    "SCHEDULER_SERIAL",
+    "SCHEDULER_THREAD",
+    "ProcessScheduler",
+    "Scheduler",
+    "SerialScheduler",
+    "ThreadScheduler",
+    "make_scheduler",
+]

@@ -65,7 +65,6 @@ import os
 import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.advice.records import Advice, TX_GET, TX_PUT
 from repro.errors import AuditRejected
@@ -80,7 +79,7 @@ from repro.verifier.pipeline import (
     StageHook,
     build_pipeline,
 )
-from repro.verifier.preprocess import AuditState, preprocess
+from repro.verifier.preprocess import AuditState
 from repro.verifier.reexec import ReExecutor
 from repro.verifier.state import VarState
 
@@ -382,26 +381,58 @@ def merge_delta(
         re_exec.vars[var_id].values.update(values)
 
 
-# -- process-pool plumbing -----------------------------------------------------
-
-_WORKER_STATE: Optional[AuditState] = None
+# -- scheduler plumbing --------------------------------------------------------
 
 
-def _worker_init(payload: bytes) -> None:
-    """Pool initializer: rebuild the audit state once per worker process.
+@dataclass
+class _GroupNode:
+    """A group as a schedulable DAG node (``node_id`` is the tag)."""
 
-    Preprocess is deterministic, and the parent only spawns workers after
-    its own preprocess succeeded, so this cannot newly reject.
-    """
-    global _WORKER_STATE
-    app, trace, advice, carry = pickle.loads(payload)
-    _WORKER_STATE = preprocess(app, trace, advice, carry)
+    node_id: str
+    rids: List[str]
+    wave: int
 
 
-def _worker_run_group(tag: str, rids: List[str], collect_metrics: bool) -> GroupDelta:
-    if os.environ.get(CRASH_ENV) == tag:
-        os._exit(17)  # simulated hard crash (test hook, see CRASH_ENV)
-    return execute_group(_WORKER_STATE, tag, rids, collect_metrics)
+class _GroupRunner:
+    """The scheduler runner protocol (see
+    :mod:`repro.verifier.dag.scheduler`) over bare group re-execution:
+    every node is a parallel-safe group, results are the deltas
+    themselves, and a dead worker falls back to deterministic in-process
+    execution."""
+
+    def __init__(self, auditor: "ParallelAuditor", groups, collect: bool):
+        self.auditor = auditor
+        self.groups = groups
+        self.collect = collect
+        self.deltas: Dict[str, GroupDelta] = {}
+
+    def parallel_safe(self, node: _GroupNode) -> bool:
+        return True
+
+    def execute(self, node: _GroupNode) -> GroupDelta:
+        return execute_group(
+            self.auditor.state, node.node_id, self.groups[node.node_id],
+            self.collect,
+        )
+
+    def absorb(self, node: _GroupNode, delta: GroupDelta) -> None:
+        self.deltas[node.node_id] = delta
+
+    def remote_spec(self, node: _GroupNode):
+        payload = self.auditor._payload
+        if payload is None:
+            return None
+        return ("epoch", payload, node.node_id,
+                list(self.groups[node.node_id]), self.collect)
+
+    def wrap_remote(self, node: _GroupNode, value: GroupDelta) -> GroupDelta:
+        return value
+
+    def on_worker_failure(self, node: _GroupNode) -> GroupDelta:
+        # Infrastructure, not advice (see the module docstring): the
+        # verdict must never depend on worker health.
+        self.auditor.fallback_tags.append(node.node_id)
+        return self.execute(node)
 
 
 # -- the pipeline ----------------------------------------------------------------
@@ -577,70 +608,39 @@ class ParallelAuditor:
     # -- execution -----------------------------------------------------------
 
     def _execute_waves(self, groups: Dict[str, List[str]]) -> Dict[str, GroupDelta]:
+        """Run the wave plan through the pluggable scheduler
+        (:mod:`repro.verifier.dag.scheduler`): groups become DAG nodes,
+        consecutive waves become bipartite edges, and the resolved
+        executor mode picks the scheduler (serial / thread / process)."""
+        # Imported lazily: the dag package imports this module.
+        from repro.verifier.dag.scheduler import make_scheduler
+
         self.mode_used = self._resolve_mode()
         collect = self.metrics.enabled
-        if self.mode_used == MODE_SERIAL:
-            return {
-                tag: execute_group(self.state, tag, groups[tag], collect)
-                for wave in self.plan
-                for tag in wave
-            }
-        # More workers than groups would only pay fork + preprocess for
-        # idle processes.
-        workers = max(1, min(self.jobs, len(groups)))
-        if self.mode_used == MODE_THREAD:
-            return self._execute_pooled(
-                groups, ThreadPoolExecutor(max_workers=workers), execute_group
-            )
-        if self._payload is None:
+        if self.mode_used == MODE_PROCESS and self._payload is None:
             self._payload = pickle.dumps(
                 (self.app, self.state.trace, self.advice, self.carry)
             )
-        pool = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(self._payload,),
-        )
-        return self._execute_pooled(groups, pool, None)
-
-    def _execute_pooled(self, groups, pool, thread_fn) -> Dict[str, GroupDelta]:
-        collect = self.metrics.enabled
-        deltas: Dict[str, GroupDelta] = {}
-        try:
-            for wave in self.plan:
-                futures = {}
-                for tag in wave:
-                    try:
-                        if thread_fn is not None:
-                            futures[tag] = pool.submit(
-                                thread_fn, self.state, tag, groups[tag], collect
-                            )
-                        else:
-                            futures[tag] = pool.submit(
-                                _worker_run_group, tag, groups[tag], collect
-                            )
-                    except Exception:  # pool already broken by a dead worker
-                        self.fallback_tags.append(tag)
-                        deltas[tag] = execute_group(
-                            self.state, tag, groups[tag], collect
-                        )
-                for tag in wave:
-                    if tag not in futures:
-                        continue
-                    try:
-                        deltas[tag] = futures[tag].result()
-                    except Exception:
-                        # Hard worker failure (killed process, broken pool,
-                        # unpicklable delta): infrastructure, not advice.
-                        # Recover deterministically in-process so the
-                        # verdict never depends on worker health.
-                        self.fallback_tags.append(tag)
-                        deltas[tag] = execute_group(
-                            self.state, tag, groups[tag], collect
-                        )
-        finally:
-            pool.shutdown(wait=True, cancel_futures=True)
-        return deltas
+        nodes: List[_GroupNode] = []
+        for wave_index, wave in enumerate(self.plan):
+            for tag in wave:
+                nodes.append(
+                    _GroupNode(node_id=tag, rids=groups[tag], wave=wave_index)
+                )
+        edges: List[Tuple[str, str]] = []
+        for wave_index in range(1, len(self.plan)):
+            # Wave pre-partitioning as scheduling edges (any wave plan is
+            # verdict-identical; the merge is canonical-order regardless).
+            for prev in self.plan[wave_index - 1]:
+                for tag in self.plan[wave_index]:
+                    edges.append((prev, tag))
+        runner = _GroupRunner(self, groups, collect)
+        # More workers than groups would only pay fork + preprocess for
+        # idle processes.
+        workers = max(1, min(self.jobs, len(groups)))
+        scheduler = make_scheduler(self.mode_used, jobs=workers)
+        scheduler.execute(nodes, edges, runner)
+        return runner.deltas
 
     # -- canonical-order reduction ----------------------------------------------
 

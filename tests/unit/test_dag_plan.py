@@ -1,0 +1,228 @@
+"""Unit tests for the audit plan compiler (repro.verifier.dag.plan):
+deterministic compilation, content-hashed node IDs, DAG structure, and
+the pre-flight validation gate."""
+
+import dataclasses
+import hashlib
+import json
+
+import pytest
+
+from repro.apps import motd_app
+from repro.continuous import slice_epochs
+from repro.kem.scheduler import RandomScheduler
+from repro.server import KarousosPolicy, run_server
+from repro.verifier.dag import compile_plan, format_plan_text, validate_plan
+from repro.verifier.dag.plan import (
+    NODE_CHECKPOINT,
+    NODE_DEDUP,
+    NODE_MERGE,
+    NODE_PREPROCESS,
+    NODE_REEXEC,
+    PLAN_SPEC,
+    STAGE_ORDER,
+    PlanError,
+    canonical_json,
+    epoch_digest,
+    group_digest,
+    node_id,
+    single_epoch,
+)
+from repro.workload import motd_workload
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture(scope="module")
+def served():
+    run = run_server(
+        motd_app(),
+        motd_workload(12, mix="mixed", seed=7),
+        KarousosPolicy(),
+        scheduler=RandomScheduler(3),
+        concurrency=1,  # quiescent cut points for the multi-epoch tests
+    )
+    return run
+
+
+def _plan(run, **kwargs):
+    return compile_plan(
+        "motd", [single_epoch(0, run.trace, run.advice)], **kwargs
+    )
+
+
+class TestCompilation:
+    def test_same_inputs_compile_to_identical_plans(self, served):
+        a = _plan(served)
+        b = _plan(served)
+        assert a.digest == b.digest
+        assert a.node_order == b.node_order
+        assert a.edges == b.edges
+        assert a.to_json() == b.to_json()
+
+    def test_options_change_the_digest(self, served):
+        base = _plan(served)
+        assert _plan(served, singleton_groups=True).digest != base.digest
+        assert _plan(served, dedup=True).digest != base.digest
+
+    def test_node_ids_follow_the_spec(self, served):
+        """Every node ID is SHA-256 over (epoch digest, group digest,
+        stage, spec version) -- recomputed here from first principles."""
+        plan = _plan(served)
+        validate_plan(plan)
+        edig = plan.epochs[0].digest
+        for node in plan.ordered_nodes():
+            gdig = (
+                group_digest(node.group, list(node.rids))
+                if node.stage == NODE_REEXEC
+                else ""
+            )
+            expected = hashlib.sha256(
+                canonical_json([edig, gdig, node.stage, PLAN_SPEC]).encode()
+            ).hexdigest()
+            assert node.node_id == expected
+            assert node.node_id == node_id(edig, gdig, node.stage)
+
+    def test_structure_one_node_per_stage_one_per_group(self, served):
+        plan = _plan(served)
+        stages = [n.stage for n in plan.ordered_nodes()]
+        for stage in STAGE_ORDER:
+            if stage in (NODE_DEDUP,):
+                assert stages.count(stage) == 0  # dedup off
+            elif stage == NODE_REEXEC:
+                assert stages.count(stage) == plan.epochs[0].groups
+            else:
+                assert stages.count(stage) == 1
+        tags = sorted(
+            n.group for n in plan.ordered_nodes() if n.stage == NODE_REEXEC
+        )
+        assert tags == sorted(served.advice.groups())
+
+    def test_dedup_arms_the_barrier_node(self, served):
+        plan = _plan(served, dedup=True)
+        validate_plan(plan)
+        barrier = plan.node(0, NODE_DEDUP)
+        assert barrier is not None
+        # Every reexec node in wave 0 depends on the barrier.
+        edges = set(plan.edges)
+        wave0 = [
+            n for n in plan.ordered_nodes()
+            if n.stage == NODE_REEXEC and n.wave == 0
+        ]
+        assert wave0
+        for node in wave0:
+            assert (barrier.node_id, node.node_id) in edges
+
+    def test_singleton_groups_one_node_per_request(self, served):
+        plan = _plan(served, singleton_groups=True)
+        validate_plan(plan)
+        reexec = [n for n in plan.ordered_nodes() if n.stage == NODE_REEXEC]
+        assert len(reexec) == len(served.advice.tags)
+        assert all(len(n.rids) == 1 for n in reexec)
+
+    def test_plan_document_round_trips(self, served):
+        plan = _plan(served)
+        doc = json.loads(plan.to_json())
+        assert doc["spec"] == PLAN_SPEC
+        assert doc["digest"] == plan.digest
+        assert len(doc["nodes"]) == len(plan.nodes)
+        assert len(doc["edges"]) == len(plan.edges)
+
+    def test_zero_epochs_refused(self):
+        with pytest.raises(PlanError, match="zero epochs"):
+            compile_plan("motd", [])
+
+
+class TestMultiEpoch:
+    def test_carry_in_chain_is_compiled(self, served):
+        epochs = slice_epochs(served.trace, served.advice, 4)
+        assert len(epochs) > 1
+        plan = compile_plan("motd", epochs)
+        validate_plan(plan)
+        edges = set(plan.edges)
+        for prev, meta in zip(plan.epochs, plan.epochs[1:]):
+            src = plan.node(prev.index, NODE_CHECKPOINT)
+            dst = plan.node(meta.index, NODE_PREPROCESS)
+            assert (src.node_id, dst.node_id) in edges
+
+    def test_epoch_digests_pin_distinct_inputs(self, served):
+        epochs = slice_epochs(served.trace, served.advice, 4)
+        digests = [epoch_digest(e.trace, e.advice) for e in epochs]
+        assert len(set(digests)) == len(digests)
+
+
+class TestValidation:
+    def test_valid_plan_passes(self, served):
+        validate_plan(_plan(served))
+
+    def test_spec_mismatch_refused(self, served):
+        plan = _plan(served)
+        plan.spec = "repro.plan/0"
+        with pytest.raises(PlanError, match="spec"):
+            validate_plan(plan)
+
+    def test_unknown_edge_endpoint_refused(self, served):
+        plan = _plan(served)
+        plan.edges.append(("deadbeef" * 8, plan.node_order[0]))
+        with pytest.raises(PlanError, match="unknown node"):
+            validate_plan(plan)
+
+    def test_cycle_refused(self, served):
+        plan = _plan(served)
+        last, first = plan.node_order[-1], plan.node_order[0]
+        plan.edges.append((last, first))
+        with pytest.raises(PlanError, match="cyclic"):
+            validate_plan(plan)
+
+    def test_missing_carry_edge_refused(self, served):
+        epochs = slice_epochs(served.trace, served.advice, 4)
+        plan = compile_plan("motd", epochs)
+        src = plan.node(0, NODE_CHECKPOINT)
+        dst = plan.node(1, NODE_PREPROCESS)
+        plan.edges.remove((src.node_id, dst.node_id))
+        with pytest.raises(PlanError, match="carry-in incomplete"):
+            validate_plan(plan)
+
+    def test_unreachable_node_refused(self, served):
+        plan = _plan(served)
+        merge = plan.node(0, NODE_MERGE)
+        # Orphan one reexec node from the merge: it can no longer feed
+        # the terminal checkpoint.
+        victim = next(
+            n for n in plan.ordered_nodes() if n.stage == NODE_REEXEC
+        )
+        plan.edges.remove((victim.node_id, merge.node_id))
+        with pytest.raises(PlanError, match="terminal"):
+            validate_plan(plan)
+
+    def test_group_coverage_gap_refused(self, served):
+        plan = _plan(served)
+        victim = next(
+            nid for nid in plan.node_order
+            if plan.nodes[nid].stage == NODE_REEXEC
+        )
+        plan.node_order.remove(victim)
+        del plan.nodes[victim]
+        plan.edges = [
+            (s, d) for s, d in plan.edges if victim not in (s, d)
+        ]
+        with pytest.raises(PlanError, match="groups"):
+            validate_plan(plan)
+
+    def test_tampered_node_content_refused(self, served):
+        plan = _plan(served)
+        victim = next(
+            n for n in plan.ordered_nodes() if n.stage == NODE_REEXEC
+        )
+        forged = dataclasses.replace(victim, rids=victim.rids + ("r-forged",))
+        plan.nodes[victim.node_id] = forged
+        with pytest.raises(PlanError, match="hash"):
+            validate_plan(plan)
+
+
+def test_format_plan_text_mentions_every_node(served):
+    plan = _plan(served)
+    text = format_plan_text(plan)
+    assert plan.digest[:16] in text
+    for node in plan.ordered_nodes():
+        assert node.node_id[:12] in text
