@@ -150,6 +150,55 @@ def _build_parser() -> argparse.ArgumentParser:
                      "journaled re-execution results replay, only the "
                      "unfinished frontier re-executes")
 
+    svc = sub.add_parser(
+        "serve-audit",
+        help="fleet audit daemon: multiplex N tenant epoch streams over "
+        "one shared DAG scheduler (DESIGN.md §15)",
+    )
+    svc.add_argument("--tenant", action="append", required=True,
+                     metavar="SPEC", dest="tenants",
+                     help="one tenant: app=NAME,store=DIR[,quota=N][,name=X]"
+                     "[,max_pending=N][,scheme=file|gzip][,state=DIR] "
+                     "(repeatable); quota = re-execution tokens per fair "
+                     "round, 0 = unlimited")
+    svc.add_argument("--state-dir", required=True, metavar="DIR",
+                     help="service state root: per-tenant checkpoint chains, "
+                     "audit journals, and node journals live under "
+                     "DIR/<tenant>/ (the resume substrate)")
+    svc.add_argument("--scheduler", default="serial",
+                     choices=["serial", "thread", "process"],
+                     help="shared pool's execution backend (default serial)")
+    svc.add_argument("--jobs", type=int, default=1,
+                     help="worker width for --scheduler thread/process")
+    svc.add_argument("--no-quotas", action="store_true",
+                     help="disable per-tenant quotas and fair scheduling: "
+                     "strict FIFO admission order (exhibits super-producer "
+                     "head-of-line blocking)")
+    svc.add_argument("--once", action="store_true",
+                     help="batch mode: exit once every source is exhausted "
+                     "and all queues drained, instead of running forever")
+    svc.add_argument("--status-port", type=int, metavar="PORT",
+                     help="serve GET /healthz and /metrics.json on this "
+                     "port (0 = ephemeral)")
+    svc.add_argument("--metrics-out", metavar="FILE",
+                     help="periodically write the fleet repro.metrics/1 "
+                     "snapshot here (atomic replace)")
+    svc.add_argument("--metrics-every", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="--metrics-out refresh period (default 2.0)")
+    svc.add_argument("--poll-interval", type=float, default=0.05,
+                     metavar="SECONDS",
+                     help="idle sleep between source polls (default 0.05)")
+    svc.add_argument("--dedup", action="store_true",
+                     help="share one cross-tenant verdict cache (per-tenant "
+                     "hit/miss attribution in the fleet snapshot)")
+    svc.add_argument("--cache-dir", metavar="DIR",
+                     help="persist the shared verdict cache here "
+                     "(implies --dedup)")
+    svc.add_argument("--format", default="text", choices=["text", "json"],
+                     help="final per-tenant summary: human text (default) "
+                     "or one JSON document on stdout")
+
     plan = sub.add_parser(
         "plan",
         help="compile an audit to its execution DAG without running it",
@@ -787,6 +836,65 @@ def _cmd_audit_continuous(
     return EXIT_OK
 
 
+def _cmd_serve_audit(args) -> int:
+    import signal
+
+    from repro.service import AuditService, parse_tenant_spec
+
+    try:
+        tenants = [parse_tenant_spec(spec) for spec in args.tenants]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        service = AuditService(
+            tenants,
+            state_dir=args.state_dir,
+            scheduler=args.scheduler,
+            jobs=args.jobs,
+            quotas_enabled=not args.no_quotas,
+            dedup=args.dedup or bool(args.cache_dir),
+            cache_dir=args.cache_dir,
+            status_port=args.status_port,
+            metrics_out=args.metrics_out,
+            metrics_every=args.metrics_every,
+            poll_interval=args.poll_interval,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    def _drain(signum, frame):  # noqa: ARG001 (signal API)
+        service.request_stop()
+
+    previous = {
+        sig: signal.signal(sig, _drain)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        audited = service.run(once=args.once)
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+    summary = service.summary()
+    if args.format == "json":
+        print(json.dumps({"audited": audited, **summary}, sort_keys=True))
+    else:
+        for name in sorted(summary["tenants"]):
+            doc = summary["tenants"][name]
+            verdict = "ACCEPT" if doc["accepted"] else (
+                f"REJECT reason={doc['reason']}"
+            )
+            print(f"tenant {name} ({doc['app']}): {verdict}  "
+                  f"{len(doc['epochs'])} epochs")
+        print(f"{audited} epochs audited, {summary['ticks']} ticks, "
+              f"{summary['quota_rounds']} quota rounds")
+    rejected = any(
+        not doc["accepted"] for doc in summary["tenants"].values()
+    )
+    return EXIT_REJECTED if rejected else EXIT_OK
+
+
 def _cmd_plan(args) -> int:
     if args.epochs and args.epochs_dir:
         print("error: --epochs and --epochs-dir are mutually exclusive",
@@ -1063,6 +1171,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
         "serve": _cmd_serve,
+        "serve-audit": _cmd_serve_audit,
         "audit": _cmd_audit,
         "plan": _cmd_plan,
         "cache": _cmd_cache,

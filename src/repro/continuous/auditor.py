@@ -36,7 +36,7 @@ from repro.continuous.checkpoint import (
 from repro.continuous.epoch import Epoch
 from repro.continuous.journal import AuditJournal
 from repro.kem.program import AppSpec
-from repro.obs import MetricsRegistry, ensure_metrics
+from repro.obs import MetricsRegistry, NamespacedMetrics, ensure_metrics
 from repro.verifier.audit import Auditor, AuditResult
 from repro.verifier.pipeline import StageHook
 
@@ -78,12 +78,18 @@ class ContinuousAuditor:
         hints: Optional[object] = None,
         scheduler: Optional[str] = None,
         node_journal: Optional[object] = None,
+        namespace: Optional[str] = None,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         self.app = app
         self.parallelism = parallelism
         self.parallel_mode = parallel_mode
+        # Several auditors sharing one registry (the fleet service, or
+        # any two instances in one process) must not sum each other's
+        # ``continuous.*`` counters: a namespace scopes every metric this
+        # instance records to ``<namespace>.<name>``.
+        self.namespace = namespace or ""
         # Static scheduling/dedup hints are app-level, so one StaticHints
         # serves every epoch (see DESIGN.md §12).
         self.partition = partition
@@ -101,6 +107,8 @@ class ContinuousAuditor:
         self.node_journal = node_journal
         self.max_pending = max_pending
         self.metrics = ensure_metrics(metrics)
+        if self.namespace:
+            self.metrics = NamespacedMetrics(self.namespace, self.metrics)
         self.progress = progress
         self.checkpoints = checkpoints if checkpoints is not None else CheckpointStore()
         self.journal = journal if journal is not None else AuditJournal()
@@ -176,6 +184,14 @@ class ContinuousAuditor:
             return None
         epoch = self._queue.popleft()
         verdict = self._audit_epoch(epoch)
+        self._record_verdict(epoch, verdict)
+        return verdict
+
+    def _record_verdict(self, epoch: Epoch, verdict: EpochVerdict) -> None:
+        """Account a finished epoch: verdict table plus stream metrics.
+        Split from :meth:`step` so drivers that audit epochs outside the
+        pending queue (the fleet service's shared pool) account the same
+        way."""
         self.verdicts[epoch.index] = verdict
         if self.first_verdict_seconds is None and self._t0 is not None:
             self.first_verdict_seconds = time.perf_counter() - self._t0
@@ -190,7 +206,6 @@ class ContinuousAuditor:
             epoch.index, stats.get("handlers_executed", 0)
         )
         self.metrics.gauge("continuous.peak_pending").set_max(self.peak_pending)
-        return verdict
 
     def drain(self) -> List[EpochVerdict]:
         """Audit everything pending; verdicts in epoch order."""
@@ -214,47 +229,68 @@ class ContinuousAuditor:
     # -- one epoch ----------------------------------------------------------
 
     def _audit_epoch(self, epoch: Epoch) -> EpochVerdict:
+        verdict, parent = self._preflight(epoch)
+        if verdict is not None:
+            return verdict
+        auditor = self._build_auditor(epoch, parent)
+        result = auditor.run()
+        return self._commit(epoch, result, auditor.checkpoint)
+
+    def _preflight(
+        self, epoch: Epoch
+    ) -> tuple[Optional[EpochVerdict], Optional[Checkpoint]]:
+        """Checks that precede any re-execution.  Returns
+        ``(verdict, parent)``: a non-None verdict short-circuits the
+        audit (chain forged, predecessor rejected, missing checkpoint);
+        otherwise ``parent`` is the carry-in checkpoint (None at epoch
+        0)."""
         if self._chain_error is not None:
-            return self._reject(
-                epoch, "checkpoint-chain-forged", self._chain_error
+            return (
+                self._reject(epoch, "checkpoint-chain-forged", self._chain_error),
+                None,
             )
         if self._failed is not None:
-            return self._reject(
-                epoch,
-                "predecessor-rejected",
-                f"epoch {self._failed.epoch} rejected "
-                f"({self._failed.result.reason}); initial state unverifiable",
+            return (
+                self._reject(
+                    epoch,
+                    "predecessor-rejected",
+                    f"epoch {self._failed.epoch} rejected "
+                    f"({self._failed.result.reason}); initial state unverifiable",
+                ),
+                None,
             )
         parent: Optional[Checkpoint] = None
         if epoch.index > 0:
             parent = self.checkpoints.get(epoch.index - 1)
             if parent is None:
-                return self._reject(
-                    epoch,
-                    "missing-checkpoint",
-                    f"no verified checkpoint for epoch {epoch.index - 1}",
+                return (
+                    self._reject(
+                        epoch,
+                        "missing-checkpoint",
+                        f"no verified checkpoint for epoch {epoch.index - 1}",
+                    ),
+                    None,
                 )
-        progress = None
-        if self.progress is not None:
-            outer, index = self.progress, epoch.index
-            progress = lambda stage, secs: outer(  # noqa: E731
-                f"epoch[{index}].{stage}", secs
-            )
-        # The pipeline's checkpoint stage is armed with this epoch's index
-        # and parent: an accepted run leaves the digest-chained checkpoint
-        # in ``auditor.checkpoint``; an unextractable one rejects as
-        # ``checkpoint-unextractable`` through the shared verdict mapping.
-        auditor = Auditor(
-            self.app,
-            epoch.trace,
-            epoch.advice,
+        return None, parent
+
+    def _epoch_progress(self, epoch: Epoch) -> Optional[StageHook]:
+        if self.progress is None:
+            return None
+        outer, index = self.progress, epoch.index
+        return lambda stage, secs: outer(f"epoch[{index}].{stage}", secs)
+
+    def _auditor_kwargs(self, epoch: Epoch, parent: Optional[Checkpoint]) -> dict:
+        """The per-epoch audit configuration, shared between the inline
+        :class:`Auditor` built here and any external driver (the fleet
+        service compiles the same epoch to a DAG with these kwargs)."""
+        return dict(
             parallelism=self.parallelism,
             parallel_mode=self.parallel_mode,
             partition=self.partition,
             hints=self.hints,
             carry=parent.carry_in() if parent is not None else None,
             metrics=self.metrics,
-            progress=progress,
+            progress=self._epoch_progress(epoch),
             checkpoint_index=epoch.index,
             checkpoint_parent=parent,
             dedup=self.dedup,
@@ -262,7 +298,29 @@ class ContinuousAuditor:
             node_journal=self.node_journal,
             resume="auto" if self.node_journal is not None else False,
         )
-        result = auditor.run()
+
+    def _build_auditor(
+        self, epoch: Epoch, parent: Optional[Checkpoint]
+    ) -> Auditor:
+        # The pipeline's checkpoint stage is armed with this epoch's index
+        # and parent: an accepted run leaves the digest-chained checkpoint
+        # in ``auditor.checkpoint``; an unextractable one rejects as
+        # ``checkpoint-unextractable`` through the shared verdict mapping.
+        return Auditor(
+            self.app,
+            epoch.trace,
+            epoch.advice,
+            **self._auditor_kwargs(epoch, parent),
+        )
+
+    def _commit(
+        self,
+        epoch: Epoch,
+        result: AuditResult,
+        checkpoint: Optional[Checkpoint],
+    ) -> EpochVerdict:
+        """Journal the verdict and, on accept, extend the checkpoint
+        chain."""
         if not result.accepted:
             verdict = EpochVerdict(epoch.index, result)
             self._failed = verdict
@@ -270,10 +328,11 @@ class ContinuousAuditor:
                 "rejected", epoch.index, reason=result.reason, detail=result.detail
             )
             return verdict
-        cp = auditor.checkpoint
-        self.checkpoints.put(cp)
-        self.journal.record("verified", epoch.index, digest=cp.digest)
-        return EpochVerdict(epoch.index, result, checkpoint_digest=cp.digest)
+        self.checkpoints.put(checkpoint)
+        self.journal.record("verified", epoch.index, digest=checkpoint.digest)
+        return EpochVerdict(
+            epoch.index, result, checkpoint_digest=checkpoint.digest
+        )
 
     def _reject(self, epoch: Epoch, reason: str, detail: str) -> EpochVerdict:
         verdict = EpochVerdict(

@@ -7,6 +7,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    NamespacedMetrics,
     NULL_METRICS,
     NullMetrics,
     Series,
@@ -20,6 +21,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NamespacedMetrics",
     "NULL_METRICS",
     "NullMetrics",
     "Series",

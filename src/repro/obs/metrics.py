@@ -19,6 +19,24 @@ maximum, histogram value multisets union, and series points key by
 index -- all order-free operations, so merging per-worker snapshots
 yields the same registry no matter which worker finished first.
 
+Ownership model: one registry has one *writer* at a time -- drivers
+record from the scheduling thread, workers record into worker-local
+registries and hand snapshots back (see DESIGN.md §13).  The registry
+is nevertheless safe against the two cross-thread operations the
+fleet service actually performs: :meth:`MetricsRegistry.merge` and
+:meth:`MetricsRegistry.snapshot` take an internal lock (so a status
+endpoint can snapshot while the pump merges), and metric *creation* is
+locked so two threads racing on the first use of a name cannot orphan
+an increment.  Per-increment writes stay single-writer by design.
+
+Multi-instance use (several auditors in one process, the fleet
+service's tenants) namespaces instead of sharing:
+:class:`NamespacedMetrics` prefixes every metric name with
+``<namespace>.`` over a shared inner registry, and
+``merge(snapshot, prefix="tenant.wiki.")`` folds a tenant's snapshot
+into a fleet registry under its own key space -- two tenants can no
+longer silently sum each other's counters.
+
 The JSON document produced by :meth:`MetricsRegistry.to_json` is a
 stable interface (schema id :data:`SCHEMA`); :func:`validate_metrics_doc`
 is the schema check CI runs against emitted files.
@@ -27,6 +45,7 @@ is the schema check CI runs against emitted files.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -150,36 +169,42 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
         self._series: Dict[str, Series] = {}
         self.diagnostics: List[Dict[str, object]] = []
+        # Reentrant: merge() creates metrics while holding it.
+        self._lock = threading.RLock()
 
     # -- metric accessors (create on first use) -----------------------------
+    #
+    # The fast path (metric exists) is a lock-free dict read; only the
+    # creation miss takes the lock, so two threads racing on a name's
+    # first use both end up holding the same object.
 
     def counter(self, name: str) -> Counter:
         try:
             return self._counters[name]
         except KeyError:
-            metric = self._counters[name] = Counter()
-            return metric
+            with self._lock:
+                return self._counters.setdefault(name, Counter())
 
     def gauge(self, name: str) -> Gauge:
         try:
             return self._gauges[name]
         except KeyError:
-            metric = self._gauges[name] = Gauge()
-            return metric
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge())
 
     def histogram(self, name: str) -> Histogram:
         try:
             return self._histograms[name]
         except KeyError:
-            metric = self._histograms[name] = Histogram()
-            return metric
+            with self._lock:
+                return self._histograms.setdefault(name, Histogram())
 
     def series(self, name: str) -> Series:
         try:
             return self._series[name]
         except KeyError:
-            metric = self._series[name] = Series()
-            return metric
+            with self._lock:
+                return self._series.setdefault(name, Series())
 
     def span(self, name: str) -> _Span:
         """Time a block: ``with metrics.span("pipeline.stage.reexec.seconds")``."""
@@ -199,36 +224,54 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, object]:
         """JSON-able document of everything recorded (the wire format of
         the worker -> parent hand-off and of ``--metrics-out``)."""
-        return {
-            "schema": SCHEMA,
-            "counters": {k: v.value for k, v in sorted(self._counters.items())},
-            "gauges": {k: v.value for k, v in sorted(self._gauges.items())},
-            "histograms": {
-                k: dict(v.summary(), values=list(v.values))
-                for k, v in sorted(self._histograms.items())
-            },
-            "series": {
-                k: [[i, val] for i, val in v.ordered()]
-                for k, v in sorted(self._series.items())
-            },
-            "diagnostics": list(self.diagnostics),
-        }
+        with self._lock:
+            return {
+                "schema": SCHEMA,
+                "counters": {k: v.value for k, v in sorted(self._counters.items())},
+                "gauges": {k: v.value for k, v in sorted(self._gauges.items())},
+                "histograms": {
+                    k: dict(v.summary(), values=list(v.values))
+                    for k, v in sorted(self._histograms.items())
+                },
+                "series": {
+                    k: [[i, val] for i, val in v.ordered()]
+                    for k, v in sorted(self._series.items())
+                },
+                "diagnostics": list(self.diagnostics),
+            }
 
-    def merge(self, snapshot: Optional[Dict[str, object]]) -> None:
-        """Fold a snapshot (e.g. a worker's) into this registry."""
+    def merge(
+        self, snapshot: Optional[Dict[str, object]], prefix: str = ""
+    ) -> None:
+        """Fold a snapshot (e.g. a worker's) into this registry.
+
+        ``prefix`` (e.g. ``"tenant.wiki."``) rewrites every metric name
+        into its own key space -- the fleet-merge path that keeps
+        per-tenant registries from silently summing into each other.
+        Diagnostics gain a ``namespace`` field instead of a renamed key.
+        The whole fold holds the registry lock, so concurrent merges
+        from different threads interleave without losing increments.
+        """
         if not snapshot:
             return
-        for name, value in snapshot.get("counters", {}).items():
-            self.counter(name).inc(value)
-        for name, value in snapshot.get("gauges", {}).items():
-            self.gauge(name).set_max(value)
-        for name, doc in snapshot.get("histograms", {}).items():
-            self.histogram(name).values.extend(doc.get("values", ()))
-        for name, points in snapshot.get("series", {}).items():
-            series = self.series(name)
-            for index, value in points:
-                series.point(index, value)
-        self.diagnostics.extend(snapshot.get("diagnostics", ()))
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.counter(prefix + name).inc(value)
+            for name, value in snapshot.get("gauges", {}).items():
+                self.gauge(prefix + name).set_max(value)
+            for name, doc in snapshot.get("histograms", {}).items():
+                self.histogram(prefix + name).values.extend(doc.get("values", ()))
+            for name, points in snapshot.get("series", {}).items():
+                series = self.series(prefix + name)
+                for index, value in points:
+                    series.point(index, value)
+            if prefix:
+                self.diagnostics.extend(
+                    dict(entry, namespace=prefix.rstrip("."))
+                    for entry in snapshot.get("diagnostics", ())
+                )
+            else:
+                self.diagnostics.extend(snapshot.get("diagnostics", ()))
 
     # -- JSON ----------------------------------------------------------------
 
@@ -323,11 +366,77 @@ class NullMetrics(MetricsRegistry):
                    **ids: object) -> None:
         pass
 
-    def merge(self, snapshot: Optional[Dict[str, object]]) -> None:
+    def merge(self, snapshot: Optional[Dict[str, object]],
+              prefix: str = "") -> None:
         pass
 
 
 NULL_METRICS = NullMetrics()
+
+
+class NamespacedMetrics(MetricsRegistry):
+    """A registry view that prefixes every metric name with
+    ``<namespace>.`` and records into a shared inner registry.
+
+    This is how several auditors coexist in one process without key
+    collisions: each gets ``NamespacedMetrics("tenant.wiki", fleet)``
+    and its ``pipeline.verdicts`` lands as
+    ``tenant.wiki.pipeline.verdicts`` in the fleet registry.
+    Diagnostics gain a ``namespace`` field.  Snapshots operate on the
+    *inner* registry's full contents (no scoped sub-snapshot) --
+    callers that need a per-tenant document should keep a private
+    ``MetricsRegistry`` and fold it with
+    ``fleet.merge(snap, prefix=...)`` instead.
+
+    Wrapping :data:`NULL_METRICS` (or any disabled registry) returns the
+    inner object unchanged, preserving the zero-cost disabled path.
+    """
+
+    def __new__(cls, namespace: str, inner: Optional[MetricsRegistry] = None):
+        inner = ensure_metrics(inner)
+        if not inner.enabled:
+            return inner  # type: ignore[return-value]
+        return super().__new__(cls)
+
+    def __init__(self, namespace: str,
+                 inner: Optional[MetricsRegistry] = None) -> None:
+        inner = ensure_metrics(inner)
+        if self is inner:  # __new__ short-circuited to the disabled inner
+            return
+        super().__init__()
+        self._namespace = namespace.rstrip(".")
+        self._prefix = self._namespace + "." if self._namespace else ""
+        self._inner = inner
+        self.diagnostics = inner.diagnostics
+
+    @property
+    def namespace(self) -> str:
+        return self._namespace
+
+    def counter(self, name: str) -> Counter:
+        return self._inner.counter(self._prefix + name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._inner.gauge(self._prefix + name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._inner.histogram(self._prefix + name)
+
+    def series(self, name: str) -> Series:
+        return self._inner.series(self._prefix + name)
+
+    def diagnostic(self, stage: str, reason: str, detail: str = "",
+                   **ids: object) -> None:
+        if "namespace" not in ids and self._namespace:
+            ids["namespace"] = self._namespace
+        self._inner.diagnostic(stage, reason, detail, **ids)
+
+    def snapshot(self) -> Dict[str, object]:
+        return self._inner.snapshot()
+
+    def merge(self, snapshot: Optional[Dict[str, object]],
+              prefix: str = "") -> None:
+        self._inner.merge(snapshot, prefix=prefix or self._prefix)
 
 
 def ensure_metrics(metrics: Optional[MetricsRegistry]) -> MetricsRegistry:

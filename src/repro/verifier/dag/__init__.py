@@ -1,7 +1,7 @@
 """Execution-DAG audit driver: plan compiler, node journal, pluggable
 schedulers, and the DAG driver itself (DESIGN.md §13)."""
 
-from repro.verifier.dag.driver import DagAuditor, SimulatedKill
+from repro.verifier.dag.driver import DagAuditor, PlanAborted, SimulatedKill
 from repro.verifier.dag.journal import (
     NodeJournal,
     NodeJournalError,
@@ -37,6 +37,7 @@ __all__ = [
     "NodeJournal",
     "NodeJournalError",
     "NodeJournalState",
+    "PlanAborted",
     "PlanError",
     "PlanNode",
     "Scheduler",

@@ -84,8 +84,12 @@ class SimulatedKill(Exception):
     process does not)."""
 
 
-class _PlanAborted(Exception):
-    """Internal: an epoch rejected; stop scheduling the rest."""
+class PlanAborted(Exception):
+    """An epoch rejected (or crashed); stop scheduling the rest of this
+    plan.  Raised out of :meth:`DagAuditor.absorb` -- the built-in
+    :meth:`DagAuditor.run` catches it, and external drivers pumping the
+    runner protocol themselves (the fleet service's shared pool) must
+    catch it per plan and stop feeding that plan's nodes."""
 
 
 def _result_to_doc(result: AuditResult) -> Dict[str, object]:
@@ -220,6 +224,7 @@ class DagAuditor:
         self._jstate = None
         self._failed: Optional[Tuple[int, str]] = None
         self._journal_writes = 0
+        self._journal_closed = False
         self._replayed_verdicts: Set[int] = set()
 
     # -- entry points ------------------------------------------------------
@@ -227,6 +232,54 @@ class DagAuditor:
     def run(self) -> AuditResult:
         """Single mode: audit one epoch, return its verdict."""
         self._execute()
+        return self.collect()
+
+    def run_stream(self) -> List[object]:
+        """Stream mode: audit every epoch, return per-epoch verdicts."""
+        self._execute()
+        return self.collect_stream()
+
+    # -- external-driver surface -------------------------------------------
+    #
+    # prepare() / finalize() / collect*() split _execute() open so a
+    # driver other than make_scheduler() -- the fleet service's shared
+    # multi-plan pool -- can pump this auditor's nodes through the
+    # runner protocol (parallel_safe / execute / absorb / remote_spec /
+    # wrap_remote / on_worker_failure) itself.
+
+    def prepare(self) -> Tuple[List[PlanNode], List[Tuple[str, str]]]:
+        """Compile and validate the plan, set up the node journal and
+        per-epoch state.  Returns ``(ordered_nodes, edges)`` for an
+        external scheduler; nodes of already-replayed (or pre-rejected)
+        epochs are still listed and must be fed through
+        :meth:`execute`/:meth:`absorb`, which skip them cheaply."""
+        eps = self._frozen_epochs()
+        plan = self._compile(eps)
+        validate_plan(plan)
+        self.plan = plan
+        self.metrics.gauge("dag.plan_nodes").set(len(plan.nodes))
+        self.metrics.gauge("dag.plan_edges").set(len(plan.edges))
+        self._setup_journal(plan)
+        self._setup_runs(plan, eps)
+        return plan.ordered_nodes(), plan.edges
+
+    def finalize(self) -> None:
+        """Close the node journal and backfill ``predecessor-rejected``
+        verdicts.  Call exactly once after the schedule ends -- normally
+        or via :class:`PlanAborted`."""
+        self._close_journal()
+        self._assemble_verdicts()
+
+    def abandon(self) -> None:
+        """Stop without a verdict: close the node journal so the
+        completed prefix is durable.  The drain path of an external
+        driver (SIGTERM mid-epoch) -- a later run over the same inputs
+        resumes from the journaled nodes instead of re-executing them."""
+        self._close_journal()
+
+    def collect(self) -> AuditResult:
+        """Single-mode verdict (after :meth:`finalize`); also surfaces
+        the pipeline-parity post-run state."""
         er = self._runs[self._order[0]]
         self.state = er.state
         self.re_exec = er.re_exec
@@ -234,11 +287,10 @@ class DagAuditor:
         assert er.result is not None
         return er.result
 
-    def run_stream(self) -> List[object]:
-        """Stream mode: audit every epoch, return per-epoch verdicts."""
+    def collect_stream(self) -> List[object]:
+        """Stream-mode per-epoch verdicts (after :meth:`finalize`)."""
         from repro.continuous.auditor import EpochVerdict
 
-        self._execute()
         out = []
         for index in self._order:
             er = self._runs[index]
@@ -252,25 +304,22 @@ class DagAuditor:
     # -- plan + journal setup ----------------------------------------------
 
     def _execute(self) -> None:
-        eps = self._frozen_epochs()
-        plan = self._compile(eps)
-        validate_plan(plan)
-        self.plan = plan
-        self.metrics.gauge("dag.plan_nodes").set(len(plan.nodes))
-        self.metrics.gauge("dag.plan_edges").set(len(plan.edges))
-        self._setup_journal(plan)
-        self._setup_runs(plan, eps)
+        nodes, edges = self.prepare()
         scheduler = make_scheduler(
             self.scheduler_name, jobs=self.jobs, order_key=self.order_key
         )
         try:
-            scheduler.execute(plan.ordered_nodes(), plan.edges, self)
-        except _PlanAborted:
+            scheduler.execute(nodes, edges, self)
+        except PlanAborted:
             pass
         finally:
-            if self.journal is not None:
-                self.journal.close()
+            self._close_journal()
         self._assemble_verdicts()
+
+    def _close_journal(self) -> None:
+        if self.journal is not None and not self._journal_closed:
+            self._journal_closed = True
+            self.journal.close()
 
     def _frozen_epochs(self) -> List[object]:
         """The epoch list with traces frozen exactly once -- a streamed
@@ -482,7 +531,7 @@ class DagAuditor:
             self.progress(name, seconds)
         if kind in ("rejected", "crashed"):
             self._reject(node, er, kind, value)
-            raise _PlanAborted()
+            raise PlanAborted()
         self.metrics.counter("dag.nodes_completed").inc()
         if node.stage == NODE_REEXEC:
             self._absorb_reexec(node, er, kind, value)
@@ -754,4 +803,4 @@ class DagAuditor:
         return er.payload
 
 
-__all__ = ["DagAuditor", "SimulatedKill"]
+__all__ = ["DagAuditor", "PlanAborted", "SimulatedKill"]

@@ -212,3 +212,117 @@ def test_validate_rejects_bad_documents():
         validate_metrics_doc({**base, "series": {"s": [[0.5, 1]]}})
     with pytest.raises(ValueError):
         validate_metrics_doc({**base, "diagnostics": [{"stage": "x"}]})
+
+
+# -- merge under concurrency (the fleet-snapshot contract) --------------------
+
+
+def test_merge_applies_prefix_to_every_kind():
+    src = MetricsRegistry()
+    src.counter("c").inc(3)
+    src.gauge("g").set(7)
+    src.histogram("h").observe(1)
+    src.histogram("h").observe(2)
+    src.series("s").point(0, 0.5)
+    src.diagnostic(stage="x", reason="r")
+    fleet = MetricsRegistry()
+    fleet.merge(src.snapshot(), prefix="tenant.wiki.")
+    snap = fleet.snapshot()
+    assert snap["counters"]["tenant.wiki.c"] == 3
+    assert snap["gauges"]["tenant.wiki.g"] == 7
+    assert snap["histograms"]["tenant.wiki.h"]["count"] == 2
+    assert snap["series"]["tenant.wiki.s"] == [[0, 0.5]]
+    assert snap["diagnostics"][0]["namespace"] == "tenant.wiki"
+    validate_metrics_doc(snap)
+
+
+def test_merge_same_prefix_twice_accumulates_counters():
+    src = MetricsRegistry()
+    src.counter("c").inc(2)
+    fleet = MetricsRegistry()
+    fleet.merge(src.snapshot(), prefix="t.")
+    fleet.merge(src.snapshot(), prefix="t.")
+    assert fleet.snapshot()["counters"]["t.c"] == 4
+
+
+def test_concurrent_writers_and_merges_lose_nothing():
+    """Satellite: N threads hammer private registries while a fleet
+    thread repeatedly merges their snapshots -- every increment must
+    land exactly once in the final merge and no snapshot may crash
+    mid-mutation (the RLock contract)."""
+    import threading
+
+    WRITERS, INCS = 4, 500
+    privates = [MetricsRegistry() for _ in range(WRITERS)]
+    fleet = MetricsRegistry()
+    stop = threading.Event()
+    errors = []
+
+    def write(reg, who):
+        try:
+            for i in range(INCS):
+                reg.counter("events").inc()
+                reg.gauge("peak").set_max(i)
+                reg.histogram("lat").observe(i % 7)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    def scrape():
+        try:
+            while not stop.is_set():
+                for k, reg in enumerate(privates):
+                    # Interleaved snapshot+merge; results are thrown
+                    # away -- this thread exists to race the writers.
+                    fleet_probe = MetricsRegistry()
+                    fleet_probe.merge(reg.snapshot(), prefix=f"t{k}.")
+                    validate_metrics_doc(fleet_probe.snapshot())
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=write, args=(reg, k))
+        for k, reg in enumerate(privates)
+    ]
+    scraper = threading.Thread(target=scrape)
+    scraper.start()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stop.set()
+    scraper.join()
+    assert errors == []
+    for k, reg in enumerate(privates):
+        fleet.merge(reg.snapshot(), prefix=f"t{k}.")
+    snap = fleet.snapshot()
+    for k in range(WRITERS):
+        assert snap["counters"][f"t{k}.events"] == INCS
+        assert snap["gauges"][f"t{k}.peak"] == INCS - 1
+        assert snap["histograms"][f"t{k}.lat"]["count"] == INCS
+    validate_metrics_doc(snap)
+
+
+def test_namespaced_metrics_prefixes_and_delegates():
+    from repro.obs import NamespacedMetrics
+
+    inner = MetricsRegistry()
+    ns = NamespacedMetrics("tenant.wiki", inner)
+    ns.counter("c").inc(2)
+    ns.gauge("g").set(1)
+    ns.histogram("h").observe(5)
+    ns.series("s").point(1, 2)
+    ns.diagnostic(stage="x", reason="r")
+    snap = inner.snapshot()
+    assert snap["counters"]["tenant.wiki.c"] == 2
+    assert snap["gauges"]["tenant.wiki.g"] == 1
+    assert snap["histograms"]["tenant.wiki.h"]["count"] == 1
+    assert snap["series"]["tenant.wiki.s"] == [[1, 2]]
+    assert snap["diagnostics"][0]["namespace"] == "tenant.wiki"
+    assert ns.snapshot() == inner.snapshot()
+
+
+def test_namespaced_metrics_short_circuits_disabled_inner():
+    from repro.obs import NamespacedMetrics
+
+    assert NamespacedMetrics("t", None) is NULL_METRICS
+    assert NamespacedMetrics("t", NULL_METRICS) is NULL_METRICS
