@@ -189,6 +189,12 @@ def _build_parser() -> argparse.ArgumentParser:
     svc.add_argument("--poll-interval", type=float, default=0.05,
                      metavar="SECONDS",
                      help="idle sleep between source polls (default 0.05)")
+    svc.add_argument("--torn-limit", type=int, default=16, metavar="N",
+                     help="consecutive failed decodes of one epoch before "
+                     "its stream is classified corrupt instead of mid-seal; "
+                     "--once then rejects the tenant (reason=input-format) "
+                     "rather than waiting forever; 0 = retry forever "
+                     "(default 16)")
     svc.add_argument("--dedup", action="store_true",
                      help="share one cross-tenant verdict cache (per-tenant "
                      "hit/miss attribution in the fleet snapshot)")
@@ -859,6 +865,7 @@ def _cmd_serve_audit(args) -> int:
             metrics_out=args.metrics_out,
             metrics_every=args.metrics_every,
             poll_interval=args.poll_interval,
+            torn_limit=args.torn_limit,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

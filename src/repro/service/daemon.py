@@ -60,6 +60,7 @@ class _TenantRuntime:
         self.stream = stream
         self.source = source
         self.active: Optional[PlanJob] = None
+        self.backpressured = False  # currently in the full-queue state?
 
 
 class AuditService:
@@ -79,6 +80,7 @@ class AuditService:
         metrics_every: float = 2.0,
         poll_interval: float = 0.05,
         pump_batch: int = 128,
+        torn_limit: int = 16,
         app_factory=None,
     ):
         if not tenants:
@@ -94,9 +96,13 @@ class AuditService:
         self.metrics_every = metrics_every
         self.poll_interval = poll_interval
         self.pump_batch = pump_batch
+        self._publish_every = 0.25  # status-snapshot refresh cadence
+        self.torn_limit = torn_limit
         self.metrics = MetricsRegistry()  # service-level (fleet) registry
         self._stop = threading.Event()
         self._snap_lock = threading.Lock()
+        self._published: Optional[Dict[str, object]] = None
+        self._running = False
         self.status: Optional[StatusServer] = None
         self.epoch_ticks: List[Dict[str, object]] = []
 
@@ -129,6 +135,7 @@ class AuditService:
             source = EpochSource(
                 backend_for(config.scheme, config.store),
                 start_index=stream._next_index,
+                torn_limit=torn_limit,
             )
             self._tenants.append(_TenantRuntime(config, stream, source))
             if quotas_enabled:
@@ -157,11 +164,13 @@ class AuditService:
         CI mode); otherwise runs until :meth:`request_stop`.  Returns
         the number of epochs audited this run."""
         audited0 = sum(len(rt.stream.verdicts) for rt in self._tenants)
+        self._running = True
+        self._publish_snapshot()  # never serve a None/racy first scrape
         if self.status_port is not None and self.status is None:
             self.status = StatusServer(self.fleet_snapshot,
                                        port=self.status_port)
             self.status.start()
-        last_metrics = time.monotonic()
+        last_metrics = last_publish = time.monotonic()
         try:
             while not self._stop.is_set():
                 progressed = self._ingest() > 0
@@ -176,19 +185,35 @@ class AuditService:
                     and now - last_metrics >= self.metrics_every
                 ):
                     self._write_metrics()
-                    last_metrics = now
+                    last_metrics = last_publish = now
+                elif now - last_publish >= self._publish_every:
+                    self._publish_snapshot()
+                    last_publish = now
                 if once and not progressed and self._drained():
                     break
                 if not progressed and not self._stop.is_set():
                     time.sleep(self.poll_interval)
         finally:
-            self._shutdown()
+            try:
+                self._shutdown()
+            finally:
+                self._running = False
         return sum(len(rt.stream.verdicts) for rt in self._tenants) - audited0
 
     def _drained(self) -> bool:
-        return self.pool.idle and all(
-            not rt.stream._queue and rt.active is None
-            for rt in self._tenants
+        # A source with a pending-but-corrupt epoch is done *waiting*
+        # (nothing will ever decode it); it is reported as an input
+        # failure by summary(), not silently skipped.
+        return (
+            self.pool.idle
+            and all(
+                not rt.stream._queue and rt.active is None
+                for rt in self._tenants
+            )
+            and all(
+                not rt.source.has_pending() or rt.source.corrupt
+                for rt in self._tenants
+            )
         )
 
     def _shutdown(self) -> None:
@@ -219,11 +244,15 @@ class AuditService:
         for rt in self._tenants:
             room = rt.stream.queue_room
             if room <= 0:
-                if rt.source.has_pending():
+                if rt.source.has_pending() and not rt.backpressured:
                     # Sealed epochs are waiting but the queue is full:
-                    # the backpressure signal (watermark stays put).
+                    # one backpressure event per *entry* into that state
+                    # (not per poll -- the watermark stays put either
+                    # way), matching the solo driver's semantics.
                     rt.stream.backpressure_events += 1
+                    rt.backpressured = True
                 continue
+            rt.backpressured = False
             for epoch in rt.source.poll(room):
                 rt.stream.offer(epoch)
                 count += 1
@@ -265,37 +294,58 @@ class AuditService:
     # -- observability -----------------------------------------------------
 
     def fleet_snapshot(self) -> Dict[str, object]:
+        """The fleet ``repro.metrics/1`` document.  While the
+        scheduling loop is live this returns the loop's last *published*
+        snapshot (the HTTP thread must never iterate mutable verdict /
+        registry state the loop is writing); once the loop has exited it
+        builds a fresh one."""
+        with self._snap_lock:
+            published = self._published
+        if self._running and published is not None:
+            return published
+        return self._build_fleet_snapshot()
+
+    def _publish_snapshot(self) -> Dict[str, object]:
+        """Main-loop only: build a snapshot and hand the immutable
+        result to the status thread."""
+        doc = self._build_fleet_snapshot()
+        with self._snap_lock:
+            self._published = doc
+        return doc
+
+    def _build_fleet_snapshot(self) -> Dict[str, object]:
         """One ``repro.metrics/1`` document for the whole fleet:
         service-level metrics at the top level, each tenant's registry
-        under ``tenant.<name>.``, plus live per-tenant gauges."""
-        with self._snap_lock:
-            fleet = MetricsRegistry()
-            fleet.merge(self.metrics.snapshot())
-            fleet.gauge("service.tenants").set(len(self._tenants))
-            fleet.gauge("service.ticks").set(self.pool.ticks)
-            fleet.gauge("service.quota_rounds").set(self.pool.quota_rounds)
-            for rt in self._tenants:
-                prefix = f"tenant.{rt.name}."
-                fleet.merge(rt.stream.metrics.snapshot(), prefix=prefix)
-                gauge = lambda name, value: fleet.gauge(prefix + name).set(value)  # noqa: E731
-                stream = rt.stream
-                gauge("service.backlog", len(stream._queue))
-                gauge("service.epochs_verified", sum(
-                    1 for v in stream.verdicts.values() if v.accepted
-                ))
-                gauge("service.epochs_rejected", sum(
-                    1 for v in stream.verdicts.values() if not v.accepted
-                ))
-                gauge("service.backpressure_events", stream.backpressure_events)
-                gauge("service.ingested", rt.source.ingested)
-                gauge("service.torn_reads", rt.source.torn_reads)
-                gauge("service.resumed_epochs", stream.skipped_resumed)
-                gauge("service.quota_throttled",
-                      self.pool.throttled.get(rt.name, 0))
-            return fleet.snapshot()
+        under ``tenant.<name>.``, plus live per-tenant gauges.  Touches
+        live state -- call from the scheduling thread (or at rest)."""
+        fleet = MetricsRegistry()
+        fleet.merge(self.metrics.snapshot())
+        fleet.gauge("service.tenants").set(len(self._tenants))
+        fleet.gauge("service.ticks").set(self.pool.ticks)
+        fleet.gauge("service.quota_rounds").set(self.pool.quota_rounds)
+        for rt in self._tenants:
+            prefix = f"tenant.{rt.name}."
+            fleet.merge(rt.stream.metrics.snapshot(), prefix=prefix)
+            gauge = lambda name, value: fleet.gauge(prefix + name).set(value)  # noqa: E731
+            stream = rt.stream
+            gauge("service.backlog", len(stream._queue))
+            gauge("service.epochs_verified", sum(
+                1 for v in stream.verdicts.values() if v.accepted
+            ))
+            gauge("service.epochs_rejected", sum(
+                1 for v in stream.verdicts.values() if not v.accepted
+            ))
+            gauge("service.backpressure_events", stream.backpressure_events)
+            gauge("service.ingested", rt.source.ingested)
+            gauge("service.torn_reads", rt.source.torn_reads)
+            gauge("service.input_corrupt", int(rt.source.corrupt))
+            gauge("service.resumed_epochs", stream.skipped_resumed)
+            gauge("service.quota_throttled",
+                  self.pool.throttled.get(rt.name, 0))
+        return fleet.snapshot()
 
     def _write_metrics(self) -> None:
-        doc = self.fleet_snapshot()
+        doc = self._publish_snapshot()
         tmp = self.metrics_out + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
@@ -308,14 +358,30 @@ class AuditService:
             stream = rt.stream
             verdicts = [stream.verdicts[i] for i in sorted(stream.verdicts)]
             rejection = stream.first_rejection
+            # A corrupt epoch stream is an audit failure, not a clean
+            # drain: the solo CLI rejects the same input with
+            # reason=input-format, and batch mode must not report
+            # ACCEPT for a tenant whose tail was never audited.
+            corrupt = rt.source.corrupt
+            if rejection is not None:
+                reason = rejection.result.reason
+            elif corrupt:
+                reason = "input-format"
+            else:
+                reason = "accepted"
             tenants[rt.name] = {
                 "app": rt.config.app,
                 "accepted": rejection is None
+                and not corrupt
                 and all(v.accepted for v in verdicts),
-                "reason": (
-                    "accepted" if rejection is None
-                    else rejection.result.reason
-                ),
+                "reason": reason,
+                "input": {
+                    "pending": rt.source.has_pending(),
+                    "ingested": rt.source.ingested,
+                    "torn_reads": rt.source.torn_reads,
+                    "corrupt": corrupt,
+                    "error": rt.source.last_error,
+                },
                 "resumed_epochs": stream.skipped_resumed,
                 "stats": stream.stats(),
                 "epochs": [

@@ -270,12 +270,14 @@ class SharedDagPool:
 
     def _fan_out(self) -> None:
         """Ship every ready parallel-safe node whose tenant has budget
-        to the shared worker pool (admission order, same token charge)."""
+        to the shared worker pool (admission order, same token charge
+        as the fair pick; FIFO mode never charges -- same as
+        :meth:`_pick`'s FIFO branch)."""
         for job in sorted(self._runnable_jobs(), key=lambda j: j.seq):
             for node in [n for n in job.ready if job.runner.parallel_safe(n)]:
                 if job.aborted:
                     break  # an inline fallback rejected this plan
-                if node.stage == NODE_REEXEC:
+                if self.fair and node.stage == NODE_REEXEC:
                     bucket = self.quotas.get(job.tenant)
                     if bucket is not None and not bucket.try_take():
                         self.throttled[job.tenant] = (

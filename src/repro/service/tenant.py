@@ -7,7 +7,10 @@ each tenant:
 
 * an :class:`EpochSource` that tails the store for newly sealed epochs
   in index order (a torn / still-being-written stream is simply not
-  ready yet: the read is retried on the next poll, never trusted);
+  ready yet: the read is retried on the next poll, never trusted --
+  and after ``torn_limit`` consecutive failures on the same epoch the
+  stream is classified corrupt, so batch mode can reject the tenant
+  instead of waiting forever);
 * a :class:`TenantStream` -- a :class:`~repro.continuous.ContinuousAuditor`
   whose per-epoch audits are compiled to DAGs and executed by the
   *shared* pool instead of inline.  Everything that defines the
@@ -107,19 +110,52 @@ class EpochSource:
     """Tails a storage backend for sealed epochs, strictly in index
     order.  ``epoch-<k>`` is only consumed once it decodes completely;
     a torn or in-progress stream leaves the watermark in place so the
-    next poll retries it."""
+    next poll retries it.
 
-    def __init__(self, backend: StorageBackend, start_index: int = 0):
+    A sealer mid-write and a permanently corrupt (or tampered) stream
+    look identical on any single read, so the source counts
+    *consecutive* failed decodes of the same index (``torn_streak``).
+    Once the streak reaches ``torn_limit`` the source classifies the
+    stream as :attr:`corrupt` -- the daemon keeps retrying (a late
+    sealer clears the classification), but ``--once`` mode uses it to
+    stop waiting and fail the tenant instead of silently skipping the
+    epoch.  ``torn_limit=0`` disables the classification (retry
+    forever)."""
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        start_index: int = 0,
+        torn_limit: int = 0,
+    ):
         self.backend = backend
         self.next_index = max(0, int(start_index))
+        self.torn_limit = max(0, int(torn_limit))
         self.torn_reads = 0
+        self.torn_streak = 0
         self.ingested = 0
+        self.last_error = ""
+        self._torn_index = -1
 
     def _available(self) -> set:
         return set(list_epoch_streams(self.backend))
 
     def has_pending(self) -> bool:
         return epoch_stream_name(self.next_index) in self._available()
+
+    @property
+    def corrupt(self) -> bool:
+        """The pending epoch failed ``torn_limit`` consecutive decodes:
+        no sealer is going to finish it."""
+        return self.torn_limit > 0 and self.torn_streak >= self.torn_limit
+
+    def _record_torn(self, exc: Exception) -> None:
+        self.torn_reads += 1
+        if self._torn_index != self.next_index:
+            self._torn_index = self.next_index
+            self.torn_streak = 0
+        self.torn_streak += 1
+        self.last_error = f"{type(exc).__name__}: {exc}"
 
     def poll(self, limit: int) -> List[Epoch]:
         out: List[Epoch] = []
@@ -133,12 +169,17 @@ class EpochSource:
             try:
                 with self.backend.reader(name) as reader:
                     epoch = read_epoch_stream(reader)
-            except _TORN:
-                self.torn_reads += 1
+            except _TORN as exc:
+                self._record_torn(exc)
                 break
-            except KarousosError:
-                self.torn_reads += 1
+            except KarousosError as exc:
+                self._record_torn(exc)
                 break
+            if self._torn_index == self.next_index:
+                # The sealer finished after all: clear the streak.
+                self.torn_streak = 0
+                self._torn_index = -1
+                self.last_error = ""
             out.append(epoch)
             self.next_index += 1
             self.ingested += 1

@@ -285,6 +285,100 @@ class TestObservability:
 
 
 @tier1
+class TestCorruptInput:
+    """A permanently undecodable epoch must fail its tenant's audit in
+    --once mode (reason=input-format, like the solo CLI), never report
+    ACCEPT while silently skipping the corrupt tail -- and must not
+    perturb any other tenant."""
+
+    def test_corrupt_stream_fails_tenant_in_once_mode(self, fleets, tmp_path):
+        from repro.continuous.codec import epoch_stream_name
+
+        bad_store = _store_epochs(tmp_path, "bad-input", fleets["wiki"])
+        good_store = _store_epochs(tmp_path, "good-input", fleets["feed"])
+        # Permanently truncate the bad tenant's epoch-1 mid-record:
+        # indistinguishable from a mid-seal tail on any single read.
+        matches = glob.glob(
+            os.path.join(bad_store, epoch_stream_name(1) + ".*")
+        ) or glob.glob(os.path.join(bad_store, epoch_stream_name(1) + "*"))
+        assert len(matches) == 1, matches
+        data = open(matches[0], "rb").read()
+        with open(matches[0], "wb") as fh:
+            fh.write(data[: len(data) // 2])
+
+        service = _service_run(
+            tmp_path,
+            [
+                TenantConfig(app="wiki", store=bad_store, name="bad"),
+                TenantConfig(app="feed", store=good_store, name="good"),
+            ],
+            label="corrupt",
+            torn_limit=3,
+            poll_interval=0.001,
+        )
+        doc = service.summary()
+        bad = doc["tenants"]["bad"]
+        assert bad["accepted"] is False
+        assert bad["reason"] == "input-format"
+        assert bad["input"]["corrupt"] and bad["input"]["pending"]
+        assert bad["input"]["torn_reads"] >= 3 and bad["input"]["error"]
+        # Everything before the corrupt epoch was still audited ...
+        assert [e["epoch"] for e in bad["epochs"]] == [0]
+        assert bad["epochs"][0]["accepted"]
+        # ... the CLI's exit-code rule now sees a rejection ...
+        assert any(not t["accepted"] for t in doc["tenants"].values())
+        # ... and the good tenant is solo-identical, as ever.
+        assert doc["tenants"]["good"]["accepted"] is True
+        got, _ = _stream_fingerprints(service, "good")
+        want, _ = _solo("feed", fleets["feed"])
+        assert got == want
+        snap = service.fleet_snapshot()
+        assert snap["gauges"]["tenant.bad.service.input_corrupt"] == 1
+        assert snap["gauges"]["tenant.good.service.input_corrupt"] == 0
+
+
+@tier1
+class TestBackpressure:
+    def test_backpressure_counts_transitions_not_polls(self, tmp_path):
+        """The counter records entries into the full-queue-with-pending
+        state, not scheduling-loop iterations spent in it (a slow
+        tenant must not inflate the metric 20x/sec)."""
+        from repro.continuous.epoch import Epoch
+        from repro.trace import Trace
+
+        backend = backend_for(
+            "file", os.path.join(str(tmp_path), "bp-epochs")
+        )
+        for i in range(4):
+            write_epoch_stored(
+                backend, Epoch(index=i, trace=Trace([]), advice=None)
+            )
+        service = AuditService(
+            [
+                TenantConfig(
+                    app="wiki",
+                    store=os.path.join(str(tmp_path), "bp-epochs"),
+                    max_pending=1,
+                )
+            ],
+            state_dir=os.path.join(str(tmp_path), "bp-state"),
+        )
+        try:
+            rt = service._by_name["wiki"]
+            assert service._ingest() == 1  # fills the one-slot queue
+            for _ in range(5):  # five polls stuck in the same state ...
+                service._ingest()
+            assert rt.stream.backpressure_events == 1  # ... one event
+            rt.stream._queue.clear()  # the pool drains the epoch
+            assert service._ingest() == 1  # refill = leave + re-enter
+            for _ in range(5):
+                service._ingest()
+            assert rt.stream.backpressure_events == 2
+        finally:
+            service._shutdown()
+
+
+@tier1
 class TestStarvation:
     """Quotas bound a small tenant's latency under a super-producer;
     FIFO admission does not.  Latency is measured in deterministic

@@ -147,6 +147,46 @@ def test_epoch_source_torn_tail_retried(tmp_path):
     assert [e.index for e in source.poll(10)] == [0]
 
 
+def test_epoch_source_never_corrupt_without_limit(tmp_path):
+    """torn_limit=0 (the default): a torn tail is retried forever and
+    never classified corrupt, whatever the streak."""
+    backend = backend_for("file", str(tmp_path))
+    write_epoch_stored(backend, _mini_epoch(0))
+    path = next(tmp_path.glob("epoch-0*"))
+    path.write_bytes(path.read_bytes()[:10])
+    source = EpochSource(backend)
+    for _ in range(50):
+        assert source.poll(10) == []
+    assert source.torn_streak == 50
+    assert not source.corrupt
+
+
+def test_epoch_source_corrupt_after_torn_limit(tmp_path):
+    """A stream that keeps failing to decode the same epoch for
+    torn_limit consecutive polls is classified corrupt -- and the
+    classification clears if a sealer finishes it after all."""
+    backend = backend_for("file", str(tmp_path))
+    write_epoch_stored(backend, _mini_epoch(0))
+    write_epoch_stored(backend, _mini_epoch(1))
+    path = next(tmp_path.glob("epoch-0*"))
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    source = EpochSource(backend, torn_limit=3)
+    for polls in range(1, 3):
+        assert source.poll(10) == []
+        assert not source.corrupt, polls
+    assert source.poll(10) == []
+    assert source.corrupt
+    assert source.torn_streak == 3
+    assert source.last_error
+    assert source.has_pending()  # pending + corrupt = input failure
+    # The sealer finishes late: the streak (and verdict) clears.
+    path.write_bytes(data)
+    assert [e.index for e in source.poll(10)] == [0, 1]
+    assert not source.corrupt
+    assert source.torn_streak == 0 and source.last_error == ""
+
+
 # -- plan jobs: Kahn bookkeeping ---------------------------------------------
 
 
@@ -301,6 +341,55 @@ def test_pool_quota_throttles_reexec_nodes():
     assert pool.quota_rounds >= 1
     assert pool.throttled.get("hog", 0) >= 1
     assert len(pool.take_done()) == 2
+
+
+def test_pool_fifo_fan_out_never_charges_quotas():
+    """FIFO mode (fair off) never throttles -- including the parallel
+    fan-out path, even when the pool was handed non-empty quotas."""
+    from repro.verifier.dag.plan import NODE_REEXEC
+
+    class _ParallelRunner(_FakeRunner):
+        def parallel_safe(self, node):
+            return True
+
+    bucket = TokenBucket(1)
+    pool = SharedDagPool(
+        scheduler="thread", jobs=2, fair=False, quotas={"t": bucket}
+    )
+    runner = _ParallelRunner()
+    pool.admit("t", runner, *_chain("n", 4, stage=NODE_REEXEC))
+    try:
+        assert pool.pump() == 4
+        assert sorted(runner.absorbed) == ["n0", "n1", "n2", "n3"]
+        assert pool.throttled == {}  # no fan-out throttling ...
+        assert bucket.spent == 0  # ... and no tokens charged
+        assert len(pool.take_done()) == 1
+    finally:
+        pool.shutdown()
+
+
+def test_pool_fair_fan_out_charges_quotas():
+    """Fair mode's fan-out charges the same token per reexec node as
+    the inline pick, so parallel backends cannot dodge a quota."""
+    from repro.verifier.dag.plan import NODE_REEXEC
+
+    class _ParallelRunner(_FakeRunner):
+        def parallel_safe(self, node):
+            return True
+
+    bucket = TokenBucket(1)
+    pool = SharedDagPool(
+        scheduler="thread", jobs=2, fair=True, quotas={"t": bucket}
+    )
+    runner = _ParallelRunner()
+    pool.admit("t", runner, *_chain("n", 3, stage=NODE_REEXEC))
+    try:
+        assert pool.pump() == 3
+        assert bucket.spent == 3
+        assert bucket.refills >= 1  # round boundaries hit
+        assert len(pool.take_done()) == 1
+    finally:
+        pool.shutdown()
 
 
 def test_pool_abort_stops_plan_but_not_others():
